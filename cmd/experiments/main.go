@@ -1,0 +1,296 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section (§IV) on the scaled dataset substitutes. Output is
+// plain text, one block per experiment, suitable for diffing against
+// EXPERIMENTS.md.
+//
+// Run everything:
+//
+//	experiments -all
+//
+// Or individual experiments:
+//
+//	experiments -table1 -fig3 -fig5 -quick
+//
+// -quick shrinks graphs, sweeps and repetitions for a fast smoke pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/sched"
+)
+
+type config struct {
+	quick   bool
+	threads int
+	reps    int
+	csvDir  string
+}
+
+// emit prints a figure and, when -csv is set, also writes it as CSV named
+// after its ID.
+func (c config) emit(fig *bench.Figure) {
+	fmt.Println(fig.Render())
+	if c.csvDir == "" {
+		return
+	}
+	name := strings.NewReplacer("/", "_", " ", "_").Replace(fig.ID) + ".csv"
+	f, err := os.Create(filepath.Join(c.csvDir, name))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := fig.WriteCSV(f); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func main() {
+	var (
+		all    = flag.Bool("all", false, "run every experiment")
+		table1 = flag.Bool("table1", false, "Table I: graph characteristics")
+		table2 = flag.Bool("table2", false, "Table II: algorithms")
+		fig2   = flag.Bool("fig2", false, "Fig 2: reuse distance distributions")
+		fig3   = flag.Bool("fig3", false, "Fig 3: replication factor")
+		fig4   = flag.Bool("fig4", false, "Fig 4: storage size")
+		fig5   = flag.Bool("fig5", false, "Fig 5: layout sweeps on twitter-sm")
+		fig6   = flag.Bool("fig6", false, "Fig 6: layout sweeps on small graphs")
+		fig7   = flag.Bool("fig7", false, "Fig 7: edge sort order")
+		fig8   = flag.Bool("fig8", false, "Fig 8: simulated MPKI")
+		fig9   = flag.Bool("fig9", false, "Fig 9: system comparison")
+		fig10  = flag.Bool("fig10", false, "Fig 10: thread scalability")
+		atom   = flag.Bool("atomics", false, "atomics ablation (§III.C)")
+		ablate = flag.Bool("ablations", false, "design-choice ablations (reorder, thresholds, by-source)")
+		quick  = flag.Bool("quick", false, "shrink everything for a smoke pass")
+		reps   = flag.Int("reps", 3, "timing repetitions (median reported)")
+		csvDir = flag.String("csv", "", "also write each figure as CSV into this directory")
+	)
+	flag.Parse()
+	cfg := config{quick: *quick, threads: 0, reps: *reps, csvDir: *csvDir}
+	if cfg.csvDir != "" {
+		if err := os.MkdirAll(cfg.csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if cfg.quick {
+		cfg.reps = 1
+	}
+
+	ran := false
+	run := func(enabled bool, fn func(config)) {
+		if *all || enabled {
+			fn(cfg)
+			ran = true
+		}
+	}
+	run(*table1, runTable1)
+	run(*table2, runTable2)
+	run(*fig2, runFig2)
+	run(*fig3, runFig3)
+	run(*fig4, runFig4)
+	run(*fig5, runFig5)
+	run(*fig6, runFig6)
+	run(*fig7, runFig7)
+	run(*fig8, runFig8)
+	run(*fig9, runFig9)
+	run(*fig10, runFig10)
+	run(*atom, runAtomics)
+	run(*ablate, runAblations)
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// mainGraph is the Twitter stand-in used by the single-graph figures.
+func mainGraph(cfg config) (string, *graph.Graph) {
+	if cfg.quick {
+		return "tiny-social", gen.TinySocial()
+	}
+	return "twitter-sm", gen.Preset("twitter-sm")
+}
+
+func sweep(cfg config) []int {
+	if cfg.quick {
+		return []int{4, 16, 64}
+	}
+	return bench.PartitionSweep()
+}
+
+func allCodes() []string {
+	return []string{"BC", "CC", "PR", "BFS", "PRDelta", "SPMV", "BF", "BP"}
+}
+
+func runTable1(cfg config) {
+	if cfg.quick {
+		g := gen.TinySocial()
+		fmt.Println("== Table I (quick): tiny-social ==")
+		fmt.Println(graph.ComputeStats("tiny-social", g).String())
+		return
+	}
+	fmt.Println(bench.Table1())
+}
+
+func runTable2(config) { fmt.Println(bench.Table2()) }
+
+func runFig2(cfg config) {
+	name, g := mainGraph(cfg)
+	ps := []int{1, 4, 8, 24, 192, 384}
+	if cfg.quick {
+		ps = []int{1, 8, 64}
+	}
+	fig := bench.Fig2(g, ps)
+	fig.Title += " (" + name + ")"
+	cfg.emit(fig)
+}
+
+func runFig3(cfg config) {
+	graphs := map[string]*graph.Graph{}
+	if cfg.quick {
+		graphs["tiny-social"] = gen.TinySocial()
+		graphs["tiny-road"] = gen.TinyRoad()
+	} else {
+		for _, n := range []string{"twitter-sm", "friendster-sm", "orkut-sm", "usaroad-sm", "livejournal-sm", "powerlaw-sm"} {
+			graphs[n] = gen.Preset(n)
+		}
+	}
+	cfg.emit(bench.Fig3(graphs, sweep(cfg)))
+}
+
+func runFig4(cfg config) {
+	name, g := mainGraph(cfg)
+	cfg.emit(bench.Fig4(name, g, sweep(cfg)))
+	if !cfg.quick {
+		cfg.emit(bench.Fig4("friendster-sm", gen.Preset("friendster-sm"), sweep(cfg)))
+	}
+}
+
+func runFig5(cfg config) {
+	name, g := mainGraph(cfg)
+	codes := allCodes()
+	if cfg.quick {
+		codes = []string{"BFS", "PR"}
+	}
+	for _, fig := range orderedFigs(bench.Fig5(name, g, codes, sweep(cfg), cfg.reps, cfg.threads), codes) {
+		cfg.emit(fig)
+	}
+}
+
+func runFig6(cfg config) {
+	type gspec struct {
+		name  string
+		codes []string
+	}
+	specs := []gspec{{"livejournal-sm", []string{"BFS", "BP"}}, {"yahoo-sm", []string{"BFS", "BP"}}}
+	if cfg.quick {
+		specs = []gspec{{"tiny-road", []string{"BFS"}}}
+	}
+	for _, s := range specs {
+		var g *graph.Graph
+		if s.name == "tiny-road" {
+			g = gen.TinyRoad()
+		} else {
+			g = gen.Preset(s.name)
+		}
+		for _, fig := range orderedFigs(bench.Fig5(s.name, g, s.codes, sweep(cfg), cfg.reps, cfg.threads), s.codes) {
+			fig.ID = "Fig6/" + fig.ID + "/" + s.name
+			cfg.emit(fig)
+		}
+	}
+}
+
+func runFig7(cfg config) {
+	name, g := mainGraph(cfg)
+	codes := []string{"CC", "PR", "PRDelta", "SPMV", "BP"}
+	p := 384
+	if cfg.quick {
+		codes = []string{"PR", "SPMV"}
+		p = 16
+	}
+	cfg.emit(bench.Fig7(name, g, codes, p, cfg.reps, cfg.threads))
+	if !cfg.quick {
+		cfg.emit(bench.Fig7("friendster-sm", gen.Preset("friendster-sm"), codes, p, cfg.reps, cfg.threads))
+	}
+}
+
+func runFig8(cfg config) {
+	name, g := mainGraph(cfg)
+	cfg.emit(bench.Fig8(name, g, sweep(cfg)))
+	if !cfg.quick {
+		cfg.emit(bench.Fig8("friendster-sm", gen.Preset("friendster-sm"), sweep(cfg)))
+	}
+}
+
+func runFig9(cfg config) {
+	names := gen.PresetNames()
+	codes := allCodes()
+	if cfg.quick {
+		names = nil
+		codes = []string{"BFS", "PR"}
+		fig := bench.Fig9("tiny-social", gen.TinySocial(), codes, 64, cfg.reps, cfg.threads)
+		cfg.emit(fig)
+		fmt.Println(bench.SpeedupSummary(fig))
+	}
+	for _, n := range names {
+		fig := bench.Fig9(n, gen.Preset(n), codes, 384, cfg.reps, cfg.threads)
+		cfg.emit(fig)
+		fmt.Println(bench.SpeedupSummary(fig))
+	}
+}
+
+func runFig10(cfg config) {
+	name, g := mainGraph(cfg)
+	max := runtime.GOMAXPROCS(0)
+	var threads []int
+	for _, t := range []int{1, 2, 4, 8, 16, 24, 48} {
+		if t <= max {
+			threads = append(threads, t)
+		}
+	}
+	if cfg.quick {
+		threads = []int{1, 2}
+	}
+	cfg.emit(bench.Fig10(name, g, threads, 384, cfg.reps))
+}
+
+func runAtomics(cfg config) {
+	name, g := mainGraph(cfg)
+	codes := allCodes()
+	p := 384
+	if cfg.quick {
+		codes = []string{"PR", "CC"}
+		p = 16
+	}
+	cfg.emit(bench.AtomicsAblation(name, g, codes, p, cfg.reps, cfg.threads))
+}
+
+func runAblations(cfg config) {
+	name, g := mainGraph(cfg)
+	ps := sweep(cfg)
+	cfg.emit(bench.ReorderAblation(name, g, ps))
+	cfg.emit(bench.BySourceAblation(name, g, ps))
+	cfg.emit(bench.NUMAFigure(name, g, ps, sched.DefaultTopology()))
+	cfg.emit(bench.ThresholdAblation(name, g, cfg.reps, cfg.threads))
+}
+
+// orderedFigs returns map values in codes order for deterministic output.
+func orderedFigs(m map[string]*bench.Figure, codes []string) []*bench.Figure {
+	out := make([]*bench.Figure, 0, len(m))
+	for _, c := range codes {
+		if f, ok := m[c]; ok {
+			out = append(out, f)
+		}
+	}
+	return out
+}

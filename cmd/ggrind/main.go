@@ -1,0 +1,136 @@
+// Command ggrind runs one graph algorithm on one generated graph with a
+// chosen engine, layout and partition count, printing timing and engine
+// telemetry. It is the interactive counterpart of cmd/experiments.
+//
+// Examples:
+//
+//	ggrind -graph twitter-sm -alg PRDelta -system GG-v2 -partitions 384
+//	ggrind -graph usaroad-sm -alg BF -system Ligra
+//	ggrind -graph livejournal-sm -alg BFS -layout COO -reps 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/algorithms"
+	"repro/internal/api"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/gio"
+	"repro/internal/graph"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		graphName  = flag.String("graph", "twitter-sm", "graph preset: "+strings.Join(gen.PresetNames(), ", "))
+		graphFile  = flag.String("file", "", "load graph from file instead of a preset (.el/.adj/.bin[.gz])")
+		traceOut   = flag.String("trace", "", "write a per-iteration CSV trace to this file (GG-v2 only)")
+		algCode    = flag.String("alg", "PRDelta", "algorithm code: BC CC PR BFS PRDelta SPMV BF BP")
+		system     = flag.String("system", "GG-v2", "engine: L, P, GG-v1, GG-v2")
+		partitions = flag.Int("partitions", 0, "GG-v2 partition count (0 = default)")
+		layout     = flag.String("layout", "auto", "GG-v2 forced layout: auto, CSR, CSC, COO")
+		atomics    = flag.Bool("atomics", false, "force atomic updates in the COO layout")
+		threads    = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
+		reps       = flag.Int("reps", 3, "repetitions; the median is reported")
+	)
+	flag.Parse()
+
+	spec, ok := algorithms.SpecByCode(*algCode)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ggrind: unknown algorithm %q\n", *algCode)
+		os.Exit(2)
+	}
+
+	var g *graph.Graph
+	label := *graphName
+	if *graphFile != "" {
+		label = *graphFile
+		fmt.Printf("loading %s...\n", label)
+		var err error
+		g, err = gio.Load(*graphFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ggrind: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Printf("building %s...\n", label)
+		g = gen.Preset(*graphName)
+	}
+	st := graph.ComputeStats(label, g)
+	fmt.Println(st.String())
+
+	var sys, rsys api.System
+	var rec *trace.Recorder
+	if *traceOut != "" {
+		rec = trace.New()
+	}
+	if *system == "GG-v2" {
+		opts := core.Options{Partitions: *partitions, Threads: *threads, ForceAtomics: *atomics, Trace: rec}
+		switch strings.ToUpper(*layout) {
+		case "AUTO":
+		case "CSR":
+			opts.Layout = core.LayoutCSR
+		case "CSC":
+			opts.Layout = core.LayoutCSC
+		case "COO":
+			opts.Layout = core.LayoutCOO
+		default:
+			fmt.Fprintf(os.Stderr, "ggrind: unknown layout %q\n", *layout)
+			os.Exit(2)
+		}
+		eng := core.NewEngine(g, opts)
+		fmt.Printf("engine: GG-v2 layout=%v partitions=%d threads=%d\n",
+			eng.Options().Layout, eng.Options().Partitions, eng.Threads())
+		sys = eng
+		if spec.NeedsReverse {
+			rsys = core.NewEngine(g.Reverse(), opts)
+		}
+	} else {
+		sys = bench.BuildSystem(*system, g, *partitions, *threads)
+		if spec.NeedsReverse {
+			rsys = bench.BuildSystem(*system, g.Reverse(), *partitions, *threads)
+		}
+		fmt.Printf("engine: %s threads=%d\n", sys.Name(), sys.Threads())
+	}
+
+	src := algorithms.SourceVertex(g)
+	fmt.Printf("running %s (source=%d, %d reps)...\n", spec.Code, src, *reps)
+	var best time.Duration
+	for i := 0; i < *reps; i++ {
+		start := time.Now()
+		spec.Run(sys, rsys, src)
+		d := time.Since(start)
+		fmt.Printf("  rep %d: %v\n", i+1, d)
+		if best == 0 || d < best {
+			best = d
+		}
+	}
+	fmt.Printf("best: %v  (%.1f Medges/s)\n", best,
+		float64(g.NumEdges())/best.Seconds()/1e6)
+	if eng, ok := sys.(*core.Engine); ok {
+		fmt.Printf("telemetry: %s\n", eng.Telemetry().String())
+	}
+	if rec != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ggrind: %v\n", err)
+			os.Exit(1)
+		}
+		if err := rec.WriteCSV(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "ggrind: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "ggrind: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: %s (%s)\n", *traceOut, rec.String())
+	}
+}

@@ -1,0 +1,106 @@
+// Command gpart analyses a partitioning without running any algorithm:
+// per-partition vertex/edge loads, balance, replication factor, modelled
+// layout storage, and the heuristic partition count. It answers "what
+// does Algorithm 1 do to this graph at this P?" — the Figures 3 and 4
+// view of one configuration.
+//
+// Examples:
+//
+//	gpart -graph twitter-sm -partitions 384
+//	gpart -graph usaroad-sm -partitions 48 -criterion vertices
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/locality"
+	"repro/internal/partition"
+	"repro/internal/sched"
+)
+
+func main() {
+	var (
+		graphName  = flag.String("graph", "twitter-sm", "graph preset: "+strings.Join(gen.PresetNames(), ", "))
+		partitions = flag.Int("partitions", 0, "partition count (0 = locality heuristic)")
+		criterion  = flag.String("criterion", "edges", "balance criterion: edges or vertices")
+		scheme     = flag.String("by", "destination", "partitioning scheme: destination or source")
+	)
+	flag.Parse()
+
+	g := gen.Preset(*graphName)
+	fmt.Println(graph.ComputeStats(*graphName, g).String())
+
+	crit := partition.BalanceEdges
+	if *criterion == "vertices" {
+		crit = partition.BalanceVertices
+	} else if *criterion != "edges" {
+		fmt.Fprintf(os.Stderr, "gpart: unknown criterion %q\n", *criterion)
+		os.Exit(2)
+	}
+	p := *partitions
+	if p <= 0 {
+		p = core.HeuristicPartitions(g, core.HeuristicConfig{})
+		fmt.Printf("heuristic partition count: %d\n", p)
+	}
+
+	var pt *partition.Partitioning
+	switch *scheme {
+	case "destination":
+		pt = partition.ByDestination(g, p, crit)
+	case "source":
+		pt = partition.BySource(g, p, crit)
+	default:
+		fmt.Fprintf(os.Stderr, "gpart: unknown scheme %q\n", *scheme)
+		os.Exit(2)
+	}
+
+	inLoads := pt.InEdgeCounts(g)
+	outLoads := pt.OutEdgeCounts(g)
+	fmt.Printf("partitions: %d (criterion: %s, by %s)\n", pt.P, crit, *scheme)
+	fmt.Printf("in-edge balance:  max/mean = %.3f\n", partition.Imbalance(inLoads))
+	fmt.Printf("out-edge balance: max/mean = %.3f\n", partition.Imbalance(outLoads))
+
+	r := partition.ReplicationFactor(g, pt)
+	fmt.Printf("replication factor r(%d) = %.2f (worst case r(|V|) = %.1f)\n",
+		pt.P, r, partition.WorstCaseReplicationFactor(g))
+
+	sizes := partition.Model(g, pt.P, partition.DefaultBe, partition.DefaultBv)
+	fmt.Printf("modelled storage at P=%d:\n", pt.P)
+	fmt.Printf("  CSR (pruned)   %8.2f MiB\n", mib(sizes.CSRPruned))
+	fmt.Printf("  CSR (unpruned) %8.2f MiB\n", mib(sizes.CSRUnpruned))
+	fmt.Printf("  CSC            %8.2f MiB\n", mib(sizes.CSC))
+	fmt.Printf("  COO            %8.2f MiB\n", mib(sizes.COO))
+
+	// Load histogram: smallest, median, largest partitions by in-edges.
+	small, median, large := spread(inLoads)
+	fmt.Printf("in-edges per partition: min=%d median=%d max=%d\n", small, median, large)
+
+	if *scheme == "destination" {
+		topo := sched.DefaultTopology()
+		tr := locality.MeasureNUMATraffic(g, pt.P, topo)
+		fmt.Printf("modelled NUMA (%d domains): %.1f%% of vertex-array accesses domain-local "+
+			"(next-array updates: %d local / %d remote)\n",
+			topo.Domains, 100*tr.LocalShare, tr.LocalNext, tr.RemoteNext)
+	}
+}
+
+func mib(b int64) float64 { return float64(b) / (1 << 20) }
+
+func spread(loads []int64) (min, median, max int64) {
+	if len(loads) == 0 {
+		return
+	}
+	sorted := append([]int64(nil), loads...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	return sorted[0], sorted[len(sorted)/2], sorted[len(sorted)-1]
+}

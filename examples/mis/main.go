@@ -1,0 +1,41 @@
+// MIS example: maximal independent set on a symmetric social graph,
+// demonstrating that the framework's Ligra-compatible API runs classic
+// applications beyond the paper's Table II set, and verifying the result
+// structurally.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+	"repro/internal/algorithms"
+	"repro/internal/gen"
+)
+
+func main() {
+	g := gen.Symmetrise(gen.PowerLaw(1<<14, 1<<18, 2.3, 5))
+	fmt.Printf("graph: symmetric power-law, %d vertices, %d edges\n",
+		g.NumVertices(), g.NumEdges())
+
+	eng := repro.NewEngineAuto(g, repro.Options{})
+	fmt.Printf("engine: %d partitions (heuristic)\n", eng.Options().Partitions)
+
+	res := algorithms.MIS(eng)
+	size := 0
+	for _, in := range res.InSet {
+		if in {
+			size++
+		}
+	}
+	fmt.Printf("MIS: %d members (%.1f%% of vertices) in %d rounds\n",
+		size, 100*float64(size)/float64(g.NumVertices()), res.Rounds)
+
+	if msg := algorithms.VerifyMIS(g, res.InSet); msg != "" {
+		panic("invalid MIS: " + msg)
+	}
+	fmt.Println("independence and maximality verified ✓")
+
+	// Coreness of the same graph, for flavour.
+	kc := algorithms.KCore(eng)
+	fmt.Printf("graph degeneracy (max core): %d\n", kc.MaxCore)
+}

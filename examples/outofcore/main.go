@@ -1,0 +1,61 @@
+// Out-of-core example: shard a graph to disk GraphChi-style (the system
+// the paper's partitioning-by-destination comes from) and run PageRank
+// with one sequential shard pass per iteration — resident memory is
+// bounded by the rank arrays plus a single shard, independent of |E|.
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"repro"
+	"repro/internal/shard"
+)
+
+func main() {
+	g := repro.Preset("livejournal-sm")
+	fmt.Printf("graph: livejournal-sm, %d vertices, %d edges\n",
+		g.NumVertices(), g.NumEdges())
+
+	dir := filepath.Join(os.TempDir(), "ggrind-shards")
+	defer os.RemoveAll(dir)
+
+	st, err := shard.Write(dir, g, 24)
+	if err != nil {
+		panic(err)
+	}
+	var bytes int64
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if info, err := e.Info(); err == nil {
+			bytes += info.Size()
+		}
+	}
+	fmt.Printf("sharded to %s: %d shards, %.1f MiB on disk\n",
+		dir, st.NumShards(), float64(bytes)/(1<<20))
+
+	outDeg, err := st.OutDegrees()
+	if err != nil {
+		panic(err)
+	}
+	ooc, err := shard.PageRank(st, 10, outDeg)
+	if err != nil {
+		panic(err)
+	}
+
+	// Cross-check against the in-memory engine.
+	inMem := repro.PageRank(repro.NewEngine(g, repro.Options{}), 10)
+	var maxDiff float64
+	for v := range ooc {
+		if d := math.Abs(ooc[v] - inMem[v]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	fmt.Printf("out-of-core vs in-memory PageRank: max diff %.2e\n", maxDiff)
+	if maxDiff > 1e-9 {
+		panic("results diverge")
+	}
+	fmt.Println("out-of-core sweep matches the in-memory engine ✓")
+}

@@ -1,0 +1,44 @@
+// PageRank-delta example: runs the paper's flagship workload (PRDelta on
+// a social-network graph) and prints the frontier-class progression that
+// motivates the three-layout design — early iterations are dense (COO),
+// middle ones medium (CSC backward) and the long tail sparse (CSR
+// forward).
+package main
+
+import (
+	"fmt"
+
+	"repro"
+	"repro/internal/algorithms"
+)
+
+func main() {
+	g := repro.Preset("livejournal-sm")
+	fmt.Printf("graph: livejournal-sm, %d vertices, %d edges\n",
+		g.NumVertices(), g.NumEdges())
+
+	eng := repro.NewEngine(g, repro.Options{Partitions: 384})
+	res := algorithms.PRDelta(eng, 60)
+
+	fmt.Printf("PRDelta converged in %d iterations\n", res.Iters)
+	fmt.Println("active vertices per iteration:")
+	for i, c := range res.ActiveCounts {
+		frac := float64(c) / float64(g.NumVertices()) * 100
+		fmt.Printf("  iter %2d: %8d active (%5.1f%%)\n", i, c, frac)
+	}
+
+	tel := eng.Telemetry()
+	fmt.Printf("\nfrontier classes used: %d dense (COO), %d medium (CSC), %d sparse (CSR)\n",
+		tel.DenseIters, tel.MediumIters, tel.SparseIters)
+	fmt.Println("(the paper reports 8 dense, 3 medium, 22 sparse for PRDelta on Twitter)")
+
+	var sum float64
+	for _, r := range res.Ranks {
+		sum += r
+	}
+	// Mass drifts a few percent above 1: deltas below the activation
+	// threshold are dropped rather than forwarded (PRDelta's documented
+	// approximation), and dropped negative deltas outnumber positive
+	// ones on skewed graphs.
+	fmt.Printf("rank mass: %.4f (≈1; small drift from delta truncation)\n", sum)
+}

@@ -1,0 +1,54 @@
+// Road-network example: single-source shortest paths (Bellman-Ford) on
+// the USAroad-like lattice — the high-diameter, low-degree workload the
+// paper calls "hard to process for graph analytics frameworks". Frontier
+// sizes stay small for hundreds of rounds, so nearly every iteration is
+// sparse and the unpartitioned-CSR sparse path dominates.
+package main
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	g := repro.RoadGrid(256, 256, 7)
+	fmt.Printf("graph: road lattice, %d vertices, %d edges\n",
+		g.NumVertices(), g.NumEdges())
+
+	eng := repro.NewEngine(g, repro.Options{})
+	src := repro.VID(0) // a lattice corner: worst-case eccentricity
+
+	start := time.Now()
+	dist := repro.ShortestPaths(eng, src)
+	elapsed := time.Since(start)
+
+	reach, far := 0, float32(0)
+	for _, d := range dist {
+		if !math.IsInf(float64(d), 1) {
+			reach++
+			if d > far {
+				far = d
+			}
+		}
+	}
+	fmt.Printf("SSSP from corner: reached %d/%d vertices, max distance %.2f, in %v\n",
+		reach, g.NumVertices(), far, elapsed)
+
+	tel := eng.Telemetry()
+	fmt.Printf("frontier classes: %d dense, %d medium, %d sparse — road networks are sparse-dominated\n",
+		tel.DenseIters, tel.MediumIters, tel.SparseIters)
+
+	// Spot-check the triangle inequality on a few sampled edges.
+	violations := 0
+	for v := 0; v < g.NumVertices(); v += 97 {
+		for _, w := range g.OutNeighbors(repro.VID(v)) {
+			if dist[w] > dist[v]+repro.WeightOf(repro.VID(v), w)+1e-4 {
+				violations++
+			}
+		}
+	}
+	fmt.Printf("triangle-inequality violations in sample: %d (0 expected)\n", violations)
+}

@@ -1,0 +1,280 @@
+package algorithms
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/ligra"
+	"repro/internal/polymer"
+)
+
+// systemsUnder returns one instance of every engine configuration the
+// correctness suite must agree on, built over g (and its reverse where
+// needed).
+func systemsUnder(t *testing.T, g *graph.Graph) map[string][2]api.System {
+	t.Helper()
+	rg := g.Reverse()
+	out := map[string][2]api.System{
+		"ligra":    {ligra.New(g, 0), ligra.New(rg, 0)},
+		"polymer":  {polymer.New(g, polymer.Polymer(), 0), polymer.New(rg, polymer.Polymer(), 0)},
+		"ggv1":     {polymer.New(g, polymer.GGv1(), 0), polymer.New(rg, polymer.GGv1(), 0)},
+		"ggv2":     {core.NewEngine(g, core.Options{}), core.NewEngine(rg, core.Options{})},
+		"ggv2-p4":  {core.NewEngine(g, core.Options{Partitions: 4}), core.NewEngine(rg, core.Options{Partitions: 4})},
+		"ggv2-coo": {core.NewEngine(g, core.Options{Layout: core.LayoutCOO}), core.NewEngine(rg, core.Options{Layout: core.LayoutCOO})},
+		"ggv2-cooA": {
+			core.NewEngine(g, core.Options{Layout: core.LayoutCOO, ForceAtomics: true}),
+			core.NewEngine(rg, core.Options{Layout: core.LayoutCOO, ForceAtomics: true}),
+		},
+		"ggv2-csc": {core.NewEngine(g, core.Options{Layout: core.LayoutCSC}), core.NewEngine(rg, core.Options{Layout: core.LayoutCSC})},
+		"ggv2-csr": {core.NewEngine(g, core.Options{Layout: core.LayoutCSR}), core.NewEngine(rg, core.Options{Layout: core.LayoutCSR})},
+		"ggv2-t1":  {core.NewEngine(g, core.Options{Threads: 1}), core.NewEngine(rg, core.Options{Threads: 1})},
+	}
+	return out
+}
+
+func testGraphs() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"social": gen.TinySocial(),
+		"road":   gen.TinyRoad(),
+		"chain":  gen.Chain(64),
+		"star":   gen.Star(64),
+		"paper":  gen.PaperExample(),
+	}
+}
+
+func TestBFSAgreesWithSerial(t *testing.T) {
+	for gname, g := range testGraphs() {
+		src := SourceVertex(g)
+		want := SerialBFSDepths(g, src)
+		for sname, pair := range systemsUnder(t, g) {
+			res := BFS(pair[0], src)
+			got := BFSDepths(g, res.Parents, src)
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("%s/%s: BFS depth of %d = %d, want %d", gname, sname, v, got[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+func TestBFSParentsAreValidEdges(t *testing.T) {
+	g := gen.TinySocial()
+	src := SourceVertex(g)
+	for sname, pair := range systemsUnder(t, g) {
+		res := BFS(pair[0], src)
+		for v, p := range res.Parents {
+			if p < 0 || graph.VID(v) == src {
+				continue
+			}
+			if !graph.HasEdge(g, graph.VID(p), graph.VID(v)) {
+				t.Fatalf("%s: parent %d of %d is not an in-neighbour", sname, p, v)
+			}
+		}
+	}
+}
+
+func TestCCAgreesWithSerial(t *testing.T) {
+	for gname, g := range testGraphs() {
+		want := SerialCCLabels(g)
+		for sname, pair := range systemsUnder(t, g) {
+			res := CC(pair[0])
+			for v := range want {
+				if res.Labels[v] != want[v] {
+					t.Fatalf("%s/%s: CC label of %d = %d, want %d", gname, sname, v, res.Labels[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+func TestCCOnSymmetricGraphCountsComponents(t *testing.T) {
+	// Two disjoint symmetric cliques → exactly 2 components.
+	var edges []graph.Edge
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if i != j {
+				edges = append(edges, graph.Edge{Src: graph.VID(i), Dst: graph.VID(j)})
+				edges = append(edges, graph.Edge{Src: graph.VID(i + 5), Dst: graph.VID(j + 5)})
+			}
+		}
+	}
+	g := graph.FromEdges(10, edges)
+	res := CC(core.NewEngine(g, core.Options{}))
+	if n := NumComponents(res.Labels); n != 2 {
+		t.Fatalf("components = %d, want 2", n)
+	}
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestPRAgreesWithSerial(t *testing.T) {
+	for gname, g := range testGraphs() {
+		want := SerialPR(g, 10)
+		for sname, pair := range systemsUnder(t, g) {
+			res := PR(pair[0], 10)
+			if d := maxAbsDiff(res.Ranks, want); d > 1e-9 {
+				t.Fatalf("%s/%s: PR max diff %g", gname, sname, d)
+			}
+		}
+	}
+}
+
+func TestPRMassConserved(t *testing.T) {
+	g := gen.TinySocial()
+	res := PR(core.NewEngine(g, core.Options{}), 10)
+	var sum float64
+	for _, r := range res.Ranks {
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("PR mass = %v, want 1", sum)
+	}
+}
+
+func TestPRDeltaConvergesToPageRank(t *testing.T) {
+	for gname, g := range testGraphs() {
+		want := SerialPR(g, 60)
+		for sname, pair := range systemsUnder(t, g) {
+			res := PRDelta(pair[0], 200)
+			// PRDelta stops forwarding deltas below Eps2 (1%) of a
+			// vertex's rank; the truncation compounds along deep paths
+			// (chain graph), so compare with a 10% relative tolerance.
+			for v := range want {
+				if d := math.Abs(res.Ranks[v] - want[v]); d > 1e-4+0.10*want[v] {
+					t.Fatalf("%s/%s: PRDelta rank[%d]=%g, want %g (diff %g)",
+						gname, sname, v, res.Ranks[v], want[v], d)
+				}
+			}
+		}
+	}
+}
+
+func TestPRDeltaFrontierShrinks(t *testing.T) {
+	g := gen.TinySocial()
+	res := PRDelta(core.NewEngine(g, core.Options{}), 100)
+	if len(res.ActiveCounts) < 3 {
+		t.Fatalf("expected several iterations, got %d", len(res.ActiveCounts))
+	}
+	first, last := res.ActiveCounts[0], res.ActiveCounts[len(res.ActiveCounts)-1]
+	if last >= first {
+		t.Fatalf("active counts did not shrink: first=%d last=%d", first, last)
+	}
+}
+
+func TestSPMVAgreesWithSerial(t *testing.T) {
+	for gname, g := range testGraphs() {
+		want := SerialSPMV(g)
+		for sname, pair := range systemsUnder(t, g) {
+			res := SPMV(pair[0])
+			if d := maxAbsDiff(res.Y, want); d > 1e-9 {
+				t.Fatalf("%s/%s: SPMV max diff %g", gname, sname, d)
+			}
+		}
+	}
+}
+
+func TestBellmanFordAgreesWithDijkstra(t *testing.T) {
+	for gname, g := range testGraphs() {
+		src := SourceVertex(g)
+		want := SerialSSSP(g, src)
+		for sname, pair := range systemsUnder(t, g) {
+			res := BellmanFord(pair[0], src)
+			for v := range want {
+				w, got := want[v], res.Dist[v]
+				if math.IsInf(float64(w), 1) != math.IsInf(float64(got), 1) {
+					t.Fatalf("%s/%s: reachability of %d differs: %v vs %v", gname, sname, v, got, w)
+				}
+				if !math.IsInf(float64(w), 1) && math.Abs(float64(got-w)) > 1e-4 {
+					t.Fatalf("%s/%s: dist[%d] = %v, want %v", gname, sname, v, got, w)
+				}
+			}
+		}
+	}
+}
+
+func TestBCAgreesWithSerial(t *testing.T) {
+	for gname, g := range testGraphs() {
+		src := SourceVertex(g)
+		want := SerialBC(g, src)
+		for sname, pair := range systemsUnder(t, g) {
+			res := BC(pair[0], pair[1], src)
+			if d := maxAbsDiff(res.Scores, want); d > 1e-6 {
+				t.Fatalf("%s/%s: BC max diff %g", gname, sname, d)
+			}
+		}
+	}
+}
+
+func TestBPAgreesWithSerial(t *testing.T) {
+	for gname, g := range testGraphs() {
+		want := SerialBP(g, 10)
+		for sname, pair := range systemsUnder(t, g) {
+			res := BP(pair[0], 10)
+			if d := maxAbsDiff(res.Beliefs, want); d > 1e-6 {
+				t.Fatalf("%s/%s: BP max diff %g", gname, sname, d)
+			}
+		}
+	}
+}
+
+func TestBPBeliefsAreProbabilities(t *testing.T) {
+	g := gen.TinySocial()
+	res := BP(core.NewEngine(g, core.Options{}), 10)
+	for v, b := range res.Beliefs {
+		if b < 0 || b > 1 || math.IsNaN(b) {
+			t.Fatalf("belief[%d] = %v out of [0,1]", v, b)
+		}
+	}
+}
+
+func TestSpecsCoverTableII(t *testing.T) {
+	specs := AllSpecs()
+	if len(specs) != 8 {
+		t.Fatalf("want 8 algorithms, got %d", len(specs))
+	}
+	wantCodes := map[string]api.Direction{
+		"BC": api.DirBackward, "CC": api.DirBackward, "PR": api.DirBackward,
+		"BFS": api.DirBackward, "PRDelta": api.DirForward, "SPMV": api.DirForward,
+		"BF": api.DirForward, "BP": api.DirForward,
+	}
+	for _, s := range specs {
+		dir, ok := wantCodes[s.Code]
+		if !ok {
+			t.Fatalf("unexpected spec %q", s.Code)
+		}
+		if s.Dir != dir {
+			t.Fatalf("%s: direction %v, want %v (Table II)", s.Code, s.Dir, dir)
+		}
+	}
+}
+
+func TestAllSpecsRunOnAllEngines(t *testing.T) {
+	g := gen.TinySocial()
+	src := SourceVertex(g)
+	for sname, pair := range systemsUnder(t, g) {
+		for _, spec := range AllSpecs() {
+			spec.Run(pair[0], pair[1], src) // must not panic
+		}
+		_ = sname
+	}
+}
+
+func TestSourceVertexIsMaxOutDegree(t *testing.T) {
+	g := gen.Star(10)
+	if s := SourceVertex(g); s != 0 {
+		t.Fatalf("star source = %d, want 0", s)
+	}
+}

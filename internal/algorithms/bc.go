@@ -1,0 +1,85 @@
+package algorithms
+
+import (
+	"repro/internal/api"
+	"repro/internal/frontier"
+	"repro/internal/graph"
+)
+
+// BCResult holds single-source betweenness-centrality dependency scores
+// (Brandes' delta values) and the number of BFS levels processed.
+type BCResult struct {
+	Scores []float64
+	Levels int
+}
+
+// BC computes single-source betweenness centrality following Ligra's
+// two-phase structure (Table II: vertex-oriented, backward preference):
+// a forward phase counts shortest paths level by level, then a backward
+// phase propagates dependencies from the deepest level up. The backward
+// phase traverses edges in reverse, so it runs on rsys, an engine built
+// over the reversed graph (graph.Reverse is a cheap view swap; engines
+// rebuild their layouts for it, which mirrors the direction-reversing
+// storage of real frameworks).
+func BC(sys, rsys api.System, src graph.VID) BCResult {
+	g := sys.Graph()
+	n := g.NumVertices()
+	sigma := NewF64s(n, 0) // shortest-path counts
+	sigma.Set(src, 1)
+	depth := NewI32s(n, -1)
+	depth.Set(src, 0)
+	frozen := make([]float64, n)
+
+	fwd := api.EdgeOp{
+		Cond: func(v graph.VID) bool { return depth.Get(v) < 0 },
+		Update: func(u, v graph.VID) bool {
+			sigma.Add(v, frozen[u])
+			return true
+		},
+		UpdateAtomic: func(u, v graph.VID) bool {
+			sigma.AtomicAdd(v, frozen[u])
+			return true
+		},
+	}
+
+	levels := []*frontier.Frontier{frontier.FromVertex(g, src)}
+	for {
+		f := levels[len(levels)-1]
+		lvl := int32(len(levels))
+		sys.VertexMap(f, func(u graph.VID) { frozen[u] = sigma.Get(u) })
+		next := sys.EdgeMap(f, fwd, api.DirBackward)
+		if next.IsEmpty() {
+			break
+		}
+		// Claim depths after the EdgeMap: every vertex in next was
+		// unreached before this level, so the depth assignment is unique.
+		sys.VertexMap(next, func(v graph.VID) { depth.Set(v, lvl) })
+		levels = append(levels, next)
+	}
+
+	// Backward dependency accumulation: delta[u] += σ(u)/σ(v)·(1+delta[v])
+	// over tree/DAG edges u→v with depth(v) = depth(u)+1. Propagation
+	// flows v→u, i.e. along the reversed graph's edges.
+	delta := NewF64s(n, 0)
+	q := make([]float64, n) // frozen (1+delta[v])/σ(v) per level
+	for l := len(levels) - 1; l >= 1; l-- {
+		f := levels[l]
+		want := int32(l - 1)
+		rsys.VertexMap(f, func(v graph.VID) {
+			q[v] = (1 + delta.Get(v)) / sigma.Get(v)
+		})
+		bwd := api.EdgeOp{
+			Cond: func(u graph.VID) bool { return depth.Get(u) == want },
+			Update: func(v, u graph.VID) bool {
+				delta.Add(u, sigma.Get(u)*q[v])
+				return true
+			},
+			UpdateAtomic: func(v, u graph.VID) bool {
+				delta.AtomicAdd(u, sigma.Get(u)*q[v])
+				return true
+			},
+		}
+		rsys.EdgeMap(f, bwd, api.DirBackward)
+	}
+	return BCResult{Scores: delta.Slice(), Levels: len(levels)}
+}

@@ -1,0 +1,56 @@
+package algorithms
+
+import (
+	"math"
+
+	"repro/internal/api"
+	"repro/internal/frontier"
+	"repro/internal/graph"
+)
+
+// BFResult holds single-source shortest-path distances under the
+// deterministic positive edge weights of graph.WeightOf; unreachable
+// vertices hold +Inf. Rounds is the number of relaxation rounds.
+type BFResult struct {
+	Dist   []float32
+	Rounds int
+}
+
+// BellmanFord computes SSSP by frontier-driven relaxation (Table II:
+// vertex-oriented, forward preference). Weights are strictly positive so
+// the relaxation terminates in at most |V| rounds; the round cap guards
+// the invariant.
+//
+// Relaxation is synchronous per round: each active source's distance is
+// frozen before the EdgeMap so relaxations read stable values even while
+// other workers lower the same vertex's distance as a destination. A
+// source improved mid-round simply re-enters the frontier and forwards
+// the better value next round.
+func BellmanFord(sys api.System, src graph.VID) BFResult {
+	g := sys.Graph()
+	n := g.NumVertices()
+	dist := NewF32s(n, float32(math.Inf(1)))
+	dist.Set(src, 0)
+	frozen := make([]float32, n)
+
+	op := api.EdgeOp{
+		Update: func(u, v graph.VID) bool {
+			return dist.Min(v, frozen[u]+graph.WeightOf(u, v))
+		},
+		UpdateAtomic: func(u, v graph.VID) bool {
+			return dist.AtomicMin(v, frozen[u]+graph.WeightOf(u, v))
+		},
+	}
+
+	f := frontier.FromVertex(g, src)
+	rounds := 0
+	for !f.IsEmpty() {
+		sys.VertexMap(f, func(u graph.VID) { frozen[u] = dist.Get(u) })
+		f = sys.EdgeMap(f, op, api.DirForward)
+		rounds++
+		if rounds > n+1 {
+			panic("algorithms: Bellman-Ford failed to converge on positive weights")
+		}
+	}
+	return BFResult{Dist: dist.Slice(), Rounds: rounds}
+}

@@ -1,0 +1,78 @@
+package algorithms
+
+import (
+	"repro/internal/api"
+	"repro/internal/frontier"
+	"repro/internal/graph"
+)
+
+// BFSResult holds the parent array of a breadth-first search; Parents[v]
+// is -1 for unreached vertices and v's BFS parent otherwise (the source
+// is its own parent). Rounds is the number of EdgeMap iterations.
+type BFSResult struct {
+	Parents []int32
+	Rounds  int
+}
+
+// BFS runs breadth-first search from src. Table II classifies BFS as a
+// vertex-oriented algorithm with a backward dense-traversal preference,
+// which is the hint passed to baseline engines; GraphGrind-v2 ignores it.
+func BFS(sys api.System, src graph.VID) BFSResult {
+	g := sys.Graph()
+	n := g.NumVertices()
+	parents := NewI32s(n, -1)
+	parents.Set(src, int32(src))
+
+	op := api.EdgeOp{
+		Cond: func(v graph.VID) bool { return parents.Get(v) < 0 },
+		Update: func(u, v graph.VID) bool {
+			return parents.CompareAndSet(v, -1, int32(u))
+		},
+		UpdateAtomic: func(u, v graph.VID) bool {
+			return parents.AtomicCompareAndSet(v, -1, int32(u))
+		},
+	}
+
+	f := frontier.FromVertex(g, src)
+	rounds := 0
+	for !f.IsEmpty() {
+		f = sys.EdgeMap(f, op, api.DirBackward)
+		rounds++
+	}
+	return BFSResult{Parents: parents.Slice(), Rounds: rounds}
+}
+
+// BFSDepths converts a parent array into hop counts from the source (-1
+// when unreached), used by tests to compare against the serial oracle
+// (parent arrays themselves are not unique).
+func BFSDepths(g *graph.Graph, parents []int32, src graph.VID) []int32 {
+	n := g.NumVertices()
+	depth := make([]int32, n)
+	for i := range depth {
+		depth[i] = -1
+	}
+	depth[src] = 0
+	// Parents form a forest rooted at src; walk each chain memoising.
+	var walk func(v graph.VID) int32
+	walk = func(v graph.VID) int32 {
+		if depth[v] >= 0 {
+			return depth[v]
+		}
+		p := parents[v]
+		if p < 0 {
+			return -1
+		}
+		d := walk(graph.VID(p))
+		if d < 0 {
+			return -1
+		}
+		depth[v] = d + 1
+		return depth[v]
+	}
+	for v := 0; v < n; v++ {
+		if parents[v] >= 0 {
+			walk(graph.VID(v))
+		}
+	}
+	return depth
+}

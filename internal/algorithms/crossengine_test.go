@@ -1,0 +1,177 @@
+package algorithms
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/ligra"
+	"repro/internal/polymer"
+)
+
+// Cross-engine property tests: on randomly generated graphs, every
+// engine must agree with the serial oracle for every algorithm. This is
+// the broad-coverage counterpart to the fixed-fixture tests in
+// algorithms_test.go.
+
+// randomGraph deterministically expands fuzz bytes into a graph.
+func randomGraph(raw []uint16, nBits uint8) *graph.Graph {
+	n := 1 << (3 + nBits%6) // 8..256 vertices
+	edges := make([]graph.Edge, 0, len(raw)/2)
+	for i := 0; i+1 < len(raw); i += 2 {
+		edges = append(edges, graph.Edge{
+			Src: graph.VID(int(raw[i]) % n),
+			Dst: graph.VID(int(raw[i+1]) % n),
+		})
+	}
+	return graph.FromEdges(n, edges)
+}
+
+func enginesFor(g *graph.Graph) []api.System {
+	return []api.System{
+		core.NewEngine(g, core.Options{}),
+		core.NewEngine(g, core.Options{Layout: core.LayoutCOO}),
+		core.NewEngine(g, core.Options{Layout: core.LayoutCSC}),
+		ligra.New(g, 0),
+		polymer.New(g, polymer.GGv1(), 0),
+	}
+}
+
+func TestCrossEngineBFSProperty(t *testing.T) {
+	f := func(raw []uint16, nBits uint8) bool {
+		g := randomGraph(raw, nBits)
+		if g.NumEdges() == 0 {
+			return true
+		}
+		src := SourceVertex(g)
+		want := SerialBFSDepths(g, src)
+		for _, sys := range enginesFor(g) {
+			got := BFSDepths(g, BFS(sys, src).Parents, src)
+			for v := range want {
+				if got[v] != want[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossEngineCCProperty(t *testing.T) {
+	f := func(raw []uint16, nBits uint8) bool {
+		g := randomGraph(raw, nBits)
+		want := SerialCCLabels(g)
+		for _, sys := range enginesFor(g) {
+			got := CC(sys).Labels
+			for v := range want {
+				if got[v] != want[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossEngineSSSPProperty(t *testing.T) {
+	f := func(raw []uint16, nBits uint8) bool {
+		g := randomGraph(raw, nBits)
+		if g.NumEdges() == 0 {
+			return true
+		}
+		src := SourceVertex(g)
+		want := SerialSSSP(g, src)
+		for _, sys := range enginesFor(g) {
+			got := BellmanFord(sys, src).Dist
+			for v := range want {
+				wInf := math.IsInf(float64(want[v]), 1)
+				gInf := math.IsInf(float64(got[v]), 1)
+				if wInf != gInf {
+					return false
+				}
+				if !wInf && math.Abs(float64(got[v]-want[v])) > 1e-4 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossEngineSPMVProperty(t *testing.T) {
+	f := func(raw []uint16, nBits uint8) bool {
+		g := randomGraph(raw, nBits)
+		want := SerialSPMV(g)
+		for _, sys := range enginesFor(g) {
+			got := SPMV(sys).Y
+			for v := range want {
+				if math.Abs(got[v]-want[v]) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossEnginePRProperty(t *testing.T) {
+	f := func(raw []uint16, nBits uint8) bool {
+		g := randomGraph(raw, nBits)
+		want := SerialPR(g, 5)
+		for _, sys := range enginesFor(g) {
+			got := PR(sys, 5).Ranks
+			for v := range want {
+				if math.Abs(got[v]-want[v]) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossEngineBCProperty(t *testing.T) {
+	f := func(raw []uint16, nBits uint8) bool {
+		g := randomGraph(raw, nBits)
+		if g.NumEdges() == 0 {
+			return true
+		}
+		src := SourceVertex(g)
+		want := SerialBC(g, src)
+		rg := g.Reverse()
+		pairs := [][2]api.System{
+			{core.NewEngine(g, core.Options{}), core.NewEngine(rg, core.Options{})},
+			{ligra.New(g, 0), ligra.New(rg, 0)},
+		}
+		for _, pair := range pairs {
+			got := BC(pair[0], pair[1], src).Scores
+			for v := range want {
+				if math.Abs(got[v]-want[v]) > 1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

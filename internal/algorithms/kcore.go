@@ -1,0 +1,150 @@
+package algorithms
+
+import (
+	"repro/internal/api"
+	"repro/internal/frontier"
+	"repro/internal/graph"
+)
+
+// Algorithms beyond Table II. The paper's framework is Ligra-compatible,
+// so the classic Ligra applications run unchanged; KCore, MIS and Radii
+// are included to demonstrate API generality and exercise frontier
+// patterns the Table II set does not (peeling, priority tie-breaking,
+// bit-parallel multi-BFS).
+
+// KCoreResult holds per-vertex coreness: the largest k such that the
+// vertex survives in the k-core (the maximal subgraph of minimum degree
+// ≥ k). MaxCore is the graph's degeneracy.
+type KCoreResult struct {
+	Coreness []int32
+	MaxCore  int32
+	Rounds   int
+}
+
+// KCore computes coreness by iterative peeling, Ligra-style: for
+// k = 1, 2, … repeatedly remove vertices whose residual degree is below
+// k, propagating degree decrements along out-edges. Intended for
+// symmetric graphs (like Ligra's KCore); on directed input it peels by
+// out-degree-induced in-degree.
+func KCore(sys api.System) KCoreResult {
+	g := sys.Graph()
+	n := g.NumVertices()
+	deg := NewI32s(n, 0)
+	coreness := NewI32s(n, 0)
+	alive := make([]bool, n)
+	var remaining int64
+	for v := 0; v < n; v++ {
+		deg.Set(graph.VID(v), int32(g.InDegree(graph.VID(v))))
+		alive[v] = true
+	}
+	remaining = int64(n)
+
+	res := KCoreResult{Coreness: coreness.Slice()}
+	all := frontier.All(g)
+	for k := int32(1); remaining > 0; k++ {
+		// Peel every vertex whose degree dropped below k, cascading
+		// until the k-core is stable.
+		for {
+			peel := sys.VertexFilter(all, func(v graph.VID) bool {
+				return alive[v] && deg.Get(v) < k
+			})
+			if peel.IsEmpty() {
+				break
+			}
+			res.Rounds++
+			sys.VertexMap(peel, func(v graph.VID) {
+				alive[v] = false
+				coreness.Set(v, k-1)
+			})
+			remaining -= peel.Count()
+			dec := api.EdgeOp{
+				Cond: func(v graph.VID) bool { return alive[v] },
+				Update: func(u, v graph.VID) bool {
+					deg.Set(v, deg.Get(v)-1)
+					return true
+				},
+				UpdateAtomic: func(u, v graph.VID) bool {
+					// Negative counts are fine: the alive check guards.
+					addInt32(deg, v, -1)
+					return true
+				},
+			}
+			sys.EdgeMap(peel, dec, api.DirForward)
+		}
+		if remaining > 0 {
+			res.MaxCore = k
+		}
+	}
+	return res
+}
+
+// addInt32 atomically adds delta to element i.
+func addInt32(a *I32s, i graph.VID, delta int32) {
+	for {
+		old := a.Get(i)
+		if a.AtomicCompareAndSet(i, old, old+delta) {
+			return
+		}
+	}
+}
+
+// SerialKCore computes coreness with the Batagelj–Zaveršnik bucket
+// algorithm (O(V+E)) as the oracle: repeatedly extract a minimum-degree
+// vertex; its coreness is the running maximum of extraction degrees.
+func SerialKCore(g *graph.Graph) []int32 {
+	n := g.NumVertices()
+	deg := make([]int32, n)
+	var maxDeg int32
+	for v := 0; v < n; v++ {
+		deg[v] = int32(g.InDegree(graph.VID(v)))
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	// Bucket-sorted vertex order with position tracking so degree
+	// decrements can move vertices between buckets in O(1).
+	binStart := make([]int32, maxDeg+2)
+	for v := 0; v < n; v++ {
+		binStart[deg[v]+1]++
+	}
+	for d := int32(1); d <= maxDeg+1; d++ {
+		binStart[d] += binStart[d-1]
+	}
+	pos := make([]int32, n) // vertex → index in order
+	order := make([]graph.VID, n)
+	cursor := make([]int32, maxDeg+1)
+	copy(cursor, binStart[:maxDeg+1])
+	for v := 0; v < n; v++ {
+		pos[v] = cursor[deg[v]]
+		order[pos[v]] = graph.VID(v)
+		cursor[deg[v]]++
+	}
+	coreness := make([]int32, n)
+	removed := make([]bool, n)
+	cur := int32(0)
+	for i := 0; i < n; i++ {
+		v := order[i]
+		removed[v] = true
+		if deg[v] > cur {
+			cur = deg[v]
+		}
+		coreness[v] = cur
+		for _, w := range g.OutNeighbors(v) {
+			if removed[w] || deg[w] <= deg[v] {
+				continue
+			}
+			// Swap w with the first vertex of its current bucket, then
+			// shrink the bucket boundary and decrement.
+			dw := deg[w]
+			first := binStart[dw]
+			u := order[first]
+			if u != w {
+				order[first], order[pos[w]] = w, u
+				pos[u], pos[w] = pos[w], first
+			}
+			binStart[dw]++
+			deg[w]--
+		}
+	}
+	return coreness
+}

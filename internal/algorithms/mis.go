@@ -1,0 +1,118 @@
+package algorithms
+
+import (
+	"repro/internal/api"
+	"repro/internal/frontier"
+	"repro/internal/graph"
+)
+
+// MISResult holds a maximal independent set as a membership array.
+type MISResult struct {
+	InSet  []bool
+	Rounds int
+}
+
+// misPriority is the deterministic random priority used to break ties;
+// lower wins.
+func misPriority(v graph.VID) uint64 { return graph.Mix64(uint64(v) + 0x15ca1e) }
+
+// MIS computes a maximal independent set with Luby's algorithm over
+// deterministic priorities: a vertex joins the set when no undecided
+// neighbour has a lower priority, and its neighbours drop out. Intended
+// for symmetric graphs (independence is an undirected notion).
+func MIS(sys api.System) MISResult {
+	g := sys.Graph()
+	n := g.NumVertices()
+	const (
+		undecided int32 = 0
+		inSet     int32 = 1
+		outOfSet  int32 = 2
+	)
+	state := NewI32s(n, undecided)
+	// blocked[v] = 1 when an undecided in-neighbour with lower priority
+	// exists this round; rebuilt each round via EdgeMap. Stored as an
+	// atomic int array because the sparse path writes it from several
+	// workers (all writers store the same value).
+	blocked := NewI32s(n, 0)
+
+	mark := api.EdgeOp{
+		Cond: func(v graph.VID) bool { return state.Get(v) == undecided },
+		Update: func(u, v graph.VID) bool {
+			if misPriority(u) < misPriority(v) {
+				blocked.Set(v, 1)
+			}
+			return false
+		},
+		UpdateAtomic: func(u, v graph.VID) bool {
+			if misPriority(u) < misPriority(v) {
+				blocked.Set(v, 1)
+			}
+			return false
+		},
+	}
+	exclude := api.EdgeOp{
+		Cond: func(v graph.VID) bool { return state.Get(v) == undecided },
+		Update: func(u, v graph.VID) bool {
+			return state.CompareAndSet(v, undecided, outOfSet)
+		},
+		UpdateAtomic: func(u, v graph.VID) bool {
+			return state.AtomicCompareAndSet(v, undecided, outOfSet)
+		},
+	}
+
+	res := MISResult{}
+	all := frontier.All(g)
+	undecidedF := sys.VertexFilter(all, func(v graph.VID) bool { return true })
+	for !undecidedF.IsEmpty() {
+		res.Rounds++
+		sys.VertexMap(undecidedF, func(v graph.VID) { blocked.Set(v, 0) })
+		sys.EdgeMap(undecidedF, mark, api.DirForward)
+		// Winners: undecided and not blocked by any undecided neighbour.
+		winners := sys.VertexFilter(undecidedF, func(v graph.VID) bool {
+			return state.Get(v) == undecided && blocked.Get(v) == 0
+		})
+		sys.VertexMap(winners, func(v graph.VID) { state.Set(v, inSet) })
+		sys.EdgeMap(winners, exclude, api.DirForward)
+		undecidedF = sys.VertexFilter(undecidedF, func(v graph.VID) bool {
+			return state.Get(v) == undecided
+		})
+		if res.Rounds > n+1 {
+			panic("algorithms: MIS failed to converge")
+		}
+	}
+	out := make([]bool, n)
+	for v := 0; v < n; v++ {
+		out[v] = state.Get(graph.VID(v)) == inSet
+	}
+	return MISResult{InSet: out, Rounds: res.Rounds}
+}
+
+// VerifyMIS checks independence (no edge inside the set) and maximality
+// (every non-member has a member neighbour) on a symmetric graph.
+// Returns "" when valid, else a description of the violation.
+func VerifyMIS(g *graph.Graph, inSet []bool) string {
+	for v := 0; v < g.NumVertices(); v++ {
+		if inSet[v] {
+			for _, w := range g.OutNeighbors(graph.VID(v)) {
+				if int(w) != v && inSet[w] {
+					return "edge inside set"
+				}
+			}
+		} else {
+			covered := false
+			for _, w := range g.OutNeighbors(graph.VID(v)) {
+				if inSet[w] {
+					covered = true
+					break
+				}
+			}
+			if !covered && g.OutDegree(graph.VID(v)) > 0 {
+				return "non-member with no member neighbour"
+			}
+			if g.OutDegree(graph.VID(v)) == 0 {
+				return "isolated vertex excluded"
+			}
+		}
+	}
+	return ""
+}

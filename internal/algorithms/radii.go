@@ -1,0 +1,178 @@
+package algorithms
+
+import (
+	"sync/atomic"
+
+	"repro/internal/api"
+	"repro/internal/frontier"
+	"repro/internal/graph"
+)
+
+// RadiiResult holds per-vertex eccentricity estimates (lower bounds) from
+// the multi-source bit-parallel BFS, and the graph radius/diameter
+// estimates derived from them.
+type RadiiResult struct {
+	Ecc         []int32
+	DiameterEst int32
+	Rounds      int
+}
+
+// Radii estimates vertex eccentricities with Ligra's Radii approach: 64
+// BFS runs proceed simultaneously, one bit of a word per source, and a
+// vertex's estimate is the last round in which it acquired a new bit.
+// Sources are the 64 highest-out-degree vertices (deterministic), which
+// bound the estimate well on social graphs.
+func Radii(sys api.System) RadiiResult {
+	g := sys.Graph()
+	n := g.NumVertices()
+	if n == 0 {
+		return RadiiResult{}
+	}
+	visited := make([]uint64, n)
+	nextVisited := make([]uint64, n)
+	ecc := NewI32s(n, 0)
+
+	sources := topKByOutDegree(g, 64)
+	for i, s := range sources {
+		visited[s] |= 1 << uint(i)
+		nextVisited[s] |= 1 << uint(i)
+	}
+
+	var round int32
+	op := api.EdgeOp{
+		Update: func(u, v graph.VID) bool {
+			add := visited[u] &^ visited[v]
+			if add == 0 {
+				return false
+			}
+			// v is destination-exclusive here; plain RMW on its word.
+			old := atomic.LoadUint64(&nextVisited[v])
+			atomic.StoreUint64(&nextVisited[v], old|add)
+			changed := old|add != old
+			if changed {
+				ecc.Set(v, round)
+			}
+			return changed
+		},
+		UpdateAtomic: func(u, v graph.VID) bool {
+			add := visited[u] &^ visited[v]
+			if add == 0 {
+				return false
+			}
+			for {
+				old := atomic.LoadUint64(&nextVisited[v])
+				if old|add == old {
+					return false
+				}
+				if atomic.CompareAndSwapUint64(&nextVisited[v], old, old|add) {
+					ecc.Set(v, round)
+					return true
+				}
+			}
+		},
+	}
+
+	f := frontier.FromList(n, sources)
+	res := RadiiResult{}
+	for !f.IsEmpty() {
+		round++
+		f = sys.EdgeMap(f, op, api.DirForward)
+		// Commit this round's bits: visited ← nextVisited for changed
+		// vertices (copying all is simpler and race-free after the
+		// EdgeMap barrier).
+		sys.VertexMap(frontier.All(g), func(v graph.VID) {
+			visited[v] = atomic.LoadUint64(&nextVisited[v])
+		})
+		res.Rounds++
+		if res.Rounds > n+1 {
+			panic("algorithms: Radii failed to converge")
+		}
+	}
+	res.Ecc = ecc.Slice()
+	for _, e := range res.Ecc {
+		if e > res.DiameterEst {
+			res.DiameterEst = e
+		}
+	}
+	return res
+}
+
+// topKByOutDegree returns the k highest-out-degree vertices (ties to
+// lower IDs), at most n of them.
+func topKByOutDegree(g *graph.Graph, k int) []graph.VID {
+	n := g.NumVertices()
+	if k > n {
+		k = n
+	}
+	// Selection into a small array: k is 64, n can be large; simple
+	// partial selection is fine.
+	best := make([]vd, 0, k)
+	for v := 0; v < n; v++ {
+		d := g.OutDegree(graph.VID(v))
+		if len(best) < k {
+			best = append(best, vd{graph.VID(v), d})
+			if len(best) == k {
+				sortVD(best)
+			}
+			continue
+		}
+		if d > best[k-1].d {
+			best[k-1] = vd{graph.VID(v), d}
+			// Bubble up into place.
+			for i := k - 1; i > 0 && best[i].d > best[i-1].d; i-- {
+				best[i], best[i-1] = best[i-1], best[i]
+			}
+		}
+	}
+	if len(best) < k {
+		sortVD(best)
+	}
+	out := make([]graph.VID, len(best))
+	for i, b := range best {
+		out[i] = b.v
+	}
+	return out
+}
+
+type vd struct {
+	v graph.VID
+	d int64
+}
+
+func sortVD(a []vd) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j].d > a[j-1].d; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// SerialRadii runs the same 64-source BFS serially as oracle.
+func SerialRadii(g *graph.Graph) []int32 {
+	n := g.NumVertices()
+	ecc := make([]int32, n)
+	sources := topKByOutDegree(g, 64)
+	dist := make([]int32, n)
+	for i := range sources {
+		for j := range dist {
+			dist[j] = -1
+		}
+		src := sources[i]
+		dist[src] = 0
+		queue := []graph.VID{src}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.OutNeighbors(u) {
+				if dist[v] < 0 {
+					dist[v] = dist[u] + 1
+					if dist[v] > ecc[v] {
+						ecc[v] = dist[v]
+					}
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	return ecc
+}

@@ -1,0 +1,222 @@
+package algorithms
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Serial reference implementations used as oracles by the test suite.
+// They share the parallel versions' numeric conventions (weights,
+// damping, priors) but none of their code paths.
+
+// SerialBFSDepths returns hop counts from src over out-edges, -1 for
+// unreachable vertices.
+func SerialBFSDepths(g *graph.Graph, src graph.VID) []int32 {
+	n := g.NumVertices()
+	depth := make([]int32, n)
+	for i := range depth {
+		depth[i] = -1
+	}
+	depth[src] = 0
+	queue := []graph.VID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.OutNeighbors(u) {
+			if depth[v] < 0 {
+				depth[v] = depth[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return depth
+}
+
+// SerialCCLabels returns the label-propagation fixpoint along edge
+// direction: label[v] = min initial label over v and all vertices with a
+// directed path to v. Computed by repeated sweeps until stable.
+func SerialCCLabels(g *graph.Graph) []int32 {
+	n := g.NumVertices()
+	labels := make([]int32, n)
+	for i := range labels {
+		labels[i] = int32(i)
+	}
+	for changed := true; changed; {
+		changed = false
+		for u := 0; u < n; u++ {
+			lu := labels[u]
+			for _, v := range g.OutNeighbors(graph.VID(u)) {
+				if lu < labels[v] {
+					labels[v] = lu
+					changed = true
+				}
+			}
+		}
+	}
+	return labels
+}
+
+// SerialPR mirrors PR's power iteration exactly (same damping, dangling
+// redistribution and iteration count) in serial double precision.
+func SerialPR(g *graph.Graph, iters int) []float64 {
+	n := g.NumVertices()
+	if n == 0 {
+		return nil
+	}
+	ranks := make([]float64, n)
+	for i := range ranks {
+		ranks[i] = 1 / float64(n)
+	}
+	next := make([]float64, n)
+	for it := 0; it < iters; it++ {
+		var dangling float64
+		for i := range next {
+			next[i] = 0
+		}
+		for u := 0; u < n; u++ {
+			d := g.OutDegree(graph.VID(u))
+			if d == 0 {
+				dangling += ranks[u]
+				continue
+			}
+			c := ranks[u] / float64(d)
+			for _, v := range g.OutNeighbors(graph.VID(u)) {
+				next[v] += c
+			}
+		}
+		base := (1-Damping)/float64(n) + Damping*dangling/float64(n)
+		for v := range ranks {
+			ranks[v] = base + Damping*next[v]
+		}
+	}
+	return ranks
+}
+
+// SerialSPMV mirrors SPMV serially.
+func SerialSPMV(g *graph.Graph) []float64 {
+	n := g.NumVertices()
+	y := make([]float64, n)
+	for u := 0; u < n; u++ {
+		xu := SPMVInput(graph.VID(u))
+		for _, v := range g.OutNeighbors(graph.VID(u)) {
+			y[v] += float64(graph.WeightOf(graph.VID(u), v)) * xu
+		}
+	}
+	return y
+}
+
+// SerialSSSP computes exact shortest-path distances from src with
+// Dijkstra (weights are positive by construction).
+func SerialSSSP(g *graph.Graph, src graph.VID) []float32 {
+	n := g.NumVertices()
+	dist := make([]float32, n)
+	for i := range dist {
+		dist[i] = float32(math.Inf(1))
+	}
+	dist[src] = 0
+	pq := &vidHeap{items: []vidDist{{src, 0}}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(vidDist)
+		if it.d > dist[it.v] {
+			continue
+		}
+		for _, w := range g.OutNeighbors(it.v) {
+			nd := it.d + graph.WeightOf(it.v, w)
+			if nd < dist[w] {
+				dist[w] = nd
+				heap.Push(pq, vidDist{w, nd})
+			}
+		}
+	}
+	return dist
+}
+
+type vidDist struct {
+	v graph.VID
+	d float32
+}
+
+type vidHeap struct{ items []vidDist }
+
+func (h *vidHeap) Len() int           { return len(h.items) }
+func (h *vidHeap) Less(i, j int) bool { return h.items[i].d < h.items[j].d }
+func (h *vidHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *vidHeap) Push(x interface{}) { h.items = append(h.items, x.(vidDist)) }
+func (h *vidHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	x := old[n-1]
+	h.items = old[:n-1]
+	return x
+}
+
+// SerialBC is Brandes' single-source betweenness (unweighted) in serial
+// form, returning dependency scores matching BC.
+func SerialBC(g *graph.Graph, src graph.VID) []float64 {
+	n := g.NumVertices()
+	sigma := make([]float64, n)
+	depth := make([]int32, n)
+	for i := range depth {
+		depth[i] = -1
+	}
+	sigma[src] = 1
+	depth[src] = 0
+	order := []graph.VID{src}
+	for qi := 0; qi < len(order); qi++ {
+		u := order[qi]
+		for _, v := range g.OutNeighbors(u) {
+			if depth[v] < 0 {
+				depth[v] = depth[u] + 1
+				order = append(order, v)
+			}
+			if depth[v] == depth[u]+1 {
+				sigma[v] += sigma[u]
+			}
+		}
+	}
+	delta := make([]float64, n)
+	for i := len(order) - 1; i >= 0; i-- {
+		u := order[i]
+		for _, v := range g.OutNeighbors(u) {
+			if depth[v] == depth[u]+1 {
+				delta[u] += sigma[u] / sigma[v] * (1 + delta[v])
+			}
+		}
+	}
+	return delta
+}
+
+// SerialBP mirrors BP's message passing serially.
+func SerialBP(g *graph.Graph, iters int) []float64 {
+	n := g.NumVertices()
+	belief := make([]float64, n)
+	for v := range belief {
+		belief[v] = priorLogOdds(graph.VID(v))
+	}
+	frozen := make([]float64, n)
+	acc := make([]float64, n)
+	for it := 0; it < iters; it++ {
+		copy(frozen, belief)
+		for i := range acc {
+			acc[i] = 0
+		}
+		for u := 0; u < n; u++ {
+			fu := math.Tanh(frozen[u] / 2)
+			for _, v := range g.OutNeighbors(graph.VID(u)) {
+				j := float64(graph.WeightOf(graph.VID(u), v))
+				acc[v] += 2 * math.Atanh(math.Tanh(j/2)*fu)
+			}
+		}
+		for v := 0; v < n; v++ {
+			b := priorLogOdds(graph.VID(v)) + acc[v]
+			belief[v] = graph.ClampFinite(math.Max(-30, math.Min(30, b)), 0)
+		}
+	}
+	out := make([]float64, n)
+	for v := range out {
+		out[v] = 1 / (1 + math.Exp(-belief[v]))
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package algorithms
+
+import (
+	"repro/internal/api"
+	"repro/internal/graph"
+)
+
+// Spec is the Table II row for one algorithm: its identity, the dense
+// traversal direction the literature prescribes (the hint baselines
+// need), its vertex/edge orientation (the classification the paper
+// argues actually explains performance), and a uniform runner.
+type Spec struct {
+	Code         string
+	Description  string
+	Dir          api.Direction // Table II "Edge traversal" column
+	EdgeOriented bool          // Table II "V/E" column: true = E
+	NeedsReverse bool          // BC also traverses the reversed graph
+	Iterations   string        // fixed-iteration annotation from Table II
+	// Run executes the algorithm to completion. rsys is only consulted
+	// when NeedsReverse; src only by the rooted algorithms.
+	Run func(sys, rsys api.System, src graph.VID)
+}
+
+// AllSpecs returns the eight Table II algorithms in paper order.
+func AllSpecs() []Spec {
+	return []Spec{
+		{
+			Code: "BC", Description: "betweenness centrality",
+			Dir: api.DirBackward, EdgeOriented: false, NeedsReverse: true,
+			Run: func(sys, rsys api.System, src graph.VID) { BC(sys, rsys, src) },
+		},
+		{
+			Code: "CC", Description: "connected components via label propagation",
+			Dir: api.DirBackward, EdgeOriented: true,
+			Run: func(sys, _ api.System, _ graph.VID) { CC(sys) },
+		},
+		{
+			Code: "PR", Description: "PageRank power method", Iterations: "10 iterations",
+			Dir: api.DirBackward, EdgeOriented: true,
+			Run: func(sys, _ api.System, _ graph.VID) { PR(sys, 10) },
+		},
+		{
+			Code: "BFS", Description: "breadth-first search",
+			Dir: api.DirBackward, EdgeOriented: false,
+			Run: func(sys, _ api.System, src graph.VID) { BFS(sys, src) },
+		},
+		{
+			Code: "PRDelta", Description: "PageRank forwarding delta updates",
+			Dir: api.DirForward, EdgeOriented: true,
+			Run: func(sys, _ api.System, _ graph.VID) { PRDelta(sys, 60) },
+		},
+		{
+			Code: "SPMV", Description: "sparse matrix-vector multiplication", Iterations: "1 iteration",
+			Dir: api.DirForward, EdgeOriented: true,
+			Run: func(sys, _ api.System, _ graph.VID) { SPMV(sys) },
+		},
+		{
+			Code: "BF", Description: "Bellman-Ford single-source shortest paths",
+			Dir: api.DirForward, EdgeOriented: false,
+			Run: func(sys, _ api.System, src graph.VID) { BellmanFord(sys, src) },
+		},
+		{
+			Code: "BP", Description: "Bayesian belief propagation", Iterations: "10 iterations",
+			Dir: api.DirForward, EdgeOriented: true,
+			Run: func(sys, _ api.System, _ graph.VID) { BP(sys, 10) },
+		},
+	}
+}
+
+// SpecByCode returns the spec with the given code, or false.
+func SpecByCode(code string) (Spec, bool) {
+	for _, s := range AllSpecs() {
+		if s.Code == code {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// SourceVertex picks the deterministic root used by BFS/BC/BF in all
+// experiments: the vertex with the largest out-degree (ties to the
+// lowest ID), so traversals cover a large reachable set.
+func SourceVertex(g *graph.Graph) graph.VID {
+	var best graph.VID
+	var bestDeg int64 = -1
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.OutDegree(graph.VID(v)); d > bestDeg {
+			bestDeg = d
+			best = graph.VID(v)
+		}
+	}
+	return best
+}

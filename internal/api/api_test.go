@@ -1,0 +1,61 @@
+package api
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/frontier"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/sched"
+)
+
+func TestCondOfDefaultsTrue(t *testing.T) {
+	op := EdgeOp{}
+	if !op.CondOf()(3) {
+		t.Fatal("nil Cond should default to true")
+	}
+	op.Cond = func(v graph.VID) bool { return v == 1 }
+	if op.CondOf()(2) || !op.CondOf()(1) {
+		t.Fatal("explicit Cond not used")
+	}
+}
+
+func TestDirectionStrings(t *testing.T) {
+	if DirAuto.String() != "auto" || DirForward.String() != "forward" || DirBackward.String() != "backward" {
+		t.Fatal("direction strings")
+	}
+}
+
+func TestVertexMapVisitsExactlyActive(t *testing.T) {
+	g := gen.TinySocial()
+	pool := sched.NewPool(4)
+	f := frontier.FromList(g.NumVertices(), []graph.VID{1, 5, 9})
+	var count int64
+	VertexMap(pool, f, func(v graph.VID) {
+		if v != 1 && v != 5 && v != 9 {
+			t.Errorf("unexpected vertex %d", v)
+		}
+		atomic.AddInt64(&count, 1)
+	})
+	if count != 3 {
+		t.Fatalf("visited %d", count)
+	}
+	VertexMap(pool, frontier.New(10), func(graph.VID) { t.Error("visited empty frontier") })
+}
+
+func TestVertexFilterStats(t *testing.T) {
+	g := gen.Star(10)
+	pool := sched.NewPool(2)
+	f := VertexFilter(pool, g, frontier.All(g), func(v graph.VID) bool { return v < 2 })
+	if f.Count() != 2 {
+		t.Fatalf("count = %d", f.Count())
+	}
+	if f.OutDegree(g) != 9 { // vertex 0 (deg 9) + vertex 1 (deg 0)
+		t.Fatalf("outdeg = %d", f.OutDegree(g))
+	}
+	empty := VertexFilter(pool, g, frontier.All(g), func(graph.VID) bool { return false })
+	if !empty.IsEmpty() {
+		t.Fatal("filter-all-out not empty")
+	}
+}

@@ -1,0 +1,61 @@
+package api
+
+import (
+	"repro/internal/frontier"
+	"repro/internal/graph"
+	"repro/internal/sched"
+)
+
+// Shared VertexMap / VertexFilter implementations. All four engines use
+// identical vertex-wise operators; only EdgeMap differs between systems,
+// so the baselines and core both delegate here.
+
+// VertexMap applies fn to every active vertex of f using the pool.
+func VertexMap(pool *sched.Pool, f *frontier.Frontier, fn func(graph.VID)) {
+	if f.Count() == 0 {
+		return
+	}
+	// Dense frontiers iterate the bitmap by 64-vertex words to avoid
+	// materialising a list; sparse frontiers iterate the list directly.
+	list := f.List()
+	pool.ParallelFor(len(list), sched.DefaultChunk, func(i int) {
+		fn(list[i])
+	})
+}
+
+// VertexFilter returns the sub-frontier of f satisfying pred, with |F|
+// and Σ out-deg statistics filled from g.
+func VertexFilter(pool *sched.Pool, g *graph.Graph, f *frontier.Frontier, pred func(graph.VID) bool) *frontier.Frontier {
+	list := f.List()
+	if len(list) == 0 {
+		return frontier.New(g.NumVertices())
+	}
+	type acc struct {
+		verts  []graph.VID
+		outDeg int64
+	}
+	accs := make([]acc, pool.Threads())
+	pool.ParallelRange(len(list), func(w, lo, hi int) {
+		a := &accs[w]
+		for i := lo; i < hi; i++ {
+			v := list[i]
+			if pred(v) {
+				a.verts = append(a.verts, v)
+				a.outDeg += g.OutDegree(v)
+			}
+		}
+	})
+	var total int
+	var outDeg int64
+	for i := range accs {
+		total += len(accs[i].verts)
+		outDeg += accs[i].outDeg
+	}
+	merged := make([]graph.VID, 0, total)
+	for i := range accs {
+		merged = append(merged, accs[i].verts...)
+	}
+	nf := frontier.FromList(g.NumVertices(), merged)
+	nf.SetStats(int64(total), outDeg)
+	return nf
+}

@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/sched"
+)
+
+func TestReorderAblationShape(t *testing.T) {
+	// Big enough that the vertex arrays dwarf the adaptive LLC (1/8
+	// ratio); TinySocial fits in cache entirely and shows no effect.
+	g := gen.RMAT(15, 16, 0.57, 0.19, 0.19, 21)
+	fig := ReorderAblation("rmat15", g, []int{1, 48})
+	if len(fig.Series) != 4 {
+		t.Fatalf("want 4 strategies, got %d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		for _, y := range s.Y {
+			if y <= 0 || y > 1 {
+				t.Fatalf("%s: miss rate %v out of (0,1]", s.Name, y)
+			}
+		}
+	}
+	// Partitioning must help under every ordering: P=16 miss rate below
+	// P=1 for the identity order at least.
+	for _, s := range fig.Series {
+		if s.Name == "identity" && s.Y[1] >= s.Y[0] {
+			t.Fatalf("partitioning did not reduce identity-order misses: %v", s.Y)
+		}
+	}
+}
+
+func TestThresholdAblationPaperChoiceCompetitive(t *testing.T) {
+	g := gen.TinySocial()
+	fig := ThresholdAblation("tiny", g, 1, 2)
+	ys := fig.Series[0].Y
+	if len(ys) != 7 {
+		t.Fatalf("want 7 configs, got %d", len(ys))
+	}
+	// The paper's thresholds (config 0) should not be dramatically worse
+	// than the best config on this workload (generous 3x bound: the
+	// tiny graph makes timings noisy, we only guard against the adaptive
+	// engine being fundamentally mis-tuned).
+	best := ys[0]
+	for _, y := range ys {
+		if y < best {
+			best = y
+		}
+	}
+	if ys[0] > 3*best {
+		t.Fatalf("paper thresholds %.4fs vs best %.4fs", ys[0], best)
+	}
+}
+
+func TestBySourceAblationFlat(t *testing.T) {
+	g := gen.TinySocial()
+	fig := BySourceAblation("tiny", g, []int{1, 16, 64})
+	var dst, src *Series
+	for i := range fig.Series {
+		switch fig.Series[i].Name {
+		case "by-destination":
+			dst = &fig.Series[i]
+		case "by-source":
+			src = &fig.Series[i]
+		}
+	}
+	if dst == nil || src == nil {
+		t.Fatal("missing series")
+	}
+	// By-source mean distance is exactly constant in P.
+	for i := 1; i < len(src.Y); i++ {
+		if src.Y[i] != src.Y[0] {
+			t.Fatalf("by-source not flat: %v", src.Y)
+		}
+	}
+	// By-destination improves markedly by P=64.
+	if dst.Y[2] >= dst.Y[0]*0.8 {
+		t.Fatalf("by-destination did not contract: %v", dst.Y)
+	}
+}
+
+func TestNUMAFigureInvariants(t *testing.T) {
+	g := gen.TinySocial()
+	fig := NUMAFigure("tiny", g, []int{4, 16, 64}, sched.Topology{Domains: 4})
+	for _, s := range fig.Series {
+		for i, y := range s.Y {
+			if y < 0 || y > 1 {
+				t.Fatalf("%s: fraction %v out of [0,1]", s.Name, y)
+			}
+			if s.Name == "next-updates" && y != 1 {
+				t.Fatalf("next updates must be 100%% local at point %d, got %v", i, y)
+			}
+			if s.Name == "all-accesses" && y <= 0.5 {
+				t.Fatalf("local share %v must exceed 1/2", y)
+			}
+		}
+	}
+}

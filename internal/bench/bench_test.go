@@ -1,0 +1,236 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestFigureRender(t *testing.T) {
+	f := &Figure{
+		ID: "T", Title: "test", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Name: "a", X: []float64{1, 2}, Y: []float64{10, 20}},
+			{Name: "b", X: []float64{2, 3}, Y: []float64{30, 40}},
+		},
+		Notes: []string{"hello"},
+	}
+	out := f.Render()
+	for _, want := range []string{"== T: test ==", "a", "b", "note: hello", "10", "40"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// X=1 has no value for series b → a dash.
+	if !strings.Contains(out, "-") {
+		t.Fatal("missing placeholder for absent point")
+	}
+}
+
+func TestMedianTime(t *testing.T) {
+	d := MedianTime(3, func() { time.Sleep(time.Millisecond) })
+	if d < 500*time.Microsecond || d > 100*time.Millisecond {
+		t.Fatalf("median %v implausible", d)
+	}
+	if MedianTime(0, func() {}) < 0 {
+		t.Fatal("zero reps mishandled")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if Speedup(2*time.Second, time.Second) != 2 {
+		t.Fatal("speedup math")
+	}
+	if Speedup(time.Second, 0) != 0 {
+		t.Fatal("zero division")
+	}
+}
+
+func TestBuildSystemNames(t *testing.T) {
+	g := gen.TinySocial()
+	for _, name := range SystemNames() {
+		sys := BuildSystem(name, g, 16, 1)
+		if sys.Graph() != g {
+			t.Fatalf("%s: wrong graph", name)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown system should panic")
+		}
+	}()
+	BuildSystem("nope", g, 1, 1)
+}
+
+func TestTables(t *testing.T) {
+	t2 := Table2()
+	for _, code := range []string{"BC", "CC", "PR", "BFS", "PRDelta", "SPMV", "BF", "BP"} {
+		if !strings.Contains(t2, code) {
+			t.Fatalf("Table II missing %s", code)
+		}
+	}
+}
+
+func TestFig2ShowsContraction(t *testing.T) {
+	g := gen.TinySocial()
+	fig := Fig2(g, []int{1, 16})
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	// P=16's histogram must end at a lower bucket than P=1's.
+	if len(fig.Series[1].X) >= len(fig.Series[0].X) {
+		t.Fatalf("P=16 histogram (%d buckets) not narrower than P=1 (%d)",
+			len(fig.Series[1].X), len(fig.Series[0].X))
+	}
+}
+
+func TestFig3Monotone(t *testing.T) {
+	graphs := map[string]*graph.Graph{"tiny": gen.TinySocial()}
+	fig := Fig3(graphs, []int{2, 8, 32})
+	ys := fig.Series[0].Y
+	for i := 1; i < len(ys); i++ {
+		if ys[i]+1e-9 < ys[i-1] {
+			t.Fatalf("replication not monotone: %v", ys)
+		}
+	}
+}
+
+func TestFig4COOFlat(t *testing.T) {
+	g := gen.TinySocial()
+	fig := Fig4("tiny", g, []int{4, 64})
+	for _, s := range fig.Series {
+		if s.Name == "COO" && s.Y[0] != s.Y[1] {
+			t.Fatalf("COO storage not flat: %v", s.Y)
+		}
+		if s.Name == "CSR" && s.Y[1] <= s.Y[0] {
+			t.Fatalf("CSR storage not growing: %v", s.Y)
+		}
+	}
+}
+
+func TestFig5SmokeAndShape(t *testing.T) {
+	g := gen.TinySocial()
+	figs := Fig5("tiny", g, []string{"PR", "BFS"}, []int{4, 16}, 1, 2)
+	if len(figs) != 2 {
+		t.Fatalf("want 2 figures, got %d", len(figs))
+	}
+	for code, fig := range figs {
+		if len(fig.Series) != 4 {
+			t.Fatalf("%s: want 4 layout series, got %d", code, len(fig.Series))
+		}
+		for _, s := range fig.Series {
+			if len(s.Y) != 2 {
+				t.Fatalf("%s/%s: %d points", code, s.Name, len(s.Y))
+			}
+			for _, y := range s.Y {
+				if y <= 0 {
+					t.Fatalf("%s/%s: non-positive time", code, s.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestFig7SourceNormalisedToOne(t *testing.T) {
+	g := gen.TinySocial()
+	fig := Fig7("tiny", g, []string{"PR"}, 16, 1, 2)
+	for _, s := range fig.Series {
+		if s.Name == "source" {
+			if s.Y[0] != 1.0 {
+				t.Fatalf("source series should be exactly 1.0, got %v", s.Y[0])
+			}
+		}
+	}
+}
+
+func TestFig8SeriesComplete(t *testing.T) {
+	g := gen.TinySocial()
+	fig := Fig8("tiny", g, []int{4, 16})
+	if len(fig.Series) != 3 {
+		t.Fatalf("want PR/BF/BFS series, got %d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		for _, y := range s.Y {
+			if y <= 0 {
+				t.Fatalf("%s: MPKI %v", s.Name, y)
+			}
+		}
+	}
+}
+
+func TestFig9Smoke(t *testing.T) {
+	g := gen.TinySocial()
+	fig := Fig9("tiny", g, []string{"BFS", "SPMV"}, 16, 1, 2)
+	if len(fig.Series) != 4 {
+		t.Fatalf("want 4 systems, got %d", len(fig.Series))
+	}
+}
+
+func TestFig10Smoke(t *testing.T) {
+	g := gen.TinySocial()
+	fig := Fig10("tiny", g, []int{1, 2}, 16, 1)
+	for _, s := range fig.Series {
+		if len(s.Y) != 2 {
+			t.Fatalf("%s: %d points", s.Name, len(s.Y))
+		}
+	}
+}
+
+func TestAtomicsAblationSmoke(t *testing.T) {
+	g := gen.TinySocial()
+	fig := AtomicsAblation("tiny", g, []string{"PR"}, 16, 1, 2)
+	if len(fig.Series) != 2 || len(fig.Notes) != 1 {
+		t.Fatalf("unexpected shape: %d series, %d notes", len(fig.Series), len(fig.Notes))
+	}
+}
+
+func TestPartitionSweepIsMultiplesOf4(t *testing.T) {
+	for _, p := range PartitionSweep() {
+		if p%4 != 0 {
+			t.Fatalf("sweep value %d not a multiple of 4", p)
+		}
+	}
+}
+
+func TestFigureWriteCSV(t *testing.T) {
+	f := &Figure{
+		ID: "T", XLabel: "x",
+		Series: []Series{
+			{Name: "a", X: []float64{1, 2}, Y: []float64{10, 20}},
+			{Name: "b", X: []float64{2}, Y: []float64{30}},
+		},
+	}
+	var b strings.Builder
+	if err := f.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "x,a,b\n") {
+		t.Fatalf("header wrong: %q", out)
+	}
+	if !strings.Contains(out, "1,10,\n") {
+		t.Fatalf("missing empty cell for absent point: %q", out)
+	}
+	if !strings.Contains(out, "2,20,30\n") {
+		t.Fatalf("missing full row: %q", out)
+	}
+}
+
+func TestSpeedupSummary(t *testing.T) {
+	fig := &Figure{
+		Series: []Series{
+			{Name: "L", X: []float64{0, 1}, Y: []float64{2, 4}},
+			{Name: "GG-v2", X: []float64{0, 1}, Y: []float64{1, 2}},
+		},
+	}
+	out := SpeedupSummary(fig)
+	if !strings.Contains(out, "vs L") || !strings.Contains(out, "2.00") {
+		t.Fatalf("summary wrong: %q", out)
+	}
+	if SpeedupSummary(&Figure{}) != "" {
+		t.Fatal("missing GG-v2 should yield empty summary")
+	}
+}

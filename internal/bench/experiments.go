@@ -1,0 +1,391 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/hilbert"
+	"repro/internal/locality"
+	"repro/internal/partition"
+)
+
+// PartitionSweep is the paper's partition-count axis (Figures 3, 5, 8),
+// restricted to multiples of 4 as §III.D requires.
+func PartitionSweep() []int { return []int{4, 8, 12, 24, 48, 96, 192, 384, 480} }
+
+// Table1 renders the graph characterisation table over the Table I
+// preset substitutes, including the original datasets' sizes for
+// reference.
+func Table1() string {
+	var b strings.Builder
+	b.WriteString("== Table I: graphs (scaled substitutes; paper sizes in brackets) ==\n")
+	for _, p := range gen.Presets() {
+		g := p.Build()
+		s := graph.ComputeStats(p.Name, g)
+		fmt.Fprintf(&b, "%s  [paper: |V|=%s |E|=%s] kind=%s directed=%v\n",
+			s.String(), p.PaperVertices, p.PaperEdges, p.Kind, p.Directed)
+	}
+	return b.String()
+}
+
+// Table2 renders the algorithm characterisation table.
+func Table2() string {
+	var b strings.Builder
+	b.WriteString("== Table II: algorithms ==\n")
+	fmt.Fprintf(&b, "%-8s %-10s %-6s %s\n", "Code", "Traversal", "V/E", "Description")
+	for _, s := range algorithms.AllSpecs() {
+		ve := "V"
+		if s.EdgeOriented {
+			ve = "E"
+		}
+		desc := s.Description
+		if s.Iterations != "" {
+			desc += " (" + s.Iterations + ")"
+		}
+		fmt.Fprintf(&b, "%-8s %-10s %-6s %s\n", s.Code, s.Dir.String(), ve, desc)
+	}
+	return b.String()
+}
+
+// Fig2 reproduces the reuse-distance histograms of next-frontier updates
+// at each partition count: one series per P, X = log₂ distance bucket
+// upper bound, Y = frequency.
+func Fig2(g *graph.Graph, partitions []int) *Figure {
+	fig := &Figure{
+		ID:     "Fig2",
+		Title:  "reuse distance distribution of next-frontier updates (COO, partitioning-by-destination)",
+		XLabel: "distance<=",
+		YLabel: "frequency",
+	}
+	curves := locality.ReuseCurve(g, partitions)
+	for _, p := range partitions {
+		h := curves[p]
+		s := Series{Name: fmt.Sprintf("P=%d", p)}
+		for i := 0; i < h.NonEmpty(); i++ {
+			s.X = append(s.X, float64(int64(1)<<uint(i+1)-1))
+			s.Y = append(s.Y, float64(h.Buckets[i]))
+		}
+		fig.Series = append(fig.Series, s)
+		fig.Notes = append(fig.Notes,
+			fmt.Sprintf("P=%d: max distance %d, mean %.1f", p, h.MaxObserved(), h.Mean()))
+	}
+	return fig
+}
+
+// Fig3 reproduces the replication-factor curves: one series per graph,
+// X = partitions, Y = replication factor of the pruned CSR layout.
+func Fig3(graphs map[string]*graph.Graph, partitions []int) *Figure {
+	fig := &Figure{
+		ID:     "Fig3",
+		Title:  "replication factor vs number of partitions (partitioning-by-destination)",
+		XLabel: "partitions",
+		YLabel: "replication factor",
+	}
+	for name, g := range graphs {
+		s := Series{Name: name}
+		for _, p := range partitions {
+			pt := partition.ByDestination(g, p, partition.BalanceEdges)
+			s.X = append(s.X, float64(p))
+			s.Y = append(s.Y, partition.ReplicationFactor(g, pt))
+		}
+		fig.Series = append(fig.Series, s)
+		fig.Notes = append(fig.Notes, fmt.Sprintf("%s: worst case r(|V|)=%.1f",
+			name, partition.WorstCaseReplicationFactor(g)))
+	}
+	return fig
+}
+
+// Fig4 reproduces the storage-size curves for one graph: series per
+// layout, X = partitions, Y = modelled storage in MiB.
+func Fig4(name string, g *graph.Graph, partitions []int) *Figure {
+	fig := &Figure{
+		ID:     "Fig4",
+		Title:  fmt.Sprintf("graph storage size vs partitions (%s)", name),
+		XLabel: "partitions",
+		YLabel: "MiB",
+	}
+	curve := partition.Curve(g, partitions)
+	mk := func(label string, pick func(partition.ByteSizes) int64) {
+		s := Series{Name: label}
+		for _, c := range curve {
+			s.X = append(s.X, float64(c.P))
+			s.Y = append(s.Y, float64(pick(c))/(1<<20))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	mk("CSR", func(c partition.ByteSizes) int64 { return c.CSRUnpruned })
+	mk("CSR-pruned", func(c partition.ByteSizes) int64 { return c.CSRPruned })
+	mk("COO", func(c partition.ByteSizes) int64 { return c.COO })
+	mk("CSC", func(c partition.ByteSizes) int64 { return c.CSC })
+	return fig
+}
+
+// LayoutConfigs are the four configurations of Figures 5 and 6, in
+// legend order.
+func LayoutConfigs() []struct {
+	Name string
+	Opts core.Options
+} {
+	return []struct {
+		Name string
+		Opts core.Options
+	}{
+		{"CSR + a", core.Options{Layout: core.LayoutCSR}},
+		{"CSC + na", core.Options{Layout: core.LayoutCSC}},
+		{"COO + na", core.Options{Layout: core.LayoutCOO}},
+		{"COO + a", core.Options{Layout: core.LayoutCOO, ForceAtomics: true}},
+	}
+}
+
+// Fig5 reproduces the partition-count sweeps: for each algorithm, a
+// figure with one series per layout configuration, X = partitions,
+// Y = median execution seconds. Fig. 6 is the same experiment on the
+// small graphs, so it shares this implementation.
+func Fig5(gname string, g *graph.Graph, codes []string, partitions []int, reps, threads int) map[string]*Figure {
+	out := make(map[string]*Figure, len(codes))
+	for _, code := range codes {
+		out[code] = &Figure{
+			ID:     "Fig5/" + code,
+			Title:  fmt.Sprintf("%s on %s: execution time vs partitions per layout", code, gname),
+			XLabel: "partitions",
+			YLabel: "seconds",
+		}
+	}
+	rg := g.Reverse()
+	for _, lc := range LayoutConfigs() {
+		series := map[string]*Series{}
+		for _, code := range codes {
+			series[code] = &Series{Name: lc.Name}
+		}
+		for _, p := range partitions {
+			opts := lc.Opts
+			opts.Partitions = p
+			opts.Threads = threads
+			sys := core.NewEngine(g, opts)
+			var rsys *core.Engine
+			src := algorithms.SourceVertex(g)
+			for _, code := range codes {
+				spec, ok := algorithms.SpecByCode(code)
+				if !ok {
+					panic("bench: unknown algorithm " + code)
+				}
+				if spec.NeedsReverse && rsys == nil {
+					rsys = core.NewEngine(rg, opts)
+				}
+				d := MedianTime(reps, func() { spec.Run(sys, rsys, src) })
+				s := series[code]
+				s.X = append(s.X, float64(p))
+				s.Y = append(s.Y, Seconds(d))
+			}
+		}
+		for _, code := range codes {
+			out[code].Series = append(out[code].Series, *series[code])
+		}
+	}
+	return out
+}
+
+// Fig7 reproduces the edge sort-order comparison: COO partitions sorted
+// by source, Hilbert and destination order, times normalised to source
+// order. One series per order; X indexes the algorithm list (see notes).
+func Fig7(gname string, g *graph.Graph, codes []string, p, reps, threads int) *Figure {
+	fig := &Figure{
+		ID:     "Fig7",
+		Title:  fmt.Sprintf("edge sort order on %s (normalised to source order, P=%d)", gname, p),
+		XLabel: "algorithm#",
+		YLabel: "relative time",
+	}
+	orders := []hilbert.EdgeOrder{hilbert.BySource, hilbert.ByHilbert, hilbert.ByDestination}
+	times := make(map[hilbert.EdgeOrder][]time.Duration)
+	src := algorithms.SourceVertex(g)
+	for _, ord := range orders {
+		opts := core.Options{Partitions: p, Threads: threads, Layout: core.LayoutCOO, EdgeOrder: ord}
+		sys := core.NewEngine(g, opts)
+		var rsys *core.Engine
+		for _, code := range codes {
+			spec, _ := algorithms.SpecByCode(code)
+			if spec.NeedsReverse && rsys == nil {
+				rsys = core.NewEngine(g.Reverse(), opts)
+			}
+			d := MedianTime(reps, func() { spec.Run(sys, rsys, src) })
+			times[ord] = append(times[ord], d)
+		}
+	}
+	for _, ord := range orders {
+		s := Series{Name: ord.String()}
+		for i := range codes {
+			s.X = append(s.X, float64(i))
+			s.Y = append(s.Y, Speedup(times[ord][i], times[hilbert.BySource][i]))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	for i, code := range codes {
+		fig.Notes = append(fig.Notes, fmt.Sprintf("algorithm#%d = %s", i, code))
+	}
+	return fig
+}
+
+// Fig8 reproduces the MPKI curves: simulated LLC misses per kilo-
+// instruction for PR (dense COO), BF (partially-active COO) and BFS
+// (backward CSC), X = partitions.
+func Fig8(gname string, g *graph.Graph, partitions []int) *Figure {
+	fig := &Figure{
+		ID:     "Fig8",
+		Title:  fmt.Sprintf("simulated MPKI vs partitions (%s)", gname),
+		XLabel: "partitions",
+		YLabel: "MPKI",
+	}
+	cfg := locality.AdaptiveLLC(g.NumVertices())
+	kinds := []struct {
+		name   string
+		kind   locality.EdgeTraversalKind
+		active int
+	}{
+		{"PR", locality.KindCOOForward, 1},
+		{"BF", locality.KindCOOActive, 4},
+		{"BFS", locality.KindCSCBackward, 1},
+	}
+	for _, k := range kinds {
+		res := locality.MeasureMPKI(g, k.kind, k.active, partitions, cfg)
+		s := Series{Name: k.name}
+		for _, r := range res {
+			s.X = append(s.X, float64(r.Partitions))
+			s.Y = append(s.Y, r.MPKI)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// Fig9 reproduces the system comparison on one graph: one series per
+// system (L, P, GG-v1, GG-v2), X indexes the algorithm list, Y = median
+// seconds. ggPartitions is GG-v2's partition count (the paper uses 384).
+func Fig9(gname string, g *graph.Graph, codes []string, ggPartitions, reps, threads int) *Figure {
+	fig := &Figure{
+		ID:     "Fig9/" + gname,
+		Title:  fmt.Sprintf("system comparison on %s", gname),
+		XLabel: "algorithm#",
+		YLabel: "seconds",
+	}
+	src := algorithms.SourceVertex(g)
+	for _, name := range SystemNames() {
+		sys, rsys := SystemPair(name, g, ggPartitions, threads)
+		s := Series{Name: name}
+		for i, code := range codes {
+			spec, _ := algorithms.SpecByCode(code)
+			d := MedianTime(reps, func() { spec.Run(sys, rsys, src) })
+			s.X = append(s.X, float64(i))
+			s.Y = append(s.Y, Seconds(d))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	for i, code := range codes {
+		fig.Notes = append(fig.Notes, fmt.Sprintf("algorithm#%d = %s", i, code))
+	}
+	return fig
+}
+
+// SpeedupSummary derives, from a Fig9-style figure (series per system,
+// X = algorithm index), GG-v2's speedup factor over each baseline per
+// algorithm, appended to experiment output so EXPERIMENTS.md can quote
+// factors directly.
+func SpeedupSummary(fig *Figure) string {
+	var gg *Series
+	for i := range fig.Series {
+		if fig.Series[i].Name == "GG-v2" {
+			gg = &fig.Series[i]
+		}
+	}
+	if gg == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "speedup of GG-v2 (>1 means GG-v2 faster):\n")
+	for _, s := range fig.Series {
+		if s.Name == "GG-v2" {
+			continue
+		}
+		fmt.Fprintf(&b, "  vs %-6s", s.Name)
+		for i := range gg.X {
+			v, ok := s.lookup(gg.X[i])
+			if !ok || gg.Y[i] == 0 {
+				fmt.Fprintf(&b, " %6s", "-")
+				continue
+			}
+			fmt.Fprintf(&b, " %6.2f", v/gg.Y[i])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Fig10 reproduces the PRDelta thread-scalability comparison: one series
+// per system, X = threads, Y = median seconds.
+func Fig10(gname string, g *graph.Graph, threadCounts []int, ggPartitions, reps int) *Figure {
+	fig := &Figure{
+		ID:     "Fig10/" + gname,
+		Title:  fmt.Sprintf("PRDelta scalability on %s", gname),
+		XLabel: "threads",
+		YLabel: "seconds",
+	}
+	for _, name := range SystemNames() {
+		s := Series{Name: name}
+		for _, th := range threadCounts {
+			sys := BuildSystem(name, g, ggPartitions, th)
+			d := MedianTime(reps, func() { algorithms.PRDelta(sys, 60) })
+			s.X = append(s.X, float64(th))
+			s.Y = append(s.Y, Seconds(d))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// AtomicsAblation reproduces the §III.C claim (6.1%–23.7% speedup from
+// dropping atomics once every partition is thread-exclusive): COO+a vs
+// COO+na per algorithm at partition count p.
+func AtomicsAblation(gname string, g *graph.Graph, codes []string, p, reps, threads int) *Figure {
+	fig := &Figure{
+		ID:     "Atomics",
+		Title:  fmt.Sprintf("COO with vs without atomics on %s (P=%d)", gname, p),
+		XLabel: "algorithm#",
+		YLabel: "seconds",
+	}
+	src := algorithms.SourceVertex(g)
+	configs := []struct {
+		name  string
+		force bool
+	}{{"COO + a", true}, {"COO + na", false}}
+	var na, wa []time.Duration
+	for _, cfg := range configs {
+		opts := core.Options{Partitions: p, Threads: threads, Layout: core.LayoutCOO, ForceAtomics: cfg.force}
+		sys := core.NewEngine(g, opts)
+		var rsys *core.Engine
+		s := Series{Name: cfg.name}
+		for i, code := range codes {
+			spec, _ := algorithms.SpecByCode(code)
+			if spec.NeedsReverse && rsys == nil {
+				rsys = core.NewEngine(g.Reverse(), opts)
+			}
+			d := MedianTime(reps, func() { spec.Run(sys, rsys, src) })
+			s.X = append(s.X, float64(i))
+			s.Y = append(s.Y, Seconds(d))
+			if cfg.force {
+				wa = append(wa, d)
+			} else {
+				na = append(na, d)
+			}
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	for i, code := range codes {
+		fig.Notes = append(fig.Notes, fmt.Sprintf("algorithm#%d = %s: no-atomics speedup %.1f%%",
+			i, code, (Speedup(wa[i], na[i])-1)*100))
+	}
+	return fig
+}

@@ -1,0 +1,148 @@
+// Package bench is the experiment harness: it regenerates every table
+// and figure of the paper's evaluation (§IV) as formatted text, shared
+// by cmd/experiments and the root-level Go benchmarks. Each FigN
+// function returns a Figure whose series mirror the corresponding plot's
+// curves; absolute values differ from the paper (simulated substrate,
+// scaled graphs) but the shapes are comparable.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Series is one curve of a figure: parallel X/Y values.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is a rendered experiment: an identifier, axis labels, and a set
+// of series.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// Render formats the figure as an aligned text table: one row per X
+// value, one column per series.
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", f.ID, f.Title)
+	// Collect the union of X values in order.
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	fmt.Fprintf(&b, "%-12s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, " %14s", s.Name)
+	}
+	b.WriteString("\n")
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%-12g", x)
+		for _, s := range f.Series {
+			v, ok := s.lookup(x)
+			if !ok {
+				fmt.Fprintf(&b, " %14s", "-")
+			} else {
+				fmt.Fprintf(&b, " %14.4g", v)
+			}
+		}
+		b.WriteString("\n")
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func (s *Series) lookup(x float64) (float64, bool) {
+	for i, sx := range s.X {
+		if sx == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+// WriteCSV emits the figure as "x,series1,series2,..." rows (dash-free:
+// absent points are empty cells), for plotting outside the repo.
+func (f *Figure) WriteCSV(w io.Writer) error {
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	cols := []string{f.XLabel}
+	for _, s := range f.Series {
+		cols = append(cols, s.Name)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for _, x := range xs {
+		row := []string{strconv.FormatFloat(x, 'g', -1, 64)}
+		for _, s := range f.Series {
+			if v, ok := s.lookup(x); ok {
+				row = append(row, strconv.FormatFloat(v, 'g', 6, 64))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MedianTime runs fn reps times and returns the median wall time. The
+// paper averages 20 runs; experiments here default to fewer reps and the
+// median, which is robust to GC pauses on a shared machine.
+func MedianTime(reps int, fn func()) time.Duration {
+	if reps < 1 {
+		reps = 1
+	}
+	ds := make([]time.Duration, reps)
+	for i := range ds {
+		start := time.Now()
+		fn()
+		ds[i] = time.Since(start)
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds[reps/2]
+}
+
+// Seconds converts a duration to float seconds for series values.
+func Seconds(d time.Duration) float64 { return d.Seconds() }
+
+// Speedup returns base/other as a multiplicative factor.
+func Speedup(base, other time.Duration) float64 {
+	if other == 0 {
+		return 0
+	}
+	return float64(base) / float64(other)
+}

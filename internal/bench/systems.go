@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/ligra"
+	"repro/internal/polymer"
+)
+
+// SystemNames lists the four systems of Figure 9 in the paper's legend
+// order: Ligra (L), Polymer (P), GraphGrind-v1 (GG-v1) and
+// GraphGrind-v2 (GG-v2).
+func SystemNames() []string { return []string{"L", "P", "GG-v1", "GG-v2"} }
+
+// BuildSystem constructs the named system over g. partitions only
+// affects GG-v2 (the baselines fix their partition counts by design:
+// Ligra none, Polymer/GG-v1 one per NUMA domain). threads 0 means
+// GOMAXPROCS.
+func BuildSystem(name string, g *graph.Graph, partitions, threads int) api.System {
+	switch name {
+	case "L", "Ligra":
+		return ligra.New(g, threads)
+	case "P", "Polymer":
+		return polymer.New(g, polymer.Polymer(), threads)
+	case "GG-v1":
+		return polymer.New(g, polymer.GGv1(), threads)
+	case "GG-v2":
+		return core.NewEngine(g, core.Options{Partitions: partitions, Threads: threads})
+	default:
+		panic(fmt.Sprintf("bench: unknown system %q (have %v)", name, SystemNames()))
+	}
+}
+
+// SystemPair builds the forward system and, for algorithms that need it
+// (BC), the matching reverse system.
+func SystemPair(name string, g *graph.Graph, partitions, threads int) (fwd, rev api.System) {
+	return BuildSystem(name, g, partitions, threads),
+		BuildSystem(name, g.Reverse(), partitions, threads)
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/frontier"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// The engine's frontier sequences must be deterministic run to run even
+// under full parallelism: the set of activated vertices per round is a
+// pure function of graph + operator, and the non-atomic paths must not
+// lose updates to scheduling races (the bug class the 64-vertex boundary
+// alignment exists to prevent).
+func TestFrontierSequenceDeterministic(t *testing.T) {
+	g := gen.TinySocial()
+	run := func() []int64 {
+		e := NewEngine(g, Options{})
+		n := g.NumVertices()
+		parents := make([]int32, n)
+		for i := range parents {
+			parents[i] = -1
+		}
+		src := graph.VID(0)
+		parents[src] = int32(src)
+		op := api.EdgeOp{
+			Cond: func(v graph.VID) bool { return atomic.LoadInt32(&parents[v]) < 0 },
+			Update: func(u, v graph.VID) bool {
+				return atomic.CompareAndSwapInt32(&parents[v], -1, int32(u))
+			},
+			UpdateAtomic: func(u, v graph.VID) bool {
+				return atomic.CompareAndSwapInt32(&parents[v], -1, int32(u))
+			},
+		}
+		var sizes []int64
+		f := frontier.FromVertex(g, src)
+		for !f.IsEmpty() {
+			f = e.EdgeMap(f, op, api.DirAuto)
+			sizes = append(sizes, f.Count())
+		}
+		return sizes
+	}
+	want := run()
+	for i := 0; i < 10; i++ {
+		got := run()
+		if len(got) != len(want) {
+			t.Fatalf("run %d: %d rounds vs %d", i, len(got), len(want))
+		}
+		for r := range want {
+			if got[r] != want[r] {
+				t.Fatalf("run %d round %d: frontier %d vs %d", i, r, got[r], want[r])
+			}
+		}
+	}
+}

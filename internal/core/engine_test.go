@@ -1,0 +1,288 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/frontier"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/hilbert"
+	"repro/internal/trace"
+)
+
+// countingOp returns an op that counts edge applications and activates
+// every destination once.
+func countingOp(n int) (api.EdgeOp, *int64) {
+	var edges int64
+	seen := make([]int32, n)
+	return api.EdgeOp{
+		Update: func(u, v graph.VID) bool {
+			atomic.AddInt64(&edges, 1)
+			return atomic.CompareAndSwapInt32(&seen[v], 0, 1)
+		},
+		UpdateAtomic: func(u, v graph.VID) bool {
+			atomic.AddInt64(&edges, 1)
+			return atomic.CompareAndSwapInt32(&seen[v], 0, 1)
+		},
+	}, &edges
+}
+
+func TestEdgeMapVisitsEveryActiveEdgeOnce(t *testing.T) {
+	g := gen.TinySocial()
+	for _, opts := range []Options{
+		{},
+		{Layout: LayoutCOO},
+		{Layout: LayoutCOO, ForceAtomics: true},
+		{Layout: LayoutCSC},
+		{Layout: LayoutCSR},
+		{Partitions: 4},
+		{Threads: 1},
+	} {
+		e := NewEngine(g, opts)
+		op, edges := countingOp(g.NumVertices())
+		e.EdgeMap(frontier.All(g), op, api.DirAuto)
+		if *edges != g.NumEdges() {
+			t.Fatalf("opts %+v: applied %d edges, want %d", opts, *edges, g.NumEdges())
+		}
+	}
+}
+
+func TestEdgeMapEmptyFrontier(t *testing.T) {
+	g := gen.TinySocial()
+	e := NewEngine(g, Options{})
+	op, edges := countingOp(g.NumVertices())
+	out := e.EdgeMap(frontier.New(g.NumVertices()), op, api.DirAuto)
+	if !out.IsEmpty() || *edges != 0 {
+		t.Fatal("empty frontier traversed")
+	}
+}
+
+func TestEdgeMapCondFilters(t *testing.T) {
+	g := gen.Star(100)
+	e := NewEngine(g, Options{})
+	var applied int64
+	op := api.EdgeOp{
+		Cond:         func(v graph.VID) bool { return v%2 == 0 },
+		Update:       func(u, v graph.VID) bool { atomic.AddInt64(&applied, 1); return true },
+		UpdateAtomic: func(u, v graph.VID) bool { atomic.AddInt64(&applied, 1); return true },
+	}
+	out := e.EdgeMap(frontier.FromVertex(g, 0), op, api.DirAuto)
+	// Destinations 2,4,...,98 pass Cond (vertex 0 has no in-edge).
+	if out.Count() != 49 {
+		t.Fatalf("next frontier %d, want 49", out.Count())
+	}
+	if applied != 49 {
+		t.Fatalf("applied %d, want 49", applied)
+	}
+}
+
+func TestNextFrontierStatsAccurate(t *testing.T) {
+	g := gen.TinySocial()
+	for _, layout := range []Layout{LayoutAuto, LayoutCOO, LayoutCSC, LayoutCSR} {
+		e := NewEngine(g, Options{Layout: layout})
+		op, _ := countingOp(g.NumVertices())
+		out := e.EdgeMap(frontier.All(g), op, api.DirAuto)
+		var wantCount, wantDeg int64
+		list := out.List()
+		wantCount = int64(len(list))
+		for _, v := range list {
+			wantDeg += g.OutDegree(v)
+		}
+		if out.Count() != wantCount {
+			t.Fatalf("layout %v: count %d vs list %d", layout, out.Count(), wantCount)
+		}
+		if out.OutDegree(g) != wantDeg {
+			t.Fatalf("layout %v: outdeg %d vs recomputed %d", layout, out.OutDegree(g), wantDeg)
+		}
+	}
+}
+
+func TestAutoDecisionUsesAllThreeClasses(t *testing.T) {
+	// A BFS-like workload on a social graph passes through sparse,
+	// medium and dense frontiers; the telemetry must see all three.
+	g := gen.TinySocial()
+	e := NewEngine(g, Options{})
+	parents := make([]int32, g.NumVertices())
+	for i := range parents {
+		parents[i] = -1
+	}
+	src := graph.VID(0)
+	var maxV graph.VID
+	var maxD int64
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.OutDegree(graph.VID(v)); d > maxD {
+			maxD, maxV = d, graph.VID(v)
+		}
+	}
+	src = maxV
+	parents[src] = int32(src)
+	op := api.EdgeOp{
+		Cond: func(v graph.VID) bool { return atomic.LoadInt32(&parents[v]) < 0 },
+		Update: func(u, v graph.VID) bool {
+			return atomic.CompareAndSwapInt32(&parents[v], -1, int32(u))
+		},
+		UpdateAtomic: func(u, v graph.VID) bool {
+			return atomic.CompareAndSwapInt32(&parents[v], -1, int32(u))
+		},
+	}
+	f := frontier.FromVertex(g, src)
+	for !f.IsEmpty() {
+		f = e.EdgeMap(f, op, api.DirAuto)
+	}
+	tel := e.Telemetry()
+	if tel.SparseIters == 0 || tel.MediumIters == 0 || tel.DenseIters == 0 {
+		t.Fatalf("expected all three classes, got %s", tel.String())
+	}
+	if tel.Total() != tel.SparseIters+tel.MediumIters+tel.DenseIters {
+		t.Fatal("telemetry total inconsistent")
+	}
+}
+
+func TestForcedLayoutTelemetry(t *testing.T) {
+	g := gen.TinySocial()
+	e := NewEngine(g, Options{Layout: LayoutCSC})
+	op, _ := countingOp(g.NumVertices())
+	e.EdgeMap(frontier.All(g), op, api.DirAuto)
+	tel := e.Telemetry()
+	if tel.MediumIters != 1 || tel.Total() != 1 {
+		t.Fatalf("forced CSC telemetry: %s", tel.String())
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	g := gen.TinySocial()
+	e := NewEngine(g, Options{})
+	o := e.Options()
+	if o.Partitions%o.Topology.Domains != 0 {
+		t.Fatalf("partitions %d not a multiple of domains %d", o.Partitions, o.Topology.Domains)
+	}
+	if o.SparseDiv != 20 || o.DenseDiv != 2 {
+		t.Fatalf("thresholds %d/%d", o.SparseDiv, o.DenseDiv)
+	}
+	if e.Name() != "GG-v2" {
+		t.Fatal("name")
+	}
+	if e.Graph() != g {
+		t.Fatal("graph accessor")
+	}
+}
+
+func TestCustomThresholds(t *testing.T) {
+	g := gen.TinySocial()
+	// With DenseDiv enormous, everything classifies at most medium; with
+	// SparseDiv = 1 nothing is sparse.
+	e := NewEngine(g, Options{SparseDiv: 1000000, DenseDiv: 1000000})
+	op, _ := countingOp(g.NumVertices())
+	e.EdgeMap(frontier.FromVertex(g, 0), op, api.DirAuto)
+	if tel := e.Telemetry(); tel.DenseIters != 1 {
+		t.Fatalf("tiny frontier with huge divisors should be dense: %s", tel.String())
+	}
+}
+
+func TestEdgeOrderOptionPreservesResults(t *testing.T) {
+	g := gen.TinySocial()
+	var outs []int64
+	for _, ord := range []hilbert.EdgeOrder{hilbert.BySource, hilbert.ByDestination, hilbert.ByHilbert} {
+		e := NewEngine(g, Options{Layout: LayoutCOO, EdgeOrder: ord})
+		op, edges := countingOp(g.NumVertices())
+		out := e.EdgeMap(frontier.All(g), op, api.DirAuto)
+		if *edges != g.NumEdges() {
+			t.Fatalf("order %v lost edges", ord)
+		}
+		outs = append(outs, out.Count())
+	}
+	if outs[0] != outs[1] || outs[1] != outs[2] {
+		t.Fatalf("edge order changed next frontier: %v", outs)
+	}
+}
+
+func TestVertexMapAndFilter(t *testing.T) {
+	g := gen.TinySocial()
+	e := NewEngine(g, Options{})
+	var visits int64
+	e.VertexMap(frontier.All(g), func(graph.VID) { atomic.AddInt64(&visits, 1) })
+	if visits != int64(g.NumVertices()) {
+		t.Fatalf("visited %d, want %d", visits, g.NumVertices())
+	}
+	f := e.VertexFilter(frontier.All(g), func(v graph.VID) bool { return v < 10 })
+	if f.Count() != 10 {
+		t.Fatalf("filtered %d, want 10", f.Count())
+	}
+	var wantDeg int64
+	for v := graph.VID(0); v < 10; v++ {
+		wantDeg += g.OutDegree(v)
+	}
+	if f.OutDegree(g) != wantDeg {
+		t.Fatalf("filter stats: %d vs %d", f.OutDegree(g), wantDeg)
+	}
+}
+
+func TestLayoutStrings(t *testing.T) {
+	if LayoutAuto.String() != "auto" || LayoutCSR.String() != "CSR" ||
+		LayoutCSC.String() != "CSC" || LayoutCOO.String() != "COO" {
+		t.Fatal("layout strings")
+	}
+}
+
+func TestTopologyRoundingOfPartitions(t *testing.T) {
+	g := gen.TinySocial()
+	e := NewEngine(g, Options{Partitions: 5})
+	if e.Options().Partitions != 8 {
+		t.Fatalf("partitions = %d, want 8 (rounded to 4-domain multiple)", e.Options().Partitions)
+	}
+}
+
+// Concurrent EdgeMap calls on one engine must not interfere: layouts are
+// read-only after construction and all per-call state is local.
+func TestConcurrentEdgeMapsSafe(t *testing.T) {
+	g := gen.TinySocial()
+	e := NewEngine(g, Options{})
+	done := make(chan int64, 4)
+	for w := 0; w < 4; w++ {
+		go func() {
+			op, edges := countingOp(g.NumVertices())
+			e.EdgeMap(frontier.All(g), op, api.DirAuto)
+			done <- *edges
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		if got := <-done; got != g.NumEdges() {
+			t.Fatalf("concurrent EdgeMap applied %d edges, want %d", got, g.NumEdges())
+		}
+	}
+}
+
+func TestTraceOptionRecordsEvents(t *testing.T) {
+	g := gen.TinySocial()
+	rec := trace.New()
+	e := NewEngine(g, Options{Trace: rec})
+	op, _ := countingOp(g.NumVertices())
+	e.EdgeMap(frontier.All(g), op, api.DirAuto)
+	e.EdgeMap(frontier.FromVertex(g, 0), op, api.DirAuto)
+	if rec.Len() != 2 {
+		t.Fatalf("trace events = %d, want 2", rec.Len())
+	}
+	ev := rec.Events()
+	if ev[0].FrontierSz != int64(g.NumVertices()) {
+		t.Fatalf("event 0 frontier = %d", ev[0].FrontierSz)
+	}
+	if ev[0].Class != "dense" {
+		t.Fatalf("event 0 class = %q", ev[0].Class)
+	}
+	if ev[1].Duration <= 0 {
+		t.Fatal("event 1 missing duration")
+	}
+}
+
+func TestTraceForcedLayoutLabels(t *testing.T) {
+	g := gen.TinySocial()
+	rec := trace.New()
+	e := NewEngine(g, Options{Trace: rec, Layout: LayoutCOO})
+	op, _ := countingOp(g.NumVertices())
+	e.EdgeMap(frontier.All(g), op, api.DirAuto)
+	if ev := rec.Events(); len(ev) != 1 || ev[0].Class != "forced-COO" {
+		t.Fatalf("events: %+v", rec.Events())
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"repro/internal/graph"
+	"repro/internal/sched"
+)
+
+// The paper leaves the partitioning degree as a hidden parameter and
+// notes (§IV.G) that "it would be convenient to determine [it]
+// heuristically". This file provides that heuristic, derived from the
+// paper's own locality argument: a partition's random accesses are
+// confined to its vertex range, so the per-partition slice of the next
+// arrays should fit in the cache level being targeted, while the count
+// stays at least one per thread (for atomic-free updates), a multiple of
+// the NUMA domain count (§III.D), and below the point where scheduling
+// overhead dominates (the paper observes degradation at 480).
+
+// HeuristicConfig tunes HeuristicPartitions.
+type HeuristicConfig struct {
+	// CacheBytes is the per-core cache budget the partition's vertex
+	// slice should fit in; 0 selects 256 KiB (half a typical L2).
+	CacheBytes int64
+	// BytesPerVertex is the next-array payload per vertex; 0 selects 8
+	// (a frontier bit plus a float64 accumulator is the common case).
+	BytesPerVertex int64
+	// MaxPartitions caps the result; 0 selects 480, where the paper
+	// observed scheduling overhead overtaking locality gains.
+	MaxPartitions int
+	// Threads and Topology mirror Options; zero values use defaults.
+	Threads  int
+	Topology sched.Topology
+}
+
+// HeuristicPartitions picks a partition count for g per the rules above.
+func HeuristicPartitions(g *graph.Graph, cfg HeuristicConfig) int {
+	if cfg.CacheBytes <= 0 {
+		cfg.CacheBytes = 256 << 10
+	}
+	if cfg.BytesPerVertex <= 0 {
+		cfg.BytesPerVertex = 8
+	}
+	if cfg.MaxPartitions <= 0 {
+		cfg.MaxPartitions = 480
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = sched.NewPool(0).Threads()
+	}
+	if cfg.Topology.Domains <= 0 {
+		cfg.Topology = sched.DefaultTopology()
+	}
+
+	footprint := int64(g.NumVertices()) * cfg.BytesPerVertex
+	p := int((footprint + cfg.CacheBytes - 1) / cfg.CacheBytes)
+	if p < cfg.Threads {
+		p = cfg.Threads // one partition per thread enables the na path
+	}
+	p = cfg.Topology.PartitionsFor(p)
+	if p > cfg.MaxPartitions {
+		// Keep the domain multiple while clamping.
+		p = cfg.MaxPartitions - cfg.MaxPartitions%cfg.Topology.Domains
+		if p <= 0 {
+			p = cfg.Topology.Domains
+		}
+	}
+	return p
+}
+
+// NewEngineAuto builds an engine with the heuristic partition count.
+func NewEngineAuto(g *graph.Graph, opts Options) *Engine {
+	if opts.Partitions <= 0 {
+		opts.Partitions = HeuristicPartitions(g, HeuristicConfig{
+			Threads:  opts.Threads,
+			Topology: opts.Topology,
+		})
+	}
+	return NewEngine(g, opts)
+}

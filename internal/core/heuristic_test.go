@@ -1,0 +1,60 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/sched"
+)
+
+func TestHeuristicPartitionsScalesWithGraph(t *testing.T) {
+	small := gen.Chain(1 << 10)
+	big := gen.Chain(1 << 21)
+	cfg := HeuristicConfig{Threads: 8, Topology: sched.Topology{Domains: 4}}
+	ps := HeuristicPartitions(small, cfg)
+	pb := HeuristicPartitions(big, cfg)
+	if pb <= ps {
+		t.Fatalf("bigger graph got fewer partitions: %d vs %d", pb, ps)
+	}
+}
+
+func TestHeuristicRespectsFloorAndCap(t *testing.T) {
+	cfg := HeuristicConfig{Threads: 16, Topology: sched.Topology{Domains: 4}}
+	// Tiny graph: floor at one partition per thread, domain-rounded.
+	p := HeuristicPartitions(gen.Chain(64), cfg)
+	if p < 16 || p%4 != 0 {
+		t.Fatalf("floor violated: %d", p)
+	}
+	// Huge vertex count with a tiny cache budget: capped at 480.
+	cfg.CacheBytes = 1 << 10
+	p = HeuristicPartitions(gen.Chain(1<<20), cfg)
+	if p > 480 || p%4 != 0 {
+		t.Fatalf("cap violated: %d", p)
+	}
+}
+
+func TestHeuristicPerPartitionFootprint(t *testing.T) {
+	g := gen.Chain(1 << 18)
+	cfg := HeuristicConfig{CacheBytes: 64 << 10, BytesPerVertex: 8,
+		Threads: 4, Topology: sched.Topology{Domains: 4}}
+	p := HeuristicPartitions(g, cfg)
+	perPart := int64(g.NumVertices()) * 8 / int64(p)
+	if perPart > 64<<10 {
+		t.Fatalf("per-partition footprint %d exceeds cache budget", perPart)
+	}
+}
+
+func TestNewEngineAuto(t *testing.T) {
+	g := gen.TinySocial()
+	e := NewEngineAuto(g, Options{Threads: 4})
+	if e.Options().Partitions < 4 {
+		t.Fatalf("auto engine partitions = %d", e.Options().Partitions)
+	}
+	// Explicit partitions win over the heuristic.
+	e2 := NewEngineAuto(g, Options{Partitions: 8, Threads: 4})
+	if e2.Options().Partitions != 8 {
+		t.Fatalf("explicit partitions overridden: %d", e2.Options().Partitions)
+	}
+	var _ *graph.Graph = e.Graph()
+}

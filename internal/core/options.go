@@ -1,0 +1,114 @@
+// Package core implements the paper's primary contribution: the
+// GraphGrind-v2 traversal engine. It stores three graph layouts —
+// unpartitioned CSR for sparse frontiers, unpartitioned CSC traversed in
+// partitioned computation ranges for medium-dense frontiers, and an
+// aggressively partitioned COO for dense frontiers — and dispatches each
+// EdgeMap through Algorithm 2's density thresholds. With one worker per
+// partition the COO and CSC paths update every destination from exactly
+// one goroutine, so they run without hardware atomics.
+package core
+
+import (
+	"runtime"
+
+	"repro/internal/hilbert"
+	"repro/internal/partition"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// Layout forces a single traversal layout for every EdgeMap, used by the
+// Figure 5/6 sweeps. LayoutAuto is the paper's Algorithm 2.
+type Layout int
+
+const (
+	// LayoutAuto selects per-iteration via the density thresholds.
+	LayoutAuto Layout = iota
+	// LayoutCSR always traverses the partitioned pruned CSR forward
+	// (with atomics — the paper's "CSR + a" configuration).
+	LayoutCSR
+	// LayoutCSC always traverses the whole-graph CSC backward over
+	// partitioned ranges ("CSC + na").
+	LayoutCSC
+	// LayoutCOO always traverses the partitioned COO ("COO + a" or
+	// "COO + na" depending on Options.ForceAtomics).
+	LayoutCOO
+)
+
+func (l Layout) String() string {
+	switch l {
+	case LayoutCSR:
+		return "CSR"
+	case LayoutCSC:
+		return "CSC"
+	case LayoutCOO:
+		return "COO"
+	default:
+		return "auto"
+	}
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Partitions is the COO/CSC partition count. 0 selects the default:
+	// max(8×threads rounded to a topology multiple, 32). The paper finds
+	// 384 optimal on 48 threads.
+	Partitions int
+	// Threads is the worker count; 0 selects GOMAXPROCS.
+	Threads int
+	// Layout forces a layout for all iterations (Figure 5 sweeps);
+	// LayoutAuto is the paper's adaptive engine.
+	Layout Layout
+	// ForceAtomics makes the dense COO path use atomic updates with
+	// edge-chunk parallelism instead of partition-exclusive workers —
+	// the "+a" configurations of Figures 5 and 6.
+	ForceAtomics bool
+	// SparseDiv and DenseDiv are Algorithm 2's thresholds: a frontier is
+	// sparse below |E|/SparseDiv of active edge work and dense above
+	// |E|/DenseDiv. 0 selects the paper's 20 and 2.
+	SparseDiv, DenseDiv int64
+	// EdgeOrder sorts each COO partition's edges (Figure 7). Default
+	// BySource (CSR order).
+	EdgeOrder hilbert.EdgeOrder
+	// Criterion balances partitions by in-edges (edge-oriented
+	// algorithms) or vertices (vertex-oriented). Default BalanceEdges.
+	Criterion partition.Criterion
+	// Topology is the modelled NUMA layout; partition counts are rounded
+	// to a multiple of its domains as in §III.D.
+	Topology sched.Topology
+	// BuildCSRPartitions also materialises the pruned partitioned CSR.
+	// It is required for LayoutCSR and costs r(p)·|V| extra storage, so
+	// the auto engine leaves it off.
+	BuildCSRPartitions bool
+	// Trace, when non-nil, records one event per EdgeMap (class chosen,
+	// frontier statistics, duration).
+	Trace *trace.Recorder
+}
+
+// withDefaults fills zero values.
+func (o Options) withDefaults() Options {
+	if o.Threads <= 0 {
+		o.Threads = runtime.GOMAXPROCS(0)
+	}
+	if o.Topology.Domains <= 0 {
+		o.Topology = sched.DefaultTopology()
+	}
+	if o.Partitions <= 0 {
+		p := 8 * o.Threads
+		if p < 32 {
+			p = 32
+		}
+		o.Partitions = p
+	}
+	o.Partitions = o.Topology.PartitionsFor(o.Partitions)
+	if o.SparseDiv <= 0 {
+		o.SparseDiv = 20
+	}
+	if o.DenseDiv <= 0 {
+		o.DenseDiv = 2
+	}
+	if o.Layout == LayoutCSR {
+		o.BuildCSRPartitions = true
+	}
+	return o
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/frontier"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// Robustness tests: the engine must behave on degenerate inputs a
+// downstream user will eventually feed it.
+
+func pathologicalGraphs() map[string]*graph.Graph {
+	selfloops := make([]graph.Edge, 8)
+	for i := range selfloops {
+		selfloops[i] = graph.Edge{Src: graph.VID(i), Dst: graph.VID(i)}
+	}
+	multi := []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 0, Dst: 1}, {Src: 0, Dst: 1}, {Src: 1, Dst: 0},
+	}
+	return map[string]*graph.Graph{
+		"empty":      graph.FromEdges(0, nil),
+		"isolated":   graph.FromEdges(100, nil),
+		"singleton":  graph.FromEdges(1, []graph.Edge{{Src: 0, Dst: 0}}),
+		"self-loops": graph.FromEdges(8, selfloops),
+		"multi-edge": graph.FromEdges(2, multi),
+		"one-edge":   graph.FromEdges(2, []graph.Edge{{Src: 0, Dst: 1}}),
+		"complete":   gen.Complete(9),
+	}
+}
+
+func TestEngineOnPathologicalGraphs(t *testing.T) {
+	for gname, g := range pathologicalGraphs() {
+		for _, opts := range []Options{{}, {Layout: LayoutCOO}, {Layout: LayoutCSC}, {Layout: LayoutCSR}} {
+			e := NewEngine(g, opts)
+			visited := make([]bool, g.NumVertices())
+			op := api.EdgeOp{
+				Update: func(u, v graph.VID) bool {
+					old := visited[v]
+					visited[v] = true
+					return !old
+				},
+				UpdateAtomic: func(u, v graph.VID) bool {
+					// The tiny graphs run effectively single-threaded;
+					// plain ops are fine for this structural test.
+					old := visited[v]
+					visited[v] = true
+					return !old
+				},
+			}
+			if g.NumVertices() == 0 {
+				out := e.EdgeMap(frontier.New(0), op, api.DirAuto)
+				if !out.IsEmpty() {
+					t.Fatalf("%s: empty graph produced a frontier", gname)
+				}
+				continue
+			}
+			out := e.EdgeMap(frontier.All(g), op, api.DirAuto)
+			// Every vertex with an in-edge must be activated exactly when
+			// it was visited.
+			for v := 0; v < g.NumVertices(); v++ {
+				wantActive := g.InDegree(graph.VID(v)) > 0
+				if visited[v] != wantActive {
+					t.Fatalf("%s/%v: vertex %d visited=%v, want %v",
+						gname, opts.Layout, v, visited[v], wantActive)
+				}
+				if out.Has(graph.VID(v)) != wantActive {
+					t.Fatalf("%s/%v: vertex %d frontier membership wrong", gname, opts.Layout, v)
+				}
+			}
+		}
+	}
+}
+
+func TestSelfLoopActivatesSelf(t *testing.T) {
+	g := graph.FromEdges(1, []graph.Edge{{Src: 0, Dst: 0}})
+	e := NewEngine(g, Options{Threads: 1})
+	count := 0
+	op := api.EdgeOp{
+		Update:       func(u, v graph.VID) bool { count++; return true },
+		UpdateAtomic: func(u, v graph.VID) bool { count++; return true },
+	}
+	out := e.EdgeMap(frontier.FromVertex(g, 0), op, api.DirAuto)
+	if count != 1 || out.Count() != 1 {
+		t.Fatalf("self-loop: %d applications, frontier %d", count, out.Count())
+	}
+}
+
+func TestMultiEdgeAppliedPerEdge(t *testing.T) {
+	// Duplicate edges are distinct COO entries: the operator runs once
+	// per edge (PageRank-style accumulation depends on this).
+	g := graph.FromEdges(2, []graph.Edge{{Src: 0, Dst: 1}, {Src: 0, Dst: 1}, {Src: 0, Dst: 1}})
+	e := NewEngine(g, Options{Threads: 1, Layout: LayoutCOO})
+	count := 0
+	op := api.EdgeOp{
+		Update:       func(u, v graph.VID) bool { count++; return true },
+		UpdateAtomic: func(u, v graph.VID) bool { count++; return true },
+	}
+	e.EdgeMap(frontier.All(g), op, api.DirAuto)
+	if count != 3 {
+		t.Fatalf("multi-edge applied %d times, want 3", count)
+	}
+}

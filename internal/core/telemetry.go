@@ -1,0 +1,44 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/frontier"
+)
+
+// Telemetry counts EdgeMap invocations per frontier class. The paper
+// reports, e.g., that PRDelta on Twitter runs 8 dense, 3 medium-dense and
+// 22 sparse iterations — examples/pagerank prints exactly this breakdown.
+type Telemetry struct {
+	SparseIters int64
+	MediumIters int64
+	DenseIters  int64
+}
+
+func (t *Telemetry) add(c frontier.Class) {
+	switch c {
+	case frontier.Sparse:
+		atomic.AddInt64(&t.SparseIters, 1)
+	case frontier.Medium:
+		atomic.AddInt64(&t.MediumIters, 1)
+	case frontier.Dense:
+		atomic.AddInt64(&t.DenseIters, 1)
+	}
+}
+
+func (t *Telemetry) snapshot() Telemetry {
+	return Telemetry{
+		SparseIters: atomic.LoadInt64(&t.SparseIters),
+		MediumIters: atomic.LoadInt64(&t.MediumIters),
+		DenseIters:  atomic.LoadInt64(&t.DenseIters),
+	}
+}
+
+// Total returns the total EdgeMap count.
+func (t Telemetry) Total() int64 { return t.SparseIters + t.MediumIters + t.DenseIters }
+
+// String renders the per-class breakdown.
+func (t Telemetry) String() string {
+	return fmt.Sprintf("sparse=%d medium=%d dense=%d", t.SparseIters, t.MediumIters, t.DenseIters)
+}

@@ -1,0 +1,118 @@
+// Package frontier implements the three frontier representations of the
+// paper: sparse vertex lists, dense bitmaps, and the density statistics
+// (|F| + Σ out-deg) that Algorithm 2 uses to pick a traversal.
+package frontier
+
+import (
+	"math/bits"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// Bitmap is a fixed-size bitset over vertex IDs with both plain and
+// atomic mutation. Engines use atomic set when multiple workers may
+// target the same word (forward traversals) and plain set on the
+// partition-exclusive paths where the paper drops atomics.
+type Bitmap struct {
+	n     int
+	words []uint64
+}
+
+// NewBitmap returns an empty bitmap over n vertices.
+func NewBitmap(n int) *Bitmap {
+	return &Bitmap{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// Len returns the number of vertices the bitmap covers.
+func (b *Bitmap) Len() int { return b.n }
+
+// Get reports whether v is set.
+func (b *Bitmap) Get(v graph.VID) bool {
+	return b.words[v>>6]&(1<<(v&63)) != 0
+}
+
+// Set sets v without synchronisation. Safe when each word is written by
+// at most one goroutine (disjoint vertex ranges).
+func (b *Bitmap) Set(v graph.VID) {
+	b.words[v>>6] |= 1 << (v & 63)
+}
+
+// TestAndSet atomically sets v and reports whether this call changed it
+// from 0 to 1. Used to claim a vertex exactly once across workers.
+func (b *Bitmap) TestAndSet(v graph.VID) bool {
+	w := &b.words[v>>6]
+	mask := uint64(1) << (v & 63)
+	for {
+		old := atomic.LoadUint64(w)
+		if old&mask != 0 {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(w, old, old|mask) {
+			return true
+		}
+	}
+}
+
+// Clear resets all bits.
+func (b *Bitmap) Clear() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// Count returns the number of set bits.
+func (b *Bitmap) Count() int64 {
+	var c int64
+	for _, w := range b.words {
+		c += int64(bits.OnesCount64(w))
+	}
+	return c
+}
+
+// CountRange returns the number of set bits in [lo,hi).
+func (b *Bitmap) CountRange(lo, hi graph.VID) int64 {
+	if lo >= hi {
+		return 0
+	}
+	var c int64
+	loW, hiW := lo>>6, (hi-1)>>6
+	if loW == hiW {
+		mask := (^uint64(0) << (lo & 63)) & (^uint64(0) >> (63 - (hi-1)&63))
+		return int64(bits.OnesCount64(b.words[loW] & mask))
+	}
+	c += int64(bits.OnesCount64(b.words[loW] & (^uint64(0) << (lo & 63))))
+	for w := loW + 1; w < hiW; w++ {
+		c += int64(bits.OnesCount64(b.words[w]))
+	}
+	c += int64(bits.OnesCount64(b.words[hiW] & (^uint64(0) >> (63 - (hi-1)&63))))
+	return c
+}
+
+// ForEach calls fn for every set bit in ascending order.
+func (b *Bitmap) ForEach(fn func(graph.VID)) {
+	for wi, w := range b.words {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			v := graph.VID(wi*64 + bit)
+			if int(v) < b.n {
+				fn(v)
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// ToList materialises the set bits as a sorted vertex list.
+func (b *Bitmap) ToList() []graph.VID {
+	out := make([]graph.VID, 0, b.Count())
+	b.ForEach(func(v graph.VID) { out = append(out, v) })
+	return out
+}
+
+// Clone returns a deep copy.
+func (b *Bitmap) Clone() *Bitmap {
+	nb := &Bitmap{n: b.n, words: make([]uint64, len(b.words))}
+	copy(nb.words, b.words)
+	return nb
+}

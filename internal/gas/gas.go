@@ -1,0 +1,149 @@
+// Package gas adapts the engines' Ligra-style EdgeMap interface to the
+// gather-apply-scatter model of PowerGraph/Pregel (§II.A: "these
+// algorithms follow the Pregel or gather-apply-scatter model"). A GAS
+// program supplies three functions:
+//
+//	Gather:  per in-edge of an active vertex, a contribution from the
+//	         source's frozen value (pull over ALL in-edges)
+//	Apply:   combine the summed contributions into the vertex's new value
+//	Scatter: decide, from old and new value, whether the change signals
+//	         the vertex's out-neighbours (they become active next round)
+//
+// Run executes supersteps until the active set empties or MaxIters is
+// reached. The adapter demonstrates that the paper's engine subsumes the
+// GAS abstraction: the pull-gather maps onto a backward EdgeMap whose
+// Cond selects active destinations, Apply onto VertexFilter, and Scatter
+// onto a forward EdgeMap that activates out-neighbours.
+package gas
+
+import (
+	"repro/internal/algorithms"
+	"repro/internal/api"
+	"repro/internal/frontier"
+	"repro/internal/graph"
+)
+
+// Program is one gather-apply-scatter computation over float64 vertex
+// state.
+type Program struct {
+	// Init sets vertex v's initial value.
+	Init func(v graph.VID) float64
+	// Gather produces the contribution of in-edge (u,v) given u's frozen
+	// value. It must not mutate shared state.
+	Gather func(u, v graph.VID, uVal float64) float64
+	// Apply combines a vertex's old value with its gathered sum into the
+	// new value.
+	Apply func(v graph.VID, old, gathered float64) float64
+	// Scatter reports whether v's change should activate its
+	// out-neighbours (e.g. |new-old| > ε).
+	Scatter func(v graph.VID, old, nw float64) bool
+	// MaxIters bounds the superstep count; 0 means until quiescence.
+	MaxIters int
+}
+
+// Result holds the final vertex values and superstep count.
+type Result struct {
+	Values []float64
+	Iters  int
+}
+
+// Run executes the program on the system, starting with every vertex
+// active.
+func Run(sys api.System, p Program) Result {
+	g := sys.Graph()
+	n := g.NumVertices()
+	vals := algorithms.NewF64s(n, 0)
+	acc := algorithms.NewF64s(n, 0)
+	frozen := make([]float64, n)
+	for v := 0; v < n; v++ {
+		vals.Set(graph.VID(v), p.Init(graph.VID(v)))
+	}
+
+	all := frontier.All(g)
+	var activeBm *frontier.Bitmap
+	gather := api.EdgeOp{
+		Cond: func(v graph.VID) bool { return activeBm.Get(v) },
+		Update: func(u, v graph.VID) bool {
+			acc.Add(v, p.Gather(u, v, frozen[u]))
+			return true
+		},
+		UpdateAtomic: func(u, v graph.VID) bool {
+			acc.AtomicAdd(v, p.Gather(u, v, frozen[u]))
+			return true
+		},
+	}
+	activate := api.EdgeOp{
+		Update:       func(_, _ graph.VID) bool { return true },
+		UpdateAtomic: func(_, _ graph.VID) bool { return true },
+	}
+
+	f := all
+	res := Result{}
+	for !f.IsEmpty() && (p.MaxIters == 0 || res.Iters < p.MaxIters) {
+		// Freeze every vertex's value: the pull-gather reads arbitrary
+		// sources, not just active ones.
+		sys.VertexMap(all, func(u graph.VID) { frozen[u] = vals.Get(u) })
+		acc.Fill(0)
+		activeBm = f.Bitmap()
+		// Pull: every source offers its edges; Cond keeps only active
+		// destinations, which therefore gather over ALL their in-edges.
+		sys.EdgeMap(all, gather, api.DirBackward)
+
+		// Apply to the active set; Scatter selects the signalling
+		// vertices. The filter predicate performs the apply as a side
+		// effect: each vertex appears exactly once in f.
+		changed := sys.VertexFilter(f, func(v graph.VID) bool {
+			o := vals.Get(v)
+			nw := p.Apply(v, o, acc.Get(v))
+			vals.Set(v, nw)
+			return p.Scatter(v, o, nw)
+		})
+		// Signal: out-neighbours of changed vertices are active next
+		// superstep.
+		f = sys.EdgeMap(changed, activate, api.DirForward)
+		res.Iters++
+	}
+	res.Values = vals.Slice()
+	return res
+}
+
+// PageRankProgram is the canonical GAS PageRank, used by tests to verify
+// the adapter reaches the same fixed point as the native power method.
+// epsilon bounds the per-vertex change below which a vertex stops
+// signalling.
+func PageRankProgram(g *graph.Graph, epsilon float64) Program {
+	n := float64(g.NumVertices())
+	const d = algorithms.Damping
+	return Program{
+		Init: func(graph.VID) float64 { return 1 / n },
+		Gather: func(u, _ graph.VID, uVal float64) float64 {
+			deg := g.OutDegree(u)
+			if deg == 0 {
+				return 0
+			}
+			return uVal / float64(deg)
+		},
+		Apply: func(_ graph.VID, _, gathered float64) float64 {
+			return (1-d)/n + d*gathered
+		},
+		Scatter: func(_ graph.VID, old, nw float64) bool {
+			diff := nw - old
+			if diff < 0 {
+				diff = -diff
+			}
+			return diff > epsilon
+		},
+	}
+}
+
+// DegreeProgram computes each vertex's in-degree in one superstep — the
+// "hello world" of GAS, used in tests.
+func DegreeProgram() Program {
+	return Program{
+		Init:     func(graph.VID) float64 { return 0 },
+		Gather:   func(_, _ graph.VID, _ float64) float64 { return 1 },
+		Apply:    func(_ graph.VID, _, gathered float64) float64 { return gathered },
+		Scatter:  func(_ graph.VID, _, _ float64) bool { return false },
+		MaxIters: 1,
+	}
+}

@@ -1,0 +1,78 @@
+package gas
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/algorithms"
+	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/ligra"
+)
+
+func TestGASDegreeProgram(t *testing.T) {
+	g := gen.TinySocial()
+	res := Run(core.NewEngine(g, core.Options{}), DegreeProgram())
+	if res.Iters != 1 {
+		t.Fatalf("iters = %d", res.Iters)
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if res.Values[v] != float64(g.InDegree(graph.VID(v))) {
+			t.Fatalf("degree[%d] = %v, want %d", v, res.Values[v], g.InDegree(graph.VID(v)))
+		}
+	}
+}
+
+func TestGASPageRankReachesFixedPoint(t *testing.T) {
+	// SmallWorld has no dangling vertices, so GAS PR (no dangling
+	// redistribution) and the plain power method share a fixed point.
+	g := gen.SmallWorld(512, 8, 0.2, 3)
+	want := algorithms.SerialPR(g, 200) // essentially converged (0.85^200)
+	for _, sys := range []api.System{
+		core.NewEngine(g, core.Options{}),
+		ligra.New(g, 0),
+	} {
+		res := Run(sys, PageRankProgram(g, 1e-13))
+		if res.Iters < 5 {
+			t.Fatalf("%s: converged suspiciously fast (%d iters)", sys.Name(), res.Iters)
+		}
+		for v := range want {
+			if math.Abs(res.Values[v]-want[v]) > 1e-8 {
+				t.Fatalf("%s: GAS PR diverges at %d: %v vs %v",
+					sys.Name(), v, res.Values[v], want[v])
+			}
+		}
+	}
+}
+
+func TestGASQuiescence(t *testing.T) {
+	// A program whose Scatter is always false stops after one superstep
+	// regardless of MaxIters.
+	g := gen.Chain(32)
+	calls := 0
+	p := Program{
+		Init:    func(graph.VID) float64 { return 1 },
+		Gather:  func(_, _ graph.VID, x float64) float64 { calls++; return x },
+		Apply:   func(_ graph.VID, _, s float64) float64 { return s },
+		Scatter: func(_ graph.VID, _, _ float64) bool { return false },
+	}
+	res := Run(core.NewEngine(g, core.Options{Threads: 1}), p)
+	if res.Iters != 1 {
+		t.Fatalf("iters = %d, want 1", res.Iters)
+	}
+	if calls != 31 { // one gather per edge
+		t.Fatalf("gather calls = %d, want 31", calls)
+	}
+}
+
+func TestGASMaxIters(t *testing.T) {
+	g := gen.Complete(8)
+	p := PageRankProgram(g, 0) // never quiesces on its own
+	p.MaxIters = 3
+	res := Run(core.NewEngine(g, core.Options{Threads: 2}), p)
+	if res.Iters != 3 {
+		t.Fatalf("iters = %d, want 3", res.Iters)
+	}
+}

@@ -1,0 +1,289 @@
+// Package gen produces deterministic synthetic graphs that stand in for
+// the paper's datasets (Table I). The real Twitter/Friendster/Orkut/
+// LiveJournal/Yahoo/USAroad files are not available offline, so each is
+// replaced by a generator whose degree skew, direction and density mimic
+// the original at laptop scale; see DESIGN.md §2 for the substitution
+// argument.
+//
+// All generators are pure functions of their parameters and seed, so every
+// experiment is reproducible bit-for-bit.
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// rng is a splitmix64-seeded xoshiro-style generator. We avoid math/rand
+// so that streams are cheap to fork per vertex/per edge and stable across
+// Go releases.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &rng{s: seed}
+}
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	return graph.Mix64(r.s)
+}
+
+func (r *rng) float64() float64 { return graph.Uniform01(r.next()) }
+
+// intn returns a uniform value in [0,n).
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		panic("gen: intn with non-positive n")
+	}
+	return int(r.next() % uint64(n))
+}
+
+// RMAT generates a directed R-MAT graph with 2^scale vertices and
+// approximately edgeFactor·2^scale edges using the classic recursive
+// quadrant probabilities (a,b,c,d). Kronecker noise is added per level so
+// degree distributions are smooth, matching common RMAT implementations.
+func RMAT(scale int, edgeFactor int, a, b, c float64, seed uint64) *graph.Graph {
+	if scale < 0 || scale > 30 {
+		panic(fmt.Sprintf("gen: RMAT scale %d out of range", scale))
+	}
+	n := 1 << scale
+	m := n * edgeFactor
+	d := 1 - a - b - c
+	if d < 0 {
+		panic("gen: RMAT probabilities exceed 1")
+	}
+	r := newRNG(seed)
+	edges := make([]graph.Edge, 0, m)
+	for i := 0; i < m; i++ {
+		var u, v int
+		for level := 0; level < scale; level++ {
+			// Perturb quadrant probabilities by ±10% per level.
+			na := a * (0.9 + 0.2*r.float64())
+			nb := b * (0.9 + 0.2*r.float64())
+			nc := c * (0.9 + 0.2*r.float64())
+			nd := d * (0.9 + 0.2*r.float64())
+			norm := na + nb + nc + nd
+			p := r.float64() * norm
+			switch {
+			case p < na:
+				// top-left: no bit set
+			case p < na+nb:
+				v |= 1 << level
+			case p < na+nb+nc:
+				u |= 1 << level
+			default:
+				u |= 1 << level
+				v |= 1 << level
+			}
+		}
+		edges = append(edges, graph.Edge{Src: graph.VID(u), Dst: graph.VID(v)})
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// PowerLaw generates a directed graph with n vertices and ~m edges whose
+// degree distribution follows a power law P(deg=k) ∝ k^−alpha (the
+// paper's synthetic Powerlaw graph uses α = 2.0). It is a Chung-Lu style
+// model: endpoints are sampled proportionally to target degrees via the
+// alias method. A degree exponent α corresponds to a rank-weight
+// exponent s = 1/(α−1) (weight of the i-th most popular vertex ∝ i^−s).
+func PowerLaw(n int, m int64, alpha float64, seed uint64) *graph.Graph {
+	if n <= 0 {
+		panic("gen: PowerLaw needs n > 0")
+	}
+	if alpha <= 1 {
+		panic("gen: PowerLaw needs degree exponent alpha > 1")
+	}
+	s := 1 / (alpha - 1)
+	weights := make([]float64, n)
+	var sum float64
+	for i := 0; i < n; i++ {
+		w := math.Pow(float64(i+1), -s)
+		weights[i] = w
+		sum += w
+	}
+	for i := range weights {
+		weights[i] /= sum
+	}
+	// Shuffle vertex ranks so high-degree vertices are not all low IDs;
+	// real datasets have no such correlation and partitioning-by-
+	// destination balance depends on it.
+	r := newRNG(seed)
+	perm := make([]graph.VID, n)
+	for i := range perm {
+		perm[i] = graph.VID(i)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.intn(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	alias := newAlias(weights, r)
+	edges := make([]graph.Edge, 0, m)
+	for i := int64(0); i < m; i++ {
+		u := perm[alias.sample(r)]
+		v := perm[alias.sample(r)]
+		edges = append(edges, graph.Edge{Src: u, Dst: v})
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// aliasTable implements Walker's alias method for O(1) sampling from a
+// discrete distribution.
+type aliasTable struct {
+	prob  []float64
+	alias []int
+}
+
+func newAlias(p []float64, r *rng) *aliasTable {
+	n := len(p)
+	t := &aliasTable{prob: make([]float64, n), alias: make([]int, n)}
+	scaled := make([]float64, n)
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, w := range p {
+		scaled[i] = w * float64(n)
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		t.prob[s] = scaled[s]
+		t.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		t.prob[i] = 1
+	}
+	for _, i := range small {
+		t.prob[i] = 1
+	}
+	return t
+}
+
+func (t *aliasTable) sample(r *rng) int {
+	i := r.intn(len(t.prob))
+	if r.float64() < t.prob[i] {
+		return i
+	}
+	return t.alias[i]
+}
+
+// ErdosRenyi generates a directed G(n, m) graph: m edges sampled uniformly
+// with replacement.
+func ErdosRenyi(n int, m int64, seed uint64) *graph.Graph {
+	r := newRNG(seed)
+	edges := make([]graph.Edge, 0, m)
+	for i := int64(0); i < m; i++ {
+		edges = append(edges, graph.Edge{
+			Src: graph.VID(r.intn(n)),
+			Dst: graph.VID(r.intn(n)),
+		})
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// RoadGrid generates an undirected (symmetrised) rows×cols lattice with a
+// small fraction of long-range shortcut edges removed/absent — a stand-in
+// for the USAroad graph: bounded degree (≤4), huge diameter, no skew.
+func RoadGrid(rows, cols int, seed uint64) *graph.Graph {
+	n := rows * cols
+	edges := make([]graph.Edge, 0, 4*n)
+	id := func(r, c int) graph.VID { return graph.VID(r*cols + c) }
+	rnd := newRNG(seed)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			// Drop ~3% of road segments so the network is irregular like
+			// a real road graph but stays overwhelmingly connected.
+			if c+1 < cols && rnd.float64() >= 0.03 {
+				edges = append(edges, graph.Edge{Src: id(r, c), Dst: id(r, c+1)})
+				edges = append(edges, graph.Edge{Src: id(r, c+1), Dst: id(r, c)})
+			}
+			if r+1 < rows && rnd.float64() >= 0.03 {
+				edges = append(edges, graph.Edge{Src: id(r, c), Dst: id(r+1, c)})
+				edges = append(edges, graph.Edge{Src: id(r+1, c), Dst: id(r, c)})
+			}
+		}
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// Symmetrise returns a graph with the union of g's edges and their
+// reversals, used to build the undirected datasets (Orkut, Yahoo_mem).
+func Symmetrise(g *graph.Graph) *graph.Graph {
+	es := g.Edges()
+	out := make([]graph.Edge, 0, 2*len(es))
+	for _, e := range es {
+		out = append(out, e)
+		if e.Src != e.Dst {
+			out = append(out, graph.Edge{Src: e.Dst, Dst: e.Src})
+		}
+	}
+	return graph.FromEdges(g.NumVertices(), out)
+}
+
+// Chain generates a directed path 0→1→…→n-1, useful in tests.
+func Chain(n int) *graph.Graph {
+	edges := make([]graph.Edge, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, graph.Edge{Src: graph.VID(i), Dst: graph.VID(i + 1)})
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// Star generates a directed star: centre 0 points at every other vertex.
+func Star(n int) *graph.Graph {
+	edges := make([]graph.Edge, 0, n-1)
+	for i := 1; i < n; i++ {
+		edges = append(edges, graph.Edge{Src: 0, Dst: graph.VID(i)})
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// Complete generates a complete directed graph on n vertices (no self
+// loops), for small-n exhaustive tests.
+func Complete(n int) *graph.Graph {
+	edges := make([]graph.Edge, 0, n*(n-1))
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				edges = append(edges, graph.Edge{Src: graph.VID(i), Dst: graph.VID(j)})
+			}
+		}
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// PaperExample builds the 6-vertex, 14-edge example graph from Figure 1 of
+// the paper, used to cross-check partitioning against the worked example.
+func PaperExample() *graph.Graph {
+	// CSR of Fig. 1: vertex 0 → {1,2,3,4,5}; 2 → {4}; 3 → {4,5};
+	// 4 → {5}; 5 → {0,1,2,3,4}. offsets [0,5,5,6,8,9,14].
+	pairs := [][2]graph.VID{
+		{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5},
+		{2, 4},
+		{3, 4}, {3, 5},
+		{4, 5},
+		{5, 0}, {5, 1}, {5, 2}, {5, 3}, {5, 4},
+	}
+	edges := make([]graph.Edge, len(pairs))
+	for i, p := range pairs {
+		edges[i] = graph.Edge{Src: p[0], Dst: p[1]}
+	}
+	return graph.FromEdges(6, edges)
+}

@@ -1,0 +1,217 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestRMATDeterministic(t *testing.T) {
+	a := RMAT(8, 8, 0.57, 0.19, 0.19, 1)
+	b := RMAT(8, 8, 0.57, 0.19, 0.19, 1)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed, different edge counts")
+	}
+	ea, eb := a.Edges(), b.Edges()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("same seed diverges at edge %d", i)
+		}
+	}
+	c := RMAT(8, 8, 0.57, 0.19, 0.19, 2)
+	different := c.NumEdges() != a.NumEdges()
+	if !different {
+		ec := c.Edges()
+		for i := range ea {
+			if ea[i] != ec[i] {
+				different = true
+				break
+			}
+		}
+	}
+	if !different {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestRMATSizes(t *testing.T) {
+	g := RMAT(10, 16, 0.57, 0.19, 0.19, 3)
+	if g.NumVertices() != 1024 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	if g.NumEdges() != 16*1024 {
+		t.Fatalf("m = %d", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMATIsSkewed(t *testing.T) {
+	g := RMAT(12, 16, 0.57, 0.19, 0.19, 4)
+	s := graph.ComputeStats("rmat", g)
+	if s.GiniOut < 0.5 {
+		t.Fatalf("RMAT should be skewed, gini = %v", s.GiniOut)
+	}
+	if s.MaxOutDegree < 10*int64(s.AvgDegree) {
+		t.Fatalf("RMAT should have hubs: max %d, avg %v", s.MaxOutDegree, s.AvgDegree)
+	}
+}
+
+func TestPowerLawDegreesSkewed(t *testing.T) {
+	g := PowerLaw(1<<12, 1<<16, 2.0, 5)
+	if g.NumVertices() != 1<<12 || g.NumEdges() != 1<<16 {
+		t.Fatalf("sizes: %d/%d", g.NumVertices(), g.NumEdges())
+	}
+	s := graph.ComputeStats("pl", g)
+	if s.GiniOut < 0.5 {
+		t.Fatalf("power-law should be skewed, gini = %v", s.GiniOut)
+	}
+}
+
+func TestRoadGridShape(t *testing.T) {
+	g := RoadGrid(20, 30, 6)
+	if g.NumVertices() != 600 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	if !graph.CheckSymmetric(g) {
+		t.Fatal("road grid should be symmetric")
+	}
+	if d := g.MaxOutDegree(); d > 4 {
+		t.Fatalf("lattice degree %d > 4", d)
+	}
+	// Lattice diameter is near rows+cols, far larger than a social
+	// graph's.
+	if dia := graph.ApproxDiameterHint(g); dia < 30 {
+		t.Fatalf("road diameter hint too small: %d", dia)
+	}
+}
+
+func TestRoadVsSocialDiameter(t *testing.T) {
+	road := TinyRoad()
+	social := TinySocial()
+	dr := graph.ApproxDiameterHint(road)
+	ds := graph.ApproxDiameterHint(social)
+	if dr < 4*ds {
+		t.Fatalf("road diameter (%d) should dwarf social (%d)", dr, ds)
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	g := ErdosRenyi(512, 4096, 7)
+	if g.NumEdges() != 4096 {
+		t.Fatalf("m = %d", g.NumEdges())
+	}
+	s := graph.ComputeStats("er", g)
+	if s.GiniOut > 0.5 {
+		t.Fatalf("ER should be near-uniform, gini = %v", s.GiniOut)
+	}
+}
+
+func TestSymmetrise(t *testing.T) {
+	g := Chain(4) // 0→1→2→3
+	s := Symmetrise(g)
+	if !graph.CheckSymmetric(s) {
+		t.Fatal("symmetrise failed")
+	}
+	if s.NumEdges() != 6 {
+		t.Fatalf("m = %d, want 6", s.NumEdges())
+	}
+}
+
+func TestFixtures(t *testing.T) {
+	if g := Chain(5); g.NumEdges() != 4 || g.OutDegree(4) != 0 {
+		t.Fatal("chain malformed")
+	}
+	if g := Star(5); g.OutDegree(0) != 4 || g.InDegree(0) != 0 {
+		t.Fatal("star malformed")
+	}
+	if g := Complete(4); g.NumEdges() != 12 {
+		t.Fatal("complete malformed")
+	}
+}
+
+func TestPaperExampleMatchesFigure1(t *testing.T) {
+	g := PaperExample()
+	if g.NumVertices() != 6 || g.NumEdges() != 14 {
+		t.Fatalf("paper example: %d vertices, %d edges", g.NumVertices(), g.NumEdges())
+	}
+	// CSR offsets from Figure 1: 0 5 5 6 8 9 14.
+	want := []int64{0, 5, 5, 6, 8, 9, 14}
+	off := g.OutOffsets()
+	for i := range want {
+		if off[i] != want[i] {
+			t.Fatalf("CSR offsets %v, want %v", off, want)
+		}
+	}
+	// CSC offsets from Figure 1: 0 1 3 5 7 11 14.
+	wantIn := []int64{0, 1, 3, 5, 7, 11, 14}
+	inOff := g.InOffsets()
+	for i := range wantIn {
+		if inOff[i] != wantIn[i] {
+			t.Fatalf("CSC offsets %v, want %v", inOff, wantIn)
+		}
+	}
+}
+
+func TestAllPresetsBuildAndValidate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("presets are large; skipped in -short")
+	}
+	for _, p := range Presets() {
+		g := p.Build()
+		if g.NumVertices() == 0 || g.NumEdges() == 0 {
+			t.Fatalf("%s: empty graph", p.Name)
+		}
+		if p.Directed == false && !graph.CheckSymmetric(g) {
+			t.Fatalf("%s: declared undirected but not symmetric", p.Name)
+		}
+	}
+}
+
+func TestPresetNamesStable(t *testing.T) {
+	names := PresetNames()
+	if len(names) != 8 {
+		t.Fatalf("want 8 presets (Table I), got %d", len(names))
+	}
+	if names[0] != "twitter-sm" {
+		t.Fatalf("first preset %q", names[0])
+	}
+}
+
+func TestPresetUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Preset("nope")
+}
+
+func TestSortedPresetKinds(t *testing.T) {
+	kinds := SortedPresetKinds()
+	if len(kinds) == 0 {
+		t.Fatal("no kinds")
+	}
+	for i := 1; i < len(kinds); i++ {
+		if kinds[i-1] >= kinds[i] {
+			t.Fatal("kinds not sorted/unique")
+		}
+	}
+}
+
+func TestPresetsDeterministicAcrossCalls(t *testing.T) {
+	// Presets must rebuild identically: experiments in different
+	// processes compare results on "the same" graph.
+	a := Preset("yahoo-sm")
+	b := Preset("yahoo-sm")
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("preset edge count varies")
+	}
+	ea, eb := a.Edges(), b.Edges()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("preset diverges at edge %d", i)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Additional random-graph models beyond the Table I substitutes. They
+// broaden the test surface (small-world clustering, preferential
+// attachment, general Kronecker initiators) and give examples/benches
+// more workload shapes to draw on.
+
+// SmallWorld generates a Watts-Strogatz graph: a ring where each vertex
+// connects to its k nearest neighbours (k even), with each edge rewired
+// to a uniform random endpoint with probability beta. Returned as a
+// symmetric directed graph. Low beta keeps the lattice's high diameter;
+// beta ≈ 0.1 produces the classic small-world regime.
+func SmallWorld(n, k int, beta float64, seed uint64) *graph.Graph {
+	if k%2 != 0 || k <= 0 || k >= n {
+		panic(fmt.Sprintf("gen: SmallWorld needs even 0 < k < n, got k=%d n=%d", k, n))
+	}
+	r := newRNG(seed)
+	type arc struct{ u, v int }
+	arcs := make([]arc, 0, n*k/2)
+	for u := 0; u < n; u++ {
+		for j := 1; j <= k/2; j++ {
+			v := (u + j) % n
+			if r.float64() < beta {
+				// Rewire to a random non-self endpoint.
+				v = r.intn(n)
+				for v == u {
+					v = r.intn(n)
+				}
+			}
+			arcs = append(arcs, arc{u, v})
+		}
+	}
+	edges := make([]graph.Edge, 0, 2*len(arcs))
+	for _, a := range arcs {
+		edges = append(edges, graph.Edge{Src: graph.VID(a.u), Dst: graph.VID(a.v)})
+		edges = append(edges, graph.Edge{Src: graph.VID(a.v), Dst: graph.VID(a.u)})
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// PreferentialAttachment generates a Barabási-Albert graph: vertices
+// arrive one at a time and attach m edges to existing vertices chosen
+// proportionally to their current degree (implemented with the repeated-
+// endpoints trick: sampling a uniform position in the edge list is
+// degree-proportional sampling). Returned as a symmetric directed graph.
+func PreferentialAttachment(n, m int, seed uint64) *graph.Graph {
+	if m < 1 || n <= m {
+		panic(fmt.Sprintf("gen: PreferentialAttachment needs 1 <= m < n, got m=%d n=%d", m, n))
+	}
+	r := newRNG(seed)
+	// endpoints records every edge endpoint ever created; sampling a
+	// uniform element is degree-proportional.
+	endpoints := make([]graph.VID, 0, 2*n*m)
+	var edges []graph.Edge
+	addEdge := func(u, v graph.VID) {
+		edges = append(edges, graph.Edge{Src: u, Dst: v}, graph.Edge{Src: v, Dst: u})
+		endpoints = append(endpoints, u, v)
+	}
+	// Seed clique over the first m+1 vertices.
+	for i := 0; i <= m; i++ {
+		for j := i + 1; j <= m; j++ {
+			addEdge(graph.VID(i), graph.VID(j))
+		}
+	}
+	for v := m + 1; v < n; v++ {
+		chosen := map[graph.VID]bool{}
+		for len(chosen) < m {
+			t := endpoints[r.intn(len(endpoints))]
+			if int(t) != v {
+				chosen[t] = true
+			}
+		}
+		for t := range chosen {
+			addEdge(graph.VID(v), t)
+		}
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// Kronecker generates a stochastic Kronecker graph from a 2×2 initiator
+// matrix probabilities (p11, p12, p21, p22 need not sum to 1; they scale
+// the expected edge count m = edgeFactor·2^scale like RMAT but without
+// per-level noise, so the structure is exactly self-similar).
+func Kronecker(scale, edgeFactor int, p [2][2]float64, seed uint64) *graph.Graph {
+	n := 1 << scale
+	m := n * edgeFactor
+	total := p[0][0] + p[0][1] + p[1][0] + p[1][1]
+	if total <= 0 {
+		panic("gen: Kronecker initiator must have positive mass")
+	}
+	r := newRNG(seed)
+	edges := make([]graph.Edge, 0, m)
+	for i := 0; i < m; i++ {
+		var u, v int
+		for level := 0; level < scale; level++ {
+			x := r.float64() * total
+			switch {
+			case x < p[0][0]:
+			case x < p[0][0]+p[0][1]:
+				v |= 1 << level
+			case x < p[0][0]+p[0][1]+p[1][0]:
+				u |= 1 << level
+			default:
+				u |= 1 << level
+				v |= 1 << level
+			}
+		}
+		edges = append(edges, graph.Edge{Src: graph.VID(u), Dst: graph.VID(v)})
+	}
+	return graph.FromEdges(n, edges)
+}

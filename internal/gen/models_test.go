@@ -1,0 +1,75 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestSmallWorldShape(t *testing.T) {
+	g := SmallWorld(500, 6, 0.1, 3)
+	if g.NumVertices() != 500 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	if g.NumEdges() != 2*500*3 {
+		t.Fatalf("m = %d, want %d", g.NumEdges(), 2*500*3)
+	}
+	if !graph.CheckSymmetric(g) {
+		t.Fatal("small world should be symmetric")
+	}
+	// Small-world: rewiring collapses the ring's diameter.
+	ring := SmallWorld(500, 6, 0, 3)
+	if graph.ApproxDiameterHint(g) >= graph.ApproxDiameterHint(ring) {
+		t.Fatalf("rewired diameter %d not below ring %d",
+			graph.ApproxDiameterHint(g), graph.ApproxDiameterHint(ring))
+	}
+}
+
+func TestSmallWorldPanicsOnOddK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SmallWorld(10, 3, 0.1, 1)
+}
+
+func TestPreferentialAttachmentShape(t *testing.T) {
+	g := PreferentialAttachment(1000, 4, 9)
+	if g.NumVertices() != 1000 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	if !graph.CheckSymmetric(g) {
+		t.Fatal("BA should be symmetric")
+	}
+	s := graph.ComputeStats("ba", g)
+	// Preferential attachment yields heavy-tailed degrees.
+	if s.MaxOutDegree < 5*int64(s.AvgDegree) {
+		t.Fatalf("BA lacks hubs: max %d avg %.1f", s.MaxOutDegree, s.AvgDegree)
+	}
+	// Seed clique on m+1=5 vertices (10 undirected edges) plus exactly m
+	// attachments per arriving vertex, stored as two arcs each.
+	if got := g.NumEdges(); got != 2*(10+(1000-5)*4) {
+		t.Fatalf("m = %d, want %d", got, 2*(10+(1000-5)*4))
+	}
+}
+
+func TestKroneckerSelfSimilar(t *testing.T) {
+	p := [2][2]float64{{0.57, 0.19}, {0.19, 0.05}}
+	g := Kronecker(10, 8, p, 7)
+	if g.NumVertices() != 1024 || g.NumEdges() != 8192 {
+		t.Fatalf("sizes %d/%d", g.NumVertices(), g.NumEdges())
+	}
+	s := graph.ComputeStats("kron", g)
+	if s.GiniOut < 0.4 {
+		t.Fatalf("Kronecker with skewed initiator should be skewed, gini %v", s.GiniOut)
+	}
+	// Determinism.
+	h := Kronecker(10, 8, p, 7)
+	eg, eh := g.Edges(), h.Edges()
+	for i := range eg {
+		if eg[i] != eh[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// PresetSpec describes one Table-I dataset substitute.
+type PresetSpec struct {
+	Name     string
+	Kind     string // "rmat", "powerlaw", "road", "er"
+	Directed bool
+	Build    func() *graph.Graph
+	// PaperVertices/PaperEdges record the original dataset's size for
+	// documentation in the Table I reproduction.
+	PaperVertices string
+	PaperEdges    string
+}
+
+// presets mirrors Table I at laptop scale. Scale factors were chosen so
+// the largest graph ("friendster-sm") has a few million edges: large
+// enough for partition sweeps to 384 partitions to show locality effects,
+// small enough to run the full experiment suite in minutes.
+var presets = []PresetSpec{
+	{
+		Name: "twitter-sm", Kind: "rmat", Directed: true,
+		PaperVertices: "41.7M", PaperEdges: "1.467B",
+		Build: func() *graph.Graph { return RMAT(17, 16, 0.57, 0.19, 0.19, 42) },
+	},
+	{
+		Name: "friendster-sm", Kind: "rmat", Directed: true,
+		PaperVertices: "125M", PaperEdges: "1.81B",
+		Build: func() *graph.Graph { return RMAT(18, 12, 0.55, 0.20, 0.20, 43) },
+	},
+	{
+		Name: "orkut-sm", Kind: "powerlaw", Directed: false,
+		PaperVertices: "3.07M", PaperEdges: "234M",
+		Build: func() *graph.Graph { return Symmetrise(PowerLaw(1<<15, 1<<21, 2.3, 44)) },
+	},
+	{
+		Name: "livejournal-sm", Kind: "powerlaw", Directed: true,
+		PaperVertices: "4.85M", PaperEdges: "69.0M",
+		Build: func() *graph.Graph { return PowerLaw(1<<16, 1<<20, 2.4, 45) },
+	},
+	{
+		Name: "yahoo-sm", Kind: "powerlaw", Directed: false,
+		PaperVertices: "1.64M", PaperEdges: "30.4M",
+		Build: func() *graph.Graph { return Symmetrise(PowerLaw(1<<14, 1<<18, 2.2, 46)) },
+	},
+	{
+		Name: "usaroad-sm", Kind: "road", Directed: false,
+		PaperVertices: "23.9M", PaperEdges: "58M",
+		Build: func() *graph.Graph { return RoadGrid(512, 512, 47) },
+	},
+	{
+		Name: "powerlaw-sm", Kind: "powerlaw", Directed: true,
+		PaperVertices: "100M", PaperEdges: "1.5B",
+		Build: func() *graph.Graph { return PowerLaw(1<<17, 1<<21, 2.0, 48) },
+	},
+	{
+		Name: "rmat27-sm", Kind: "rmat", Directed: true,
+		PaperVertices: "134M", PaperEdges: "1.342B",
+		Build: func() *graph.Graph { return RMAT(18, 10, 0.57, 0.19, 0.19, 49) },
+	},
+}
+
+// Preset builds the named dataset substitute. It panics on unknown names
+// (the name set is fixed; misuse is a programming error).
+func Preset(name string) *graph.Graph {
+	for _, p := range presets {
+		if p.Name == name {
+			return p.Build()
+		}
+	}
+	panic(fmt.Sprintf("gen: unknown preset %q (have %v)", name, PresetNames()))
+}
+
+// PresetNames returns all preset names in Table I order.
+func PresetNames() []string {
+	out := make([]string, len(presets))
+	for i, p := range presets {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// Presets returns the preset table, for the Table I reproduction.
+func Presets() []PresetSpec {
+	out := make([]PresetSpec, len(presets))
+	copy(out, presets)
+	return out
+}
+
+// Tiny presets used widely in tests; exported so tests across packages
+// share the same fixtures.
+
+// TinySocial is a small RMAT graph (2^10 vertices) with social-network
+// skew: fast to build, dense enough to exercise all three frontier
+// classes.
+func TinySocial() *graph.Graph { return RMAT(10, 16, 0.57, 0.19, 0.19, 7) }
+
+// TinyRoad is a small lattice with high diameter.
+func TinyRoad() *graph.Graph { return RoadGrid(48, 48, 9) }
+
+// SortedPresetKinds returns the distinct generator kinds used by presets,
+// sorted; exists for documentation output.
+func SortedPresetKinds() []string {
+	seen := map[string]bool{}
+	for _, p := range presets {
+		seen[p.Kind] = true
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,88 @@
+package gio
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Load reads a graph from a file, dispatching on extension:
+//
+//	.el / .txt / .edges  edge list
+//	.adj                 Ligra AdjacencyGraph
+//	.bin / .ggr          binary
+//
+// A trailing ".gz" on any of the above transparently decompresses.
+func Load(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r io.Reader = f
+	name := path
+	if strings.HasSuffix(name, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("gio: %s: %v", path, err)
+		}
+		defer gz.Close()
+		r = gz
+		name = strings.TrimSuffix(name, ".gz")
+	}
+	switch ext := filepath.Ext(name); ext {
+	case ".el", ".txt", ".edges":
+		return ReadEdgeList(r, 0)
+	case ".adj":
+		return ReadAdjacencyGraph(r)
+	case ".bin", ".ggr":
+		return ReadBinary(r)
+	default:
+		return nil, fmt.Errorf("gio: %s: unknown graph extension %q", path, ext)
+	}
+}
+
+// Save writes a graph to a file, dispatching on extension exactly like
+// Load (including ".gz" compression).
+func Save(path string, g *graph.Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var w io.Writer = f
+	var gz *gzip.Writer
+	name := path
+	if strings.HasSuffix(name, ".gz") {
+		gz = gzip.NewWriter(f)
+		w = gz
+		name = strings.TrimSuffix(name, ".gz")
+	}
+	var werr error
+	switch ext := filepath.Ext(name); ext {
+	case ".el", ".txt", ".edges":
+		werr = WriteEdgeList(w, g)
+	case ".adj":
+		werr = WriteAdjacencyGraph(w, g)
+	case ".bin", ".ggr":
+		werr = WriteBinary(w, g)
+	default:
+		werr = fmt.Errorf("gio: %s: unknown graph extension %q", path, ext)
+	}
+	if gz != nil {
+		if err := gz.Close(); err != nil && werr == nil {
+			werr = err
+		}
+	}
+	if err := f.Close(); err != nil && werr == nil {
+		werr = err
+	}
+	if werr != nil {
+		os.Remove(path)
+	}
+	return werr
+}

@@ -1,0 +1,79 @@
+package gio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestLoadSaveAllExtensions(t *testing.T) {
+	g := gen.TinySocial()
+	dir := t.TempDir()
+	for _, name := range []string{
+		"g.el", "g.txt", "g.edges", "g.adj", "g.bin", "g.ggr",
+		"g.el.gz", "g.adj.gz", "g.bin.gz",
+	} {
+		path := filepath.Join(dir, name)
+		if err := Save(path, g); err != nil {
+			t.Fatalf("%s: save: %v", name, err)
+		}
+		got, err := Load(path)
+		if err != nil {
+			t.Fatalf("%s: load: %v", name, err)
+		}
+		sameGraph(t, g, got)
+	}
+}
+
+func TestGzipActuallyCompresses(t *testing.T) {
+	g := gen.TinySocial()
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "g.el")
+	zipped := filepath.Join(dir, "g.el.gz")
+	if err := Save(plain, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(zipped, g); err != nil {
+		t.Fatal(err)
+	}
+	ps, _ := os.Stat(plain)
+	zs, _ := os.Stat(zipped)
+	if zs.Size() >= ps.Size() {
+		t.Fatalf("gzip did not shrink: %d vs %d", zs.Size(), ps.Size())
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load("/nonexistent/path.el"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	dir := t.TempDir()
+	weird := filepath.Join(dir, "g.xyz")
+	if err := os.WriteFile(weird, []byte("0 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(weird); err == nil {
+		t.Fatal("unknown extension accepted")
+	}
+	// A .gz that is not gzip data.
+	fake := filepath.Join(dir, "g.el.gz")
+	if err := os.WriteFile(fake, []byte("not gzip"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(fake); err == nil {
+		t.Fatal("bad gzip accepted")
+	}
+}
+
+func TestSaveUnknownExtensionFails(t *testing.T) {
+	dir := t.TempDir()
+	err := Save(filepath.Join(dir, "g.weird"), gen.Chain(4))
+	if err == nil {
+		t.Fatal("unknown extension accepted")
+	}
+	if _, statErr := os.Stat(filepath.Join(dir, "g.weird")); statErr == nil {
+		t.Fatal("failed save left a file behind")
+	}
+}

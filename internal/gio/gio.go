@@ -1,0 +1,283 @@
+// Package gio reads and writes graphs in the formats a user of the
+// framework encounters in the wild:
+//
+//   - EdgeList: whitespace-separated "src dst" lines, '#' comments
+//     (SNAP's download format — how Twitter/LiveJournal/Orkut ship).
+//   - AdjacencyGraph: Ligra's text format ("AdjacencyGraph\n n\n m\n"
+//     followed by n offsets and m targets), so graphs prepared for the
+//     original C++ systems load directly.
+//   - Binary: a compact little-endian format with a magic header, for
+//     fast reload of generated datasets.
+//
+// All readers validate structure and return errors rather than
+// panicking: files are external input.
+package gio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// ReadEdgeList parses "src dst" pairs, one per line. Lines starting with
+// '#' or '%' and blank lines are skipped, except that a header of the
+// form "# vertices N ..." (as WriteEdgeList emits) fixes the vertex
+// count, preserving trailing isolated vertices. Otherwise the count is
+// 1 + max ID, or minVertices if larger.
+func ReadEdgeList(r io.Reader, minVertices int) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var edges []graph.Edge
+	maxID := -1
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == '#' || text[0] == '%' {
+			if n, ok := parseVertexHeader(text); ok && n > minVertices {
+				minVertices = n
+			}
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("gio: line %d: want 'src dst', got %q", line, text)
+		}
+		src, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("gio: line %d: bad source: %v", line, err)
+		}
+		dst, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("gio: line %d: bad destination: %v", line, err)
+		}
+		edges = append(edges, graph.Edge{Src: graph.VID(src), Dst: graph.VID(dst)})
+		if int(src) > maxID {
+			maxID = int(src)
+		}
+		if int(dst) > maxID {
+			maxID = int(dst)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("gio: %v", err)
+	}
+	n := maxID + 1
+	if n < minVertices {
+		n = minVertices
+	}
+	return graph.FromEdges(n, edges), nil
+}
+
+// parseVertexHeader recognises "# vertices N ..." headers.
+func parseVertexHeader(comment string) (int, bool) {
+	fields := strings.Fields(strings.TrimLeft(comment, "#% "))
+	if len(fields) >= 2 && fields[0] == "vertices" {
+		if n, err := strconv.Atoi(fields[1]); err == nil && n >= 0 {
+			return n, true
+		}
+	}
+	return 0, false
+}
+
+// WriteEdgeList writes the graph as "src dst" lines in CSR order, with a
+// "# vertices N edges M" header so isolated trailing vertices survive a
+// round trip.
+func WriteEdgeList(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# vertices %d edges %d\n", g.NumVertices(), g.NumEdges())
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, d := range g.OutNeighbors(graph.VID(v)) {
+			if _, err := fmt.Fprintf(bw, "%d %d\n", v, d); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteWeightedEdgeList writes "src dst weight" lines using the
+// framework's deterministic edge weights (graph.WeightOf), for interop
+// with weighted-graph tools; this repo's own readers ignore the third
+// column (weights are recomputed from the endpoints).
+func WriteWeightedEdgeList(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# vertices %d edges %d weighted\n", g.NumVertices(), g.NumEdges())
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, d := range g.OutNeighbors(graph.VID(v)) {
+			if _, err := fmt.Fprintf(bw, "%d %d %.9g\n", v, d, graph.WeightOf(graph.VID(v), d)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadAdjacencyGraph parses Ligra's AdjacencyGraph text format.
+func ReadAdjacencyGraph(r io.Reader) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	sc.Split(bufio.ScanWords)
+	next := func() (string, error) {
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				return "", err
+			}
+			return "", io.ErrUnexpectedEOF
+		}
+		return sc.Text(), nil
+	}
+	header, err := next()
+	if err != nil {
+		return nil, fmt.Errorf("gio: %v", err)
+	}
+	if header != "AdjacencyGraph" {
+		return nil, fmt.Errorf("gio: bad header %q, want AdjacencyGraph", header)
+	}
+	readInt := func(what string) (int64, error) {
+		tok, err := next()
+		if err != nil {
+			return 0, fmt.Errorf("gio: reading %s: %v", what, err)
+		}
+		v, err := strconv.ParseInt(tok, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("gio: bad %s %q", what, tok)
+		}
+		return v, nil
+	}
+	n64, err := readInt("vertex count")
+	if err != nil {
+		return nil, err
+	}
+	m64, err := readInt("edge count")
+	if err != nil {
+		return nil, err
+	}
+	if n64 < 0 || m64 < 0 || n64 > 1<<31 {
+		return nil, fmt.Errorf("gio: implausible sizes n=%d m=%d", n64, m64)
+	}
+	n, m := int(n64), m64
+	offsets := make([]int64, n+1)
+	for i := 0; i < n; i++ {
+		offsets[i], err = readInt("offset")
+		if err != nil {
+			return nil, err
+		}
+	}
+	offsets[n] = m
+	for i := 0; i < n; i++ {
+		if offsets[i] > offsets[i+1] || offsets[i] < 0 || offsets[i] > m {
+			return nil, fmt.Errorf("gio: offsets not monotone at %d", i)
+		}
+	}
+	edges := make([]graph.Edge, 0, m)
+	for v := 0; v < n; v++ {
+		for e := offsets[v]; e < offsets[v+1]; e++ {
+			t, err := readInt("target")
+			if err != nil {
+				return nil, err
+			}
+			if t < 0 || t >= n64 {
+				return nil, fmt.Errorf("gio: target %d out of range", t)
+			}
+			edges = append(edges, graph.Edge{Src: graph.VID(v), Dst: graph.VID(t)})
+		}
+	}
+	return graph.FromEdges(n, edges), nil
+}
+
+// WriteAdjacencyGraph writes Ligra's AdjacencyGraph text format.
+func WriteAdjacencyGraph(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "AdjacencyGraph")
+	fmt.Fprintln(bw, g.NumVertices())
+	fmt.Fprintln(bw, g.NumEdges())
+	off := g.OutOffsets()
+	for v := 0; v < g.NumVertices(); v++ {
+		fmt.Fprintln(bw, off[v])
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, d := range g.OutNeighbors(graph.VID(v)) {
+			if _, err := fmt.Fprintln(bw, d); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Binary format: magic, version, n, m, then CSR offsets and targets,
+// little-endian. The CSC view is rebuilt on load.
+const (
+	binaryMagic   = 0x47475232 // "GGR2"
+	binaryVersion = 1
+)
+
+// WriteBinary writes the compact binary format.
+func WriteBinary(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	hdr := []uint64{binaryMagic, binaryVersion, uint64(g.NumVertices()), uint64(g.NumEdges())}
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.OutOffsets()); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.OutTargets()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadBinary loads the compact binary format.
+func ReadBinary(r io.Reader) (*graph.Graph, error) {
+	br := bufio.NewReader(r)
+	var hdr [4]uint64
+	for i := range hdr {
+		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, fmt.Errorf("gio: header: %v", err)
+		}
+	}
+	if hdr[0] != binaryMagic {
+		return nil, fmt.Errorf("gio: bad magic %#x", hdr[0])
+	}
+	if hdr[1] != binaryVersion {
+		return nil, fmt.Errorf("gio: unsupported version %d", hdr[1])
+	}
+	n, m := int(hdr[2]), int64(hdr[3])
+	if n < 0 || m < 0 || uint64(n) > 1<<31 {
+		return nil, fmt.Errorf("gio: implausible sizes n=%d m=%d", n, m)
+	}
+	offsets := make([]int64, n+1)
+	if err := binary.Read(br, binary.LittleEndian, offsets); err != nil {
+		return nil, fmt.Errorf("gio: offsets: %v", err)
+	}
+	if offsets[0] != 0 || offsets[n] != m {
+		return nil, fmt.Errorf("gio: offsets span [%d,%d], want [0,%d]", offsets[0], offsets[n], m)
+	}
+	targets := make([]graph.VID, m)
+	if err := binary.Read(br, binary.LittleEndian, targets); err != nil {
+		return nil, fmt.Errorf("gio: targets: %v", err)
+	}
+	edges := make([]graph.Edge, 0, m)
+	for v := 0; v < n; v++ {
+		if offsets[v] > offsets[v+1] {
+			return nil, fmt.Errorf("gio: offsets not monotone at %d", v)
+		}
+		for e := offsets[v]; e < offsets[v+1]; e++ {
+			t := targets[e]
+			if int(t) >= n {
+				return nil, fmt.Errorf("gio: target %d out of range", t)
+			}
+			edges = append(edges, graph.Edge{Src: graph.VID(v), Dst: t})
+		}
+	}
+	return graph.FromEdges(n, edges), nil
+}

@@ -1,0 +1,237 @@
+package gio
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func sameGraph(t *testing.T, a, b *graph.Graph) {
+	t.Helper()
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("sizes differ: %d/%d vs %d/%d",
+			a.NumVertices(), a.NumEdges(), b.NumVertices(), b.NumEdges())
+	}
+	ea, eb := a.Edges(), b.Edges()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, ea[i], eb[i])
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := gen.TinySocial()
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf, g.NumVertices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameGraph(t, g, g2)
+}
+
+func TestEdgeListCommentsAndBlanks(t *testing.T) {
+	in := `# a comment
+% another comment
+
+0 1
+1 2
+
+2 0
+`
+	g, err := ReadEdgeList(strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("got %d/%d", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestEdgeListMinVertices(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("0 1\n"), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 10 {
+		t.Fatalf("n = %d, want 10", g.NumVertices())
+	}
+}
+
+func TestEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"0\n",      // too few fields
+		"a b\n",    // non-numeric
+		"0 -1\n",   // negative
+		"0 99e9\n", // not an integer
+	}
+	for _, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in), 0); err == nil {
+			t.Fatalf("input %q should fail", in)
+		}
+	}
+}
+
+func TestAdjacencyGraphRoundTrip(t *testing.T) {
+	g := gen.TinySocial()
+	var buf bytes.Buffer
+	if err := WriteAdjacencyGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadAdjacencyGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameGraph(t, g, g2)
+}
+
+func TestAdjacencyGraphLigraExample(t *testing.T) {
+	// The 3-vertex example from Ligra's README.
+	in := "AdjacencyGraph\n3\n4\n0\n1\n2\n1\n2\n0\n2\n"
+	g, err := ReadAdjacencyGraph(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 4 {
+		t.Fatalf("got %d/%d", g.NumVertices(), g.NumEdges())
+	}
+	if got := g.OutNeighbors(0); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("neighbours of 0: %v", got)
+	}
+	if got := g.OutNeighbors(2); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("neighbours of 2: %v", got)
+	}
+}
+
+func TestAdjacencyGraphErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad header":     "NotAGraph\n1\n0\n0\n",
+		"truncated":      "AdjacencyGraph\n3\n4\n0\n1\n",
+		"bad offset":     "AdjacencyGraph\n2\n1\n0\nx\n0\n",
+		"target range":   "AdjacencyGraph\n1\n1\n0\n7\n",
+		"negative sizes": "AdjacencyGraph\n-1\n0\n",
+		"non-monotone":   "AdjacencyGraph\n2\n2\n2\n0\n0\n0\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadAdjacencyGraph(strings.NewReader(in)); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	for _, g := range []*graph.Graph{gen.TinySocial(), gen.Chain(5), graph.FromEdges(3, nil)} {
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameGraph(t, g, g2)
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("hello world, not a graph"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Corrupt the magic of a valid stream.
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, gen.Chain(4)); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[0] ^= 0xff
+	if _, err := ReadBinary(bytes.NewReader(b)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestBinaryRejectsTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, gen.TinySocial()); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	for _, cut := range []int{8, 31, len(b) / 2, len(b) - 1} {
+		if _, err := ReadBinary(bytes.NewReader(b[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestCrossFormatAgreement(t *testing.T) {
+	// The same graph written in all three formats must read back equal.
+	g := gen.TinyRoad()
+	var el, adj, bin bytes.Buffer
+	if err := WriteEdgeList(&el, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteAdjacencyGraph(&adj, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(&bin, g); err != nil {
+		t.Fatal(err)
+	}
+	g1, err := ReadEdgeList(&el, g.NumVertices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadAdjacencyGraph(&adj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g3, err := ReadBinary(&bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameGraph(t, g1, g2)
+	sameGraph(t, g2, g3)
+}
+
+func TestWeightedEdgeList(t *testing.T) {
+	g := gen.Chain(4)
+	var buf bytes.Buffer
+	if err := WriteWeightedEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "weighted") {
+		t.Fatal("missing weighted header")
+	}
+	// Three edges, three weight columns parseable as floats in (0,1].
+	lines := strings.Split(strings.TrimSpace(out), "\n")[1:]
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	for _, l := range lines {
+		var u, v int
+		var w float64
+		if _, err := fmt.Sscanf(l, "%d %d %g", &u, &v, &w); err != nil {
+			t.Fatalf("bad line %q: %v", l, err)
+		}
+		if w <= 0 || w > 1 {
+			t.Fatalf("weight %v out of range", w)
+		}
+		if float32(w) != graph.WeightOf(graph.VID(u), graph.VID(v)) {
+			t.Fatalf("weight mismatch on (%d,%d)", u, v)
+		}
+	}
+	// The ordinary reader still accepts the file (ignoring weights).
+	g2, err := ReadEdgeList(strings.NewReader(out), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatal("weighted file not readable as plain edge list")
+	}
+}

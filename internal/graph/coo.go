@@ -1,0 +1,59 @@
+package graph
+
+// COO is a coordinate-list view of a graph: parallel source and
+// destination arrays. The COO layout is the only layout whose storage is
+// independent of the number of partitions (2|E|·b_v bytes), which is why
+// the paper uses it for aggressively partitioned dense traversal.
+type COO struct {
+	N   int
+	Src []VID
+	Dst []VID
+}
+
+// NumEdges returns the number of edges in the list.
+func (c *COO) NumEdges() int64 { return int64(len(c.Src)) }
+
+// COOFromGraph materialises the COO view of g in CSR order (sorted by
+// source vertex): the exact order a forward whole-graph traversal visits
+// edges.
+func COOFromGraph(g *Graph) *COO {
+	c := &COO{
+		N:   g.NumVertices(),
+		Src: make([]VID, g.NumEdges()),
+		Dst: make([]VID, g.NumEdges()),
+	}
+	var i int64
+	for v := 0; v < g.n; v++ {
+		for _, d := range g.OutNeighbors(VID(v)) {
+			c.Src[i] = VID(v)
+			c.Dst[i] = d
+			i++
+		}
+	}
+	return c
+}
+
+// COOFromEdges builds a COO view directly from an edge list, preserving
+// the given order.
+func COOFromEdges(n int, edges []Edge) *COO {
+	c := &COO{N: n, Src: make([]VID, len(edges)), Dst: make([]VID, len(edges))}
+	for i, e := range edges {
+		c.Src[i] = e.Src
+		c.Dst[i] = e.Dst
+	}
+	return c
+}
+
+// Edges materialises the COO content as an edge list in stored order.
+func (c *COO) Edges() []Edge {
+	out := make([]Edge, len(c.Src))
+	for i := range c.Src {
+		out[i] = Edge{Src: c.Src[i], Dst: c.Dst[i]}
+	}
+	return out
+}
+
+// Slice returns a sub-list view [lo,hi) sharing storage with c.
+func (c *COO) Slice(lo, hi int64) *COO {
+	return &COO{N: c.N, Src: c.Src[lo:hi], Dst: c.Dst[lo:hi]}
+}

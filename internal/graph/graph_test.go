@@ -1,0 +1,366 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mkGraph(t *testing.T) *Graph {
+	t.Helper()
+	edges := []Edge{
+		{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 1, Dst: 2},
+		{Src: 2, Dst: 0}, {Src: 3, Dst: 3}, {Src: 2, Dst: 2},
+	}
+	return FromEdges(5, edges)
+}
+
+func TestFromEdgesBasics(t *testing.T) {
+	g := mkGraph(t)
+	if g.NumVertices() != 5 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	if g.NumEdges() != 6 {
+		t.Fatalf("m = %d", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	g := mkGraph(t)
+	wantOut := []int64{2, 1, 2, 1, 0}
+	wantIn := []int64{1, 1, 3, 1, 0}
+	for v := 0; v < 5; v++ {
+		if d := g.OutDegree(VID(v)); d != wantOut[v] {
+			t.Errorf("out-degree(%d) = %d, want %d", v, d, wantOut[v])
+		}
+		if d := g.InDegree(VID(v)); d != wantIn[v] {
+			t.Errorf("in-degree(%d) = %d, want %d", v, d, wantIn[v])
+		}
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := mkGraph(t)
+	for v := 0; v < g.NumVertices(); v++ {
+		ns := g.OutNeighbors(VID(v))
+		for i := 1; i < len(ns); i++ {
+			if ns[i-1] > ns[i] {
+				t.Fatalf("out-neighbours of %d not sorted: %v", v, ns)
+			}
+		}
+		is := g.InNeighbors(VID(v))
+		for i := 1; i < len(is); i++ {
+			if is[i-1] > is[i] {
+				t.Fatalf("in-neighbours of %d not sorted: %v", v, is)
+			}
+		}
+	}
+}
+
+func TestReverseSwapsViews(t *testing.T) {
+	g := mkGraph(t)
+	r := g.Reverse()
+	if r.NumEdges() != g.NumEdges() || r.NumVertices() != g.NumVertices() {
+		t.Fatal("reverse changed sizes")
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		out := g.OutNeighbors(VID(v))
+		in := r.InNeighbors(VID(v))
+		if len(out) != len(in) {
+			t.Fatalf("vertex %d: out %v vs reversed-in %v", v, out, in)
+		}
+		for i := range out {
+			if out[i] != in[i] {
+				t.Fatalf("vertex %d: out %v vs reversed-in %v", v, out, in)
+			}
+		}
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	g := mkGraph(t)
+	g2 := FromEdges(g.NumVertices(), g.Edges())
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("edge count changed: %d vs %d", g2.NumEdges(), g.NumEdges())
+	}
+	e1, e2 := g.Edges(), g2.Edges()
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("edge %d: %v vs %v", i, e1[i], e2[i])
+		}
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := FromEdges(0, nil)
+	if g.NumVertices() != 0 || g.NumEdges() != 0 {
+		t.Fatal("empty graph not empty")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g1 := FromEdges(3, nil)
+	if g1.MaxOutDegree() != 0 || g1.MaxInDegree() != 0 {
+		t.Fatal("edgeless graph has nonzero degree")
+	}
+}
+
+func TestFromEdgesPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range endpoint")
+		}
+	}()
+	FromEdges(2, []Edge{{Src: 0, Dst: 5}})
+}
+
+// Property: CSR and CSC views always describe the same edge multiset,
+// for random small graphs.
+func TestCSRCSCConsistencyProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		const n = 32
+		edges := make([]Edge, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, Edge{Src: VID(raw[i] % n), Dst: VID(raw[i+1] % n)})
+		}
+		g := FromEdges(n, edges)
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for every edge (u,v) of a random graph, v appears in
+// OutNeighbors(u) and u in InNeighbors(v).
+func TestAdjacencyMembershipProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		const n = 24
+		edges := make([]Edge, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, Edge{Src: VID(raw[i] % n), Dst: VID(raw[i+1] % n)})
+		}
+		g := FromEdges(n, edges)
+		for _, e := range edges {
+			if !HasEdge(g, e.Src, e.Dst) {
+				return false
+			}
+			found := false
+			for _, u := range g.InNeighbors(e.Dst) {
+				if u == e.Src {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightDeterministicAndPositive(t *testing.T) {
+	f := func(u, v uint32) bool {
+		w1, w2 := WeightOf(u, v), WeightOf(u, v)
+		return w1 == w2 && w1 > 0 && w1 <= 1 && !math.IsNaN(float64(w1))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightAsymmetric(t *testing.T) {
+	// Not a strict requirement, but (u,v) and (v,u) should almost never
+	// collide; check a specific pair.
+	if WeightOf(3, 7) == WeightOf(7, 3) {
+		t.Fatal("weights suspiciously symmetric")
+	}
+}
+
+func TestMix64Avalanche(t *testing.T) {
+	// Flipping one input bit should flip roughly half the output bits.
+	base := Mix64(12345)
+	flipped := Mix64(12345 ^ 1)
+	diff := base ^ flipped
+	ones := 0
+	for i := 0; i < 64; i++ {
+		if diff&(1<<uint(i)) != 0 {
+			ones++
+		}
+	}
+	if ones < 16 || ones > 48 {
+		t.Fatalf("avalanche too weak: %d differing bits", ones)
+	}
+}
+
+func TestCOOFromGraphCSROrder(t *testing.T) {
+	g := mkGraph(t)
+	c := COOFromGraph(g)
+	if c.NumEdges() != g.NumEdges() {
+		t.Fatalf("COO edges %d, want %d", c.NumEdges(), g.NumEdges())
+	}
+	for i := 1; i < len(c.Src); i++ {
+		if c.Src[i-1] > c.Src[i] {
+			t.Fatal("COO not in source order")
+		}
+		if c.Src[i-1] == c.Src[i] && c.Dst[i-1] > c.Dst[i] {
+			t.Fatal("COO destinations not sorted within source")
+		}
+	}
+}
+
+func TestCOOSlice(t *testing.T) {
+	g := mkGraph(t)
+	c := COOFromGraph(g)
+	s := c.Slice(1, 4)
+	if s.NumEdges() != 3 {
+		t.Fatalf("slice edges = %d", s.NumEdges())
+	}
+	if s.Src[0] != c.Src[1] || s.Dst[2] != c.Dst[3] {
+		t.Fatal("slice does not alias parent")
+	}
+}
+
+func TestStatsBasics(t *testing.T) {
+	g := mkGraph(t)
+	s := ComputeStats("test", g)
+	if s.Vertices != 5 || s.Edges != 6 {
+		t.Fatalf("stats sizes wrong: %+v", s)
+	}
+	if s.ZeroOutDeg != 1 || s.ZeroInDeg != 1 {
+		t.Fatalf("zero-degree counts wrong: %+v", s)
+	}
+	if s.AvgDegree != 6.0/5.0 {
+		t.Fatalf("avg degree %v", s.AvgDegree)
+	}
+	if s.String() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := mkGraph(t)
+	buckets, zero := DegreeHistogram(g)
+	if zero != 1 {
+		t.Fatalf("zero-degree count = %d", zero)
+	}
+	var total int64
+	for _, b := range buckets {
+		total += b
+	}
+	if total != 4 {
+		t.Fatalf("histogram total = %d, want 4", total)
+	}
+}
+
+func TestCheckSymmetric(t *testing.T) {
+	sym := FromEdges(3, []Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 0}, {Src: 1, Dst: 2}, {Src: 2, Dst: 1}})
+	if !CheckSymmetric(sym) {
+		t.Fatal("symmetric graph reported asymmetric")
+	}
+	asym := FromEdges(3, []Edge{{Src: 0, Dst: 1}})
+	if CheckSymmetric(asym) {
+		t.Fatal("asymmetric graph reported symmetric")
+	}
+}
+
+func TestApproxDiameterHint(t *testing.T) {
+	// A path graph has diameter n-1 even seen undirected.
+	n := 20
+	edges := make([]Edge, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, Edge{Src: VID(i), Dst: VID(i + 1)})
+	}
+	g := FromEdges(n, edges)
+	if d := ApproxDiameterHint(g); d != n-1 {
+		t.Fatalf("path diameter hint = %d, want %d", d, n-1)
+	}
+}
+
+func TestGiniBounds(t *testing.T) {
+	// Uniform degrees → Gini near 0; star → Gini near 1.
+	uniform := make([]Edge, 0)
+	for i := 0; i < 16; i++ {
+		uniform = append(uniform, Edge{Src: VID(i), Dst: VID((i + 1) % 16)})
+	}
+	gU := ComputeStats("u", FromEdges(16, uniform))
+	if gU.GiniOut > 0.1 {
+		t.Fatalf("uniform gini = %v", gU.GiniOut)
+	}
+	star := make([]Edge, 0)
+	for i := 1; i < 64; i++ {
+		star = append(star, Edge{Src: 0, Dst: VID(i)})
+	}
+	gS := ComputeStats("s", FromEdges(64, star))
+	if gS.GiniOut < 0.9 {
+		t.Fatalf("star gini = %v", gS.GiniOut)
+	}
+}
+
+func TestViewAccessors(t *testing.T) {
+	g := mkGraph(t)
+	if len(g.OutOffsets()) != g.NumVertices()+1 || len(g.InOffsets()) != g.NumVertices()+1 {
+		t.Fatal("offset lengths")
+	}
+	if int64(len(g.OutTargets())) != g.NumEdges() || int64(len(g.InSources())) != g.NumEdges() {
+		t.Fatal("value lengths")
+	}
+}
+
+func TestCOOFromEdgesPreservesOrder(t *testing.T) {
+	edges := []Edge{{Src: 2, Dst: 0}, {Src: 0, Dst: 1}, {Src: 2, Dst: 0}}
+	c := COOFromEdges(3, edges)
+	got := c.Edges()
+	for i := range edges {
+		if got[i] != edges[i] {
+			t.Fatalf("order changed at %d", i)
+		}
+	}
+}
+
+func TestSortEdgesExported(t *testing.T) {
+	es := []Edge{{Src: 2, Dst: 1}, {Src: 0, Dst: 5}, {Src: 2, Dst: 0}}
+	SortEdges(es)
+	if es[0].Src != 0 || es[1] != (Edge{Src: 2, Dst: 0}) {
+		t.Fatalf("sorted: %v", es)
+	}
+}
+
+func TestWeightSumOut(t *testing.T) {
+	g := mkGraph(t)
+	var want float64
+	for _, d := range g.OutNeighbors(0) {
+		want += float64(WeightOf(0, d))
+	}
+	if got := g.WeightSumOut(0); got != want {
+		t.Fatalf("sum %v, want %v", got, want)
+	}
+}
+
+func TestUniform01Range(t *testing.T) {
+	for i := uint64(0); i < 1000; i++ {
+		u := Uniform01(Mix64(i))
+		if u < 0 || u >= 1 {
+			t.Fatalf("Uniform01 out of range: %v", u)
+		}
+	}
+}
+
+func TestClampFinite(t *testing.T) {
+	if ClampFinite(math.NaN(), 7) != 7 || ClampFinite(math.Inf(1), 7) != 7 {
+		t.Fatal("non-finite not clamped")
+	}
+	if ClampFinite(3.5, 7) != 3.5 {
+		t.Fatal("finite value altered")
+	}
+}

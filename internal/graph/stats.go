@@ -1,0 +1,182 @@
+package graph
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Stats summarises a graph in the style of the paper's Table I.
+type Stats struct {
+	Name         string
+	Vertices     int
+	Edges        int64
+	AvgDegree    float64
+	MaxOutDegree int64
+	MaxInDegree  int64
+	ZeroOutDeg   int     // vertices with no out-edges
+	ZeroInDeg    int     // vertices with no in-edges
+	GiniOut      float64 // degree-inequality coefficient; ≈0 uniform, →1 skewed
+}
+
+// ComputeStats computes summary statistics for g.
+func ComputeStats(name string, g *Graph) Stats {
+	s := Stats{
+		Name:     name,
+		Vertices: g.NumVertices(),
+		Edges:    g.NumEdges(),
+	}
+	if s.Vertices > 0 {
+		s.AvgDegree = float64(s.Edges) / float64(s.Vertices)
+	}
+	s.MaxOutDegree = g.MaxOutDegree()
+	s.MaxInDegree = g.MaxInDegree()
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.OutDegree(VID(v)) == 0 {
+			s.ZeroOutDeg++
+		}
+		if g.InDegree(VID(v)) == 0 {
+			s.ZeroInDeg++
+		}
+	}
+	s.GiniOut = giniOutDegree(g)
+	return s
+}
+
+// giniOutDegree computes the Gini coefficient of the out-degree
+// distribution using a counting sort over degree values, O(V + maxDeg).
+func giniOutDegree(g *Graph) float64 {
+	n := g.NumVertices()
+	if n == 0 || g.NumEdges() == 0 {
+		return 0
+	}
+	maxDeg := g.MaxOutDegree()
+	counts := make([]int64, maxDeg+1)
+	for v := 0; v < n; v++ {
+		counts[g.OutDegree(VID(v))]++
+	}
+	// Gini = 1 - 2·Σ_i (cumulative share of degree mass) / n, computed on
+	// the sorted sequence of degrees (ascending by construction here).
+	var cum, weighted int64
+	var rank int64
+	for d := int64(0); d <= maxDeg; d++ {
+		for c := int64(0); c < counts[d]; c++ {
+			rank++
+			cum += d
+			weighted += cum
+		}
+	}
+	total := float64(cum)
+	if total == 0 {
+		return 0
+	}
+	return 1 - 2*float64(weighted)/(float64(n)*total) + 1/float64(n)
+}
+
+// DegreeHistogram returns counts of out-degrees bucketed by log2: bucket i
+// counts vertices with out-degree in [2^i, 2^(i+1)); bucket 0 also counts
+// degree-0 vertices separately in the returned zero count.
+func DegreeHistogram(g *Graph) (buckets []int64, zero int64) {
+	buckets = make([]int64, 33)
+	for v := 0; v < g.NumVertices(); v++ {
+		d := g.OutDegree(VID(v))
+		if d == 0 {
+			zero++
+			continue
+		}
+		buckets[bits.Len64(uint64(d))-1]++
+	}
+	// Trim trailing empty buckets.
+	last := len(buckets)
+	for last > 0 && buckets[last-1] == 0 {
+		last--
+	}
+	return buckets[:last], zero
+}
+
+// String renders stats as a Table-I-style row.
+func (s Stats) String() string {
+	return fmt.Sprintf("%-16s |V|=%-9d |E|=%-10d avg=%.2f maxOut=%d maxIn=%d gini=%.3f",
+		s.Name, s.Vertices, s.Edges, s.AvgDegree, s.MaxOutDegree, s.MaxInDegree, s.GiniOut)
+}
+
+// ApproxDiameterHint returns a crude lower bound on the graph diameter by
+// running a double-sweep BFS from vertex 0 (ignoring direction). It exists
+// for test assertions that road-like graphs have much larger diameter than
+// social-like graphs; it is not used by any engine.
+func ApproxDiameterHint(g *Graph) int {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	far, _ := bfsFarthest(g, 0)
+	_, d := bfsFarthest(g, far)
+	return d
+}
+
+func bfsFarthest(g *Graph, start VID) (VID, int) {
+	n := g.NumVertices()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[start] = 0
+	queue := []VID{start}
+	last, lastD := start, 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.OutNeighbors(v) {
+			if dist[w] < 0 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+				if int(dist[w]) > lastD {
+					lastD = int(dist[w])
+					last = w
+				}
+			}
+		}
+		for _, w := range g.InNeighbors(v) {
+			if dist[w] < 0 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+				if int(dist[w]) > lastD {
+					lastD = int(dist[w])
+					last = w
+				}
+			}
+		}
+	}
+	return last, lastD
+}
+
+// CheckSymmetric reports whether for every edge (u,v) the reverse edge
+// (v,u) is present; undirected datasets in Table I are stored as two
+// directed arcs.
+func CheckSymmetric(g *Graph) bool {
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, w := range g.OutNeighbors(VID(v)) {
+			if !hasEdge(g, w, VID(v)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func hasEdge(g *Graph, u, v VID) bool {
+	ns := g.OutNeighbors(u)
+	lo, hi := 0, len(ns)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ns[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(ns) && ns[lo] == v
+}
+
+// HasEdge reports whether the directed edge (u,v) exists (binary search on
+// the sorted adjacency list).
+func HasEdge(g *Graph, u, v VID) bool { return hasEdge(g, u, v) }

@@ -1,0 +1,55 @@
+package graph
+
+import "math"
+
+// Edge weights are a deterministic function of the edge's endpoints rather
+// than stored arrays. This keeps the CSR, CSC and COO views of a graph
+// trivially consistent (the paper stores three layout copies; weights
+// would otherwise have to be replicated in each) and costs a few ALU ops
+// per edge, which is negligible next to the memory traffic the paper
+// studies.
+
+// WeightOf returns the weight of edge (u,v), a value in (0,1]. The same
+// (u,v) always yields the same weight, in every layout.
+func WeightOf(u, v VID) float32 {
+	h := mix64(uint64(u)<<32 | uint64(v))
+	// Map the top 24 bits to (0,1]: never zero so shortest-path weights
+	// are strictly positive.
+	return float32(h>>40+1) / float32(1<<24)
+}
+
+// mix64 is the splitmix64 finaliser: a high-quality 64-bit mixer.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Mix64 exposes the mixer for other packages needing a cheap deterministic
+// hash (generators, belief-propagation priors).
+func Mix64(x uint64) uint64 { return mix64(x) }
+
+// WeightSumOut returns the sum of out-edge weights of v, used by SPMV and
+// PageRank style normalisation checks.
+func (g *Graph) WeightSumOut(v VID) float64 {
+	var s float64
+	for _, d := range g.OutNeighbors(v) {
+		s += float64(WeightOf(v, d))
+	}
+	return s
+}
+
+// Uniform01 maps a hash to [0,1).
+func Uniform01(h uint64) float64 {
+	return float64(h>>11) / float64(uint64(1)<<53)
+}
+
+// ClampFinite replaces NaN/Inf by fallback; belief propagation uses it to
+// keep messages well-conditioned regardless of graph structure.
+func ClampFinite(x, fallback float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return fallback
+	}
+	return x
+}

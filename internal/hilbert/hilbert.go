@@ -1,0 +1,153 @@
+// Package hilbert implements the Hilbert space-filling curve and the edge
+// sort orders compared in Figure 7: by source (CSR order), by destination
+// (CSC order) and by Hilbert index of the (src,dst) coordinate. Sorting
+// COO partitions in Hilbert order improves spatial locality of both
+// endpoint arrays simultaneously (paper: up to 16.2% faster).
+package hilbert
+
+import (
+	"math/bits"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// XY2D maps the point (x,y) on a 2^order × 2^order grid to its distance
+// along the Hilbert curve. Standard iterative rotate-and-flip algorithm.
+func XY2D(order uint, x, y uint32) uint64 {
+	var d uint64
+	for s := uint32(1) << (order - 1); s > 0; s >>= 1 {
+		var rx, ry uint32
+		if x&s > 0 {
+			rx = 1
+		}
+		if y&s > 0 {
+			ry = 1
+		}
+		d += uint64(s) * uint64(s) * uint64((3*rx)^ry)
+		x, y = rot(s, x, y, rx, ry)
+	}
+	return d
+}
+
+// D2XY is the inverse of XY2D: curve distance to grid point.
+func D2XY(order uint, d uint64) (x, y uint32) {
+	t := d
+	for s := uint32(1); s < 1<<order; s <<= 1 {
+		rx := uint32(1) & uint32(t/2)
+		ry := uint32(1) & uint32(t^uint64(rx))
+		x, y = rot(s, x, y, rx, ry)
+		x += s * rx
+		y += s * ry
+		t /= 4
+	}
+	return x, y
+}
+
+// rot rotates/flips a quadrant appropriately.
+func rot(s, x, y, rx, ry uint32) (uint32, uint32) {
+	if ry == 0 {
+		if rx == 1 {
+			x = s - 1 - x
+			y = s - 1 - y
+		}
+		x, y = y, x
+	}
+	return x, y
+}
+
+// OrderFor returns the curve order (grid side exponent) needed to cover n
+// vertex IDs; minimum 1 so the 1-vertex graph still maps.
+func OrderFor(n int) uint {
+	if n <= 1 {
+		return 1
+	}
+	return uint(bits.Len(uint(n - 1)))
+}
+
+// EdgeOrder selects how a COO edge block is sorted.
+type EdgeOrder int
+
+const (
+	// BySource keeps CSR order: sorted by source, then destination. The
+	// current arrays are streamed; next arrays are random.
+	BySource EdgeOrder = iota
+	// ByDestination uses CSC order: sorted by destination, then source.
+	ByDestination
+	// ByHilbert sorts by Hilbert index of (src,dst), localising both
+	// endpoint accesses.
+	ByHilbert
+)
+
+func (o EdgeOrder) String() string {
+	switch o {
+	case BySource:
+		return "source"
+	case ByDestination:
+		return "destination"
+	case ByHilbert:
+		return "hilbert"
+	default:
+		return "unknown"
+	}
+}
+
+// Sort reorders the COO block in place according to the requested order.
+func Sort(c *graph.COO, order EdgeOrder) {
+	switch order {
+	case BySource:
+		sortPairs(c, func(i, j int) bool {
+			if c.Src[i] != c.Src[j] {
+				return c.Src[i] < c.Src[j]
+			}
+			return c.Dst[i] < c.Dst[j]
+		})
+	case ByDestination:
+		sortPairs(c, func(i, j int) bool {
+			if c.Dst[i] != c.Dst[j] {
+				return c.Dst[i] < c.Dst[j]
+			}
+			return c.Src[i] < c.Src[j]
+		})
+	case ByHilbert:
+		ord := OrderFor(c.N)
+		keys := make([]uint64, len(c.Src))
+		for i := range c.Src {
+			keys[i] = XY2D(ord, c.Src[i], c.Dst[i])
+		}
+		idx := make([]int, len(keys))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+		applyPermutation(c, idx)
+	}
+}
+
+// sortPairs sorts the parallel Src/Dst arrays with the given comparator.
+func sortPairs(c *graph.COO, less func(i, j int) bool) {
+	sort.Sort(&cooSorter{c: c, less: less})
+}
+
+type cooSorter struct {
+	c    *graph.COO
+	less func(i, j int) bool
+}
+
+func (s *cooSorter) Len() int           { return len(s.c.Src) }
+func (s *cooSorter) Less(i, j int) bool { return s.less(i, j) }
+func (s *cooSorter) Swap(i, j int) {
+	s.c.Src[i], s.c.Src[j] = s.c.Src[j], s.c.Src[i]
+	s.c.Dst[i], s.c.Dst[j] = s.c.Dst[j], s.c.Dst[i]
+}
+
+func applyPermutation(c *graph.COO, idx []int) {
+	src := make([]graph.VID, len(idx))
+	dst := make([]graph.VID, len(idx))
+	for i, j := range idx {
+		src[i] = c.Src[j]
+		dst[i] = c.Dst[j]
+	}
+	copy(c.Src, src)
+	copy(c.Dst, dst)
+}

@@ -1,0 +1,162 @@
+package hilbert
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestHilbertRoundTripProperty(t *testing.T) {
+	const order = 12
+	f := func(x16, y16 uint16) bool {
+		x := uint32(x16) % (1 << order)
+		y := uint32(y16) % (1 << order)
+		d := XY2D(order, x, y)
+		rx, ry := D2XY(order, d)
+		return rx == x && ry == y
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHilbertBijectionSmall(t *testing.T) {
+	// Order 4: all 256 points must map to distinct curve positions
+	// covering [0,256).
+	const order = 4
+	seen := make([]bool, 256)
+	for x := uint32(0); x < 16; x++ {
+		for y := uint32(0); y < 16; y++ {
+			d := XY2D(order, x, y)
+			if d >= 256 {
+				t.Fatalf("d=%d out of range", d)
+			}
+			if seen[d] {
+				t.Fatalf("duplicate curve index %d", d)
+			}
+			seen[d] = true
+		}
+	}
+}
+
+func TestHilbertAdjacency(t *testing.T) {
+	// Consecutive curve positions must be grid neighbours (the locality
+	// property everything rests on).
+	const order = 5
+	px, py := D2XY(order, 0)
+	for d := uint64(1); d < 1<<(2*order); d++ {
+		x, y := D2XY(order, d)
+		dx, dy := int64(x)-int64(px), int64(y)-int64(py)
+		if dx*dx+dy*dy != 1 {
+			t.Fatalf("positions %d and %d not adjacent: (%d,%d)→(%d,%d)", d-1, d, px, py, x, y)
+		}
+		px, py = x, y
+	}
+}
+
+func TestOrderFor(t *testing.T) {
+	cases := map[int]uint{0: 1, 1: 1, 2: 1, 3: 2, 4: 2, 5: 3, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := OrderFor(n); got != want {
+			t.Fatalf("OrderFor(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func edgeMultiset(c *graph.COO) map[graph.Edge]int {
+	m := make(map[graph.Edge]int)
+	for i := range c.Src {
+		m[graph.Edge{Src: c.Src[i], Dst: c.Dst[i]}]++
+	}
+	return m
+}
+
+func TestSortPreservesEdges(t *testing.T) {
+	g := gen.TinySocial()
+	for _, ord := range []EdgeOrder{BySource, ByDestination, ByHilbert} {
+		c := graph.COOFromGraph(g)
+		before := edgeMultiset(c)
+		Sort(c, ord)
+		after := edgeMultiset(c)
+		if len(before) != len(after) {
+			t.Fatalf("%v: edge multiset changed", ord)
+		}
+		for e, n := range before {
+			if after[e] != n {
+				t.Fatalf("%v: edge %v count changed", ord, e)
+			}
+		}
+	}
+}
+
+func TestSortBySourceOrder(t *testing.T) {
+	g := gen.TinySocial()
+	c := graph.COOFromGraph(g)
+	Sort(c, ByDestination) // scramble from CSR order
+	Sort(c, BySource)
+	for i := 1; i < len(c.Src); i++ {
+		if c.Src[i-1] > c.Src[i] ||
+			(c.Src[i-1] == c.Src[i] && c.Dst[i-1] > c.Dst[i]) {
+			t.Fatal("not in source order")
+		}
+	}
+}
+
+func TestSortByDestinationOrder(t *testing.T) {
+	g := gen.TinySocial()
+	c := graph.COOFromGraph(g)
+	Sort(c, ByDestination)
+	for i := 1; i < len(c.Dst); i++ {
+		if c.Dst[i-1] > c.Dst[i] ||
+			(c.Dst[i-1] == c.Dst[i] && c.Src[i-1] > c.Src[i]) {
+			t.Fatal("not in destination order")
+		}
+	}
+}
+
+func TestSortByHilbertOrdersKeys(t *testing.T) {
+	g := gen.TinySocial()
+	c := graph.COOFromGraph(g)
+	Sort(c, ByHilbert)
+	ord := OrderFor(c.N)
+	for i := 1; i < len(c.Src); i++ {
+		if XY2D(ord, c.Src[i-1], c.Dst[i-1]) > XY2D(ord, c.Src[i], c.Dst[i]) {
+			t.Fatal("not in Hilbert order")
+		}
+	}
+}
+
+func TestHilbertImprovesJointLocality(t *testing.T) {
+	// Sum of |Δsrc| + |Δdst| between consecutive edges should be smaller
+	// in Hilbert order than in source order, which optimises only src.
+	g := gen.TinySocial()
+	jump := func(c *graph.COO) (s int64) {
+		for i := 1; i < len(c.Src); i++ {
+			s += abs64(int64(c.Src[i]) - int64(c.Src[i-1]))
+			s += abs64(int64(c.Dst[i]) - int64(c.Dst[i-1]))
+		}
+		return
+	}
+	src := graph.COOFromGraph(g)
+	Sort(src, BySource)
+	hil := graph.COOFromGraph(g)
+	Sort(hil, ByHilbert)
+	if jump(hil) >= jump(src) {
+		t.Fatalf("hilbert jump %d not below source jump %d", jump(hil), jump(src))
+	}
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestEdgeOrderStrings(t *testing.T) {
+	if BySource.String() != "source" || ByDestination.String() != "destination" || ByHilbert.String() != "hilbert" {
+		t.Fatal("order strings wrong")
+	}
+}

@@ -1,0 +1,78 @@
+package ligra
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/frontier"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func countingOp(n int) (api.EdgeOp, *int64) {
+	var edges int64
+	seen := make([]int32, n)
+	return api.EdgeOp{
+		Update: func(u, v graph.VID) bool {
+			atomic.AddInt64(&edges, 1)
+			return atomic.CompareAndSwapInt32(&seen[v], 0, 1)
+		},
+		UpdateAtomic: func(u, v graph.VID) bool {
+			atomic.AddInt64(&edges, 1)
+			return atomic.CompareAndSwapInt32(&seen[v], 0, 1)
+		},
+	}, &edges
+}
+
+func TestDenseForwardAndBackwardAgree(t *testing.T) {
+	g := gen.TinySocial()
+	e := New(g, 0)
+	opF, edgesF := countingOp(g.NumVertices())
+	fwd := e.EdgeMap(frontier.All(g), opF, api.DirForward)
+	opB, _ := countingOp(g.NumVertices())
+	bwd := e.EdgeMap(frontier.All(g), opB, api.DirBackward)
+	if fwd.Count() != bwd.Count() {
+		t.Fatalf("forward next %d vs backward next %d", fwd.Count(), bwd.Count())
+	}
+	if *edgesF != g.NumEdges() {
+		t.Fatalf("forward applied %d edges, want %d", *edgesF, g.NumEdges())
+	}
+	// Backward may apply fewer updates because of the early-exit on a
+	// saturated Cond, but the resulting frontier membership must match.
+	fl, bl := fwd.List(), bwd.List()
+	fb := fwd.Bitmap()
+	for _, v := range bl {
+		if !fb.Get(v) {
+			t.Fatalf("vertex %d only in backward frontier", v)
+		}
+	}
+	if len(fl) != len(bl) {
+		t.Fatalf("frontier sizes differ: %d vs %d", len(fl), len(bl))
+	}
+}
+
+func TestSparsePathUsedBelowThreshold(t *testing.T) {
+	// One low-degree active vertex on a big graph must take the sparse
+	// path and touch only its own out-edges.
+	g := gen.TinySocial()
+	e := New(g, 0)
+	var leaf graph.VID
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.OutDegree(graph.VID(v)) == 1 {
+			leaf = graph.VID(v)
+			break
+		}
+	}
+	op, edges := countingOp(g.NumVertices())
+	e.EdgeMap(frontier.FromVertex(g, leaf), op, api.DirForward)
+	if *edges != 1 {
+		t.Fatalf("sparse path applied %d edges, want 1", *edges)
+	}
+}
+
+func TestName(t *testing.T) {
+	if New(gen.Chain(4), 1).Name() != "Ligra" {
+		t.Fatal("name")
+	}
+}

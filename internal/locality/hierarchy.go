@@ -1,0 +1,92 @@
+package locality
+
+// Hierarchy chains cache levels into an inclusive L2→LLC model: an
+// access first probes L2; on an L2 miss it probes the LLC. Per-level
+// miss counters let experiments separate "fits in L2" from "fits in
+// LLC" effects — the two inflection points a partition-count sweep
+// crosses as per-partition working sets shrink.
+type Hierarchy struct {
+	levels []*Cache
+	names  []string
+}
+
+// NewHierarchy builds a hierarchy from inner (fastest, probed first) to
+// outer. Panics on empty configuration.
+func NewHierarchy(levels ...LevelConfig) *Hierarchy {
+	if len(levels) == 0 {
+		panic("locality: hierarchy needs at least one level")
+	}
+	h := &Hierarchy{}
+	for _, l := range levels {
+		h.levels = append(h.levels, NewCache(l.Config))
+		h.names = append(h.names, l.Name)
+	}
+	return h
+}
+
+// LevelConfig names one level of a hierarchy.
+type LevelConfig struct {
+	Name   string
+	Config CacheConfig
+}
+
+// TypicalHierarchy models a per-core L2 in front of a shared LLC slice
+// sized by AdaptiveLLC for the graph; the L2 is kept at 1/8 of the LLC
+// so the hierarchy stays properly nested even for small graphs.
+func TypicalHierarchy(numVertices int) *Hierarchy {
+	llc := AdaptiveLLC(numVertices)
+	l2 := CacheConfig{SizeBytes: llc.SizeBytes / 8, LineBytes: 64, Assoc: 8}
+	if l2.SizeBytes < 4<<10 {
+		l2.SizeBytes = 4 << 10
+	}
+	return NewHierarchy(
+		LevelConfig{Name: "L2", Config: l2},
+		LevelConfig{Name: "LLC", Config: llc},
+	)
+}
+
+// Access probes levels inner→outer, stopping at the first hit; deeper
+// levels are only consulted (and filled) on a miss, making the model
+// inclusive on the access path.
+func (h *Hierarchy) Access(addr uint64) {
+	for _, c := range h.levels {
+		if c.Access(addr) {
+			return
+		}
+	}
+}
+
+// LevelStats describes one level's counters.
+type LevelStats struct {
+	Name     string
+	Accesses int64
+	Misses   int64
+	MissRate float64
+}
+
+// Stats returns per-level counters, inner first.
+func (h *Hierarchy) Stats() []LevelStats {
+	out := make([]LevelStats, len(h.levels))
+	for i, c := range h.levels {
+		out[i] = LevelStats{
+			Name:     h.names[i],
+			Accesses: c.Accesses(),
+			Misses:   c.Misses(),
+			MissRate: c.MissRate(),
+		}
+	}
+	return out
+}
+
+// MemoryAccesses returns the misses of the outermost level — the
+// accesses that reach DRAM.
+func (h *Hierarchy) MemoryAccesses() int64 {
+	return h.levels[len(h.levels)-1].Misses()
+}
+
+// Reset clears all levels.
+func (h *Hierarchy) Reset() {
+	for _, c := range h.levels {
+		c.Reset()
+	}
+}

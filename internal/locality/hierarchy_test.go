@@ -1,0 +1,91 @@
+package locality
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/hilbert"
+)
+
+func TestHierarchyInnerHitsShieldOuter(t *testing.T) {
+	h := NewHierarchy(
+		LevelConfig{Name: "L2", Config: CacheConfig{SizeBytes: 1 << 12, LineBytes: 64, Assoc: 4}},
+		LevelConfig{Name: "LLC", Config: CacheConfig{SizeBytes: 1 << 14, LineBytes: 64, Assoc: 8}},
+	)
+	// Touch one line repeatedly: outer level sees exactly one access.
+	for i := 0; i < 100; i++ {
+		h.Access(0)
+	}
+	st := h.Stats()
+	if st[0].Accesses != 100 || st[0].Misses != 1 {
+		t.Fatalf("L2 stats: %+v", st[0])
+	}
+	if st[1].Accesses != 1 {
+		t.Fatalf("LLC should see only the L2 miss, saw %d", st[1].Accesses)
+	}
+	if h.MemoryAccesses() != 1 {
+		t.Fatalf("memory accesses = %d", h.MemoryAccesses())
+	}
+}
+
+func TestHierarchyMidWorkingSet(t *testing.T) {
+	// A working set bigger than L2 but inside LLC: L2 thrashes on a
+	// cyclic scan, LLC absorbs everything after warmup.
+	h := NewHierarchy(
+		LevelConfig{Name: "L2", Config: CacheConfig{SizeBytes: 1 << 12, LineBytes: 64, Assoc: 4}},   // 64 lines
+		LevelConfig{Name: "LLC", Config: CacheConfig{SizeBytes: 1 << 16, LineBytes: 64, Assoc: 16}}, // 1024 lines
+	)
+	const lines = 256 // 4× L2, ¼ LLC
+	for pass := 0; pass < 4; pass++ {
+		for i := 0; i < lines; i++ {
+			h.Access(uint64(i * 64))
+		}
+	}
+	st := h.Stats()
+	if st[0].MissRate < 0.9 {
+		t.Fatalf("L2 should thrash: %.2f", st[0].MissRate)
+	}
+	if h.MemoryAccesses() != lines {
+		t.Fatalf("memory accesses %d, want %d cold misses only", h.MemoryAccesses(), lines)
+	}
+}
+
+func TestHierarchyReset(t *testing.T) {
+	h := TypicalHierarchy(1 << 16)
+	h.Access(0)
+	h.Reset()
+	for _, s := range h.Stats() {
+		if s.Accesses != 0 || s.Misses != 0 {
+			t.Fatalf("level %s not reset", s.Name)
+		}
+	}
+}
+
+func TestHierarchyEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHierarchy()
+}
+
+func TestHierarchyOnTraversalTrace(t *testing.T) {
+	// Partitioning must reduce DRAM traffic in the two-level model just
+	// as in the single-level one.
+	// Levels scaled to the graph: next array (256 KiB at n=65536) dwarfs
+	// both levels, as the paper's arrays dwarf a real L2/LLC.
+	g := gen.Preset("livejournal-sm")
+	dram := func(p int) int64 {
+		h := NewHierarchy(
+			LevelConfig{Name: "L2", Config: CacheConfig{SizeBytes: 16 << 10, LineBytes: 64, Assoc: 8}},
+			LevelConfig{Name: "LLC", Config: CacheConfig{SizeBytes: 64 << 10, LineBytes: 64, Assoc: 16}},
+		)
+		ReplayEdgeTraversal(g, p, KindCOOForward, 1, hilbert.BySource,
+			ConsumerFunc(func(a uint64) { h.Access(a) }))
+		return h.MemoryAccesses()
+	}
+	if d48 := dram(48); d48 >= dram(4) {
+		t.Fatalf("partitioning did not reduce DRAM traffic: P=4 %d vs P=48 %d", dram(4), d48)
+	}
+}

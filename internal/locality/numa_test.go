@@ -1,0 +1,67 @@
+package locality
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/sched"
+)
+
+func TestNUMANextAccessesAlwaysLocal(t *testing.T) {
+	// The defining property of partitioning-by-destination under the
+	// modelled placement: zero remote next-array updates, at any P.
+	g := gen.TinySocial()
+	for _, p := range []int{4, 16, 64} {
+		tr := MeasureNUMATraffic(g, p, sched.Topology{Domains: 4})
+		if tr.RemoteNext != 0 {
+			t.Fatalf("P=%d: %d remote next-array accesses, want 0", p, tr.RemoteNext)
+		}
+		if tr.LocalNext != g.NumEdges() {
+			t.Fatalf("P=%d: local next accesses %d, want %d", p, tr.LocalNext, g.NumEdges())
+		}
+	}
+}
+
+func TestNUMACurReadsMostlyRemote(t *testing.T) {
+	// Current-array reads hit all domains; with D=4 and hash-like
+	// structure roughly 3/4 are remote.
+	g := gen.TinySocial()
+	tr := MeasureNUMATraffic(g, 16, sched.Topology{Domains: 4})
+	frac := float64(tr.RemoteCur) / float64(tr.LocalCur+tr.RemoteCur)
+	if frac < 0.4 || frac > 0.95 {
+		t.Fatalf("remote cur fraction %.2f implausible for 4 domains", frac)
+	}
+	if tr.LocalShare <= 0.5 {
+		t.Fatalf("local share %.2f should exceed 1/2 (all next accesses local)", tr.LocalShare)
+	}
+}
+
+func TestNUMADomainLoadsBalanced(t *testing.T) {
+	g := gen.Preset("livejournal-sm")
+	tr := MeasureNUMATraffic(g, 48, sched.Topology{Domains: 4})
+	var min, max int64 = 1 << 62, 0
+	var sum int64
+	for _, l := range tr.DomainLoads {
+		if l < min {
+			min = l
+		}
+		if l > max {
+			max = l
+		}
+		sum += l
+	}
+	if sum != g.NumEdges() {
+		t.Fatalf("domain loads sum %d, want %d", sum, g.NumEdges())
+	}
+	if float64(max) > 1.5*float64(min) {
+		t.Fatalf("domain imbalance: min %d max %d", min, max)
+	}
+}
+
+func TestNUMASingleDomainAllLocal(t *testing.T) {
+	g := gen.TinySocial()
+	tr := MeasureNUMATraffic(g, 8, sched.Topology{Domains: 1})
+	if tr.RemoteCur != 0 || tr.RemoteNext != 0 || tr.LocalShare != 1 {
+		t.Fatalf("single domain should be fully local: %+v", tr)
+	}
+}

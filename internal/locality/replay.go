@@ -1,0 +1,148 @@
+package locality
+
+import (
+	"repro/internal/graph"
+	"repro/internal/hilbert"
+	"repro/internal/partition"
+)
+
+// The replayers regenerate the exact order in which each traversal
+// touches the per-vertex "current" and "next" arrays and the graph
+// structure arrays, and feed the resulting byte addresses to a consumer
+// (reuse analyzer or cache simulator). Address space layout: each array
+// lives in its own 1 GiB region so distinct arrays never alias.
+
+// Consumer receives one byte address per memory access.
+type Consumer interface {
+	Access(addr uint64)
+}
+
+// consumerFunc adapts a function to Consumer.
+type consumerFunc func(uint64)
+
+func (f consumerFunc) Access(a uint64) { f(a) }
+
+// ConsumerFunc wraps fn as a Consumer.
+func ConsumerFunc(fn func(uint64)) Consumer { return consumerFunc(fn) }
+
+const (
+	regionShift = 30 // 1 GiB per array region
+	regionCur   = 0  // current vertex data (read side)
+	regionNext  = 1  // next vertex data (update side)
+	regionSrcA  = 2  // COO source array / CSR destinations
+	regionDstA  = 3  // COO destination array
+	regionIdx   = 4  // CSR/CSC offset array
+)
+
+const vertexBytes = 4 // uint32 values, 16 per 64-byte line
+
+func vaddr(region int, idx int64) uint64 {
+	return uint64(region)<<regionShift + uint64(idx)*vertexBytes
+}
+
+// ReplayNextFrontierCOO replays only the updates to the next arrays of a
+// forward edge-oriented traversal over the partitioned COO in CSR order —
+// the access stream of Figure 2 ("reuse distance distribution of updates
+// to the next frontier in PRDelta"). Element granularity: one access per
+// edge to next[dst].
+func ReplayNextFrontierCOO(g *graph.Graph, p int, c Consumer) {
+	pt := partition.ByDestination(g, p, partition.BalanceEdges)
+	pcoo := partition.NewPCOO(g, pt)
+	for _, part := range pcoo.Parts {
+		for i := range part.Dst {
+			c.Access(vaddr(regionNext, int64(part.Dst[i])))
+		}
+	}
+}
+
+// ReplayNextFrontierBySource replays the same next-array update stream
+// under partitioning-by-*source*. §II.C argues this scheme leaves the
+// forward edge-visit order identical to the unpartitioned graph — each
+// partition holds consecutive source vertices' out-edges in CSR order —
+// so the reuse-distance distribution must be independent of p. The test
+// suite asserts exactly that.
+func ReplayNextFrontierBySource(g *graph.Graph, p int, c Consumer) {
+	pt := partition.BySource(g, p, partition.BalanceEdges)
+	for task := 0; task < pt.P; task++ {
+		lo, hi := pt.Range(task)
+		for u := lo; u < hi; u++ {
+			for _, d := range g.OutNeighbors(u) {
+				c.Access(vaddr(regionNext, int64(d)))
+			}
+		}
+	}
+}
+
+// EdgeTraversalKind selects which traversal's access stream to replay
+// for the MPKI experiments of Figure 8.
+type EdgeTraversalKind int
+
+const (
+	// KindCOOForward replays a dense edge-oriented iteration (PR-like)
+	// over the partitioned COO: streams the Src/Dst arrays, reads
+	// cur[src], reads+writes next[dst].
+	KindCOOForward EdgeTraversalKind = iota
+	// KindCSCBackward replays a backward vertex-oriented iteration
+	// (BFS-like) over the whole-graph CSC with partitioned computation
+	// ranges: streams the index array, writes next[v], reads cur[src]
+	// randomly. Partitioning-by-destination leaves this order unchanged,
+	// which is why its MPKI stays flat in Figure 8.
+	KindCSCBackward
+	// KindCOOActive replays a COO traversal where only a subset of
+	// sources are active (BF-like mid-phase): the edge arrays still
+	// stream but only active edges touch the vertex arrays.
+	KindCOOActive
+)
+
+// ReplayEdgeTraversal replays one full-graph iteration of the given kind
+// at partition count p, emitting every modelled memory access.
+// activeEvery controls KindCOOActive: source u is active when
+// u%activeEvery == 0 (pass 1 for all-active).
+func ReplayEdgeTraversal(g *graph.Graph, p int, kind EdgeTraversalKind, activeEvery int, order hilbert.EdgeOrder, c Consumer) (accesses int64) {
+	if activeEvery < 1 {
+		activeEvery = 1
+	}
+	switch kind {
+	case KindCSCBackward:
+		pt := partition.ByDestination(g, p, partition.BalanceVertices)
+		var i int64
+		for task := 0; task < pt.P; task++ {
+			lo, hi := pt.Range(task)
+			for v := lo; v < hi; v++ {
+				c.Access(vaddr(regionIdx, int64(v)))
+				c.Access(vaddr(regionNext, int64(v)))
+				accesses += 2
+				for _, u := range g.InNeighbors(v) {
+					c.Access(vaddr(regionSrcA, i))
+					c.Access(vaddr(regionCur, int64(u)))
+					accesses += 2
+					i++
+				}
+			}
+		}
+	default:
+		pt := partition.ByDestination(g, p, partition.BalanceEdges)
+		pcoo := partition.NewPCOO(g, pt)
+		var i int64
+		for _, part := range pcoo.Parts {
+			if order != hilbert.BySource {
+				hilbert.Sort(part, order)
+			}
+			for e := range part.Src {
+				u, v := part.Src[e], part.Dst[e]
+				c.Access(vaddr(regionSrcA, i))
+				c.Access(vaddr(regionDstA, i))
+				accesses += 2
+				i++
+				if kind == KindCOOActive && int(u)%activeEvery != 0 {
+					continue
+				}
+				c.Access(vaddr(regionCur, int64(u)))
+				c.Access(vaddr(regionNext, int64(v)))
+				c.Access(vaddr(regionNext, int64(v))) // read-modify-write
+				accesses += 3
+			}
+		}
+	}
+	return accesses
+}

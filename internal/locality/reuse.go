@@ -1,0 +1,164 @@
+// Package locality provides the memory-behaviour instrumentation behind
+// Figures 2 and 8: an exact LRU reuse-distance analyzer, a set-
+// associative cache simulator, and replayers that regenerate the memory
+// access order each graph layout induces. The paper measures these with
+// hardware counters on a Xeon; offline, we reproduce the access traces
+// the engine would issue and measure them in simulation, which preserves
+// the figures' shape (see DESIGN.md §2).
+package locality
+
+import "math/bits"
+
+// ReuseAnalyzer computes exact LRU stack distances: for each access, the
+// number of *distinct* addresses touched since the previous access to the
+// same address (∞ for first accesses). Implementation is the classic
+// Bennett–Kruskal algorithm: a Fenwick tree over access time marks the
+// most recent access position of every live address; the distance is the
+// count of marked positions after the address's previous access.
+type ReuseAnalyzer struct {
+	last  map[uint64]int // address → time of most recent access
+	tree  []int64        // Fenwick tree over times 1..cap
+	time  int
+	hist  Histogram
+	colds int64 // first-touch accesses (infinite distance)
+}
+
+// NewReuseAnalyzer returns an analyzer sized for roughly n accesses; it
+// grows as needed.
+func NewReuseAnalyzer(n int) *ReuseAnalyzer {
+	if n < 16 {
+		n = 16
+	}
+	return &ReuseAnalyzer{
+		last: make(map[uint64]int),
+		tree: make([]int64, n+1),
+	}
+}
+
+// Access records one access to addr and returns its reuse distance, or
+// -1 for a cold (first) access.
+func (r *ReuseAnalyzer) Access(addr uint64) int64 {
+	r.time++
+	t := r.time
+	if t >= len(r.tree) {
+		r.grow()
+	}
+	var dist int64 = -1
+	if prev, ok := r.last[addr]; ok {
+		// Distinct addresses touched strictly after prev: each live
+		// address is marked exactly once, at its latest access time.
+		dist = r.prefix(t-1) - r.prefix(prev)
+		r.add(prev, -1)
+	} else {
+		r.colds++
+	}
+	r.add(t, 1)
+	r.last[addr] = t
+	if dist >= 0 {
+		r.hist.Add(dist)
+	}
+	return dist
+}
+
+func (r *ReuseAnalyzer) grow() {
+	// Double the tree and rebuild it from the live positions (each live
+	// address is marked exactly once, at its latest access time), which
+	// is O(live · log n).
+	r.tree = make([]int64, 2*len(r.tree))
+	for _, t := range r.last {
+		r.add(t, 1)
+	}
+}
+
+func (r *ReuseAnalyzer) add(i int, d int64) {
+	for ; i < len(r.tree); i += i & (-i) {
+		r.tree[i] += d
+	}
+}
+
+func (r *ReuseAnalyzer) prefix(i int) int64 {
+	var s int64
+	for ; i > 0; i -= i & (-i) {
+		s += r.tree[i]
+	}
+	return s
+}
+
+// Histogram returns the log₂-bucketed distance histogram accumulated so
+// far.
+func (r *ReuseAnalyzer) Histogram() Histogram { return r.hist }
+
+// ColdAccesses returns the number of first-touch accesses.
+func (r *ReuseAnalyzer) ColdAccesses() int64 { return r.colds }
+
+// Accesses returns the total access count.
+func (r *ReuseAnalyzer) Accesses() int64 { return int64(r.time) }
+
+// MaxObserved returns the largest bucketed distance upper bound seen, the
+// "worst-case reuse distance" Figure 2 shows contracting with P.
+func (r *ReuseAnalyzer) MaxObserved() int64 { return r.hist.MaxObserved() }
+
+// Histogram buckets distances by log₂: bucket i counts distances in
+// [2^i, 2^(i+1)), with distance 0 in bucket 0.
+type Histogram struct {
+	Buckets [64]int64
+	maxSeen int64
+}
+
+// Add records one distance.
+func (h *Histogram) Add(d int64) {
+	if d < 0 {
+		return
+	}
+	b := 0
+	if d > 0 {
+		b = bits.Len64(uint64(d)) - 1
+	}
+	h.Buckets[b]++
+	if d > h.maxSeen {
+		h.maxSeen = d
+	}
+}
+
+// MaxObserved returns the largest distance recorded.
+func (h *Histogram) MaxObserved() int64 { return h.maxSeen }
+
+// Total returns the number of recorded distances.
+func (h *Histogram) Total() int64 {
+	var s int64
+	for _, c := range h.Buckets {
+		s += c
+	}
+	return s
+}
+
+// NonEmpty returns the index of the highest non-empty bucket + 1.
+func (h *Histogram) NonEmpty() int {
+	for i := len(h.Buckets) - 1; i >= 0; i-- {
+		if h.Buckets[i] != 0 {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// Mean returns the mean of recorded distances approximated by bucket
+// midpoints (exact enough for trend assertions).
+func (h *Histogram) Mean() float64 {
+	var n, sum float64
+	for i, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		mid := float64((int64(1)<<uint(i) + (int64(1)<<uint(i+1) - 1)) / 2)
+		if i == 0 {
+			mid = 0.5
+		}
+		sum += mid * float64(c)
+		n += float64(c)
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / n
+}

@@ -1,0 +1,225 @@
+// Package partition implements the paper's graph partitioning (Section
+// II): partitioning-by-destination (Algorithm 1) and -by-source, with
+// edge-balanced or vertex-balanced criteria, the partitioned COO and CSR
+// layouts, the replication-factor computation behind Figure 3 and the
+// storage-size model behind Figure 4.
+//
+// A Partitioning assigns each vertex a home partition; homes are
+// contiguous vertex ranges, exactly as Algorithm 1 produces by scanning
+// vertices in order and cutting when the running edge count reaches
+// |E|/P. Contiguity is what confines the random accesses of a partition's
+// traversal to a bounded vertex range, which is the locality mechanism
+// the paper exploits.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Criterion selects how Algorithm 1 balances partitions.
+type Criterion int
+
+const (
+	// BalanceEdges cuts so each partition holds ~|E|/P edges — the choice
+	// for edge-oriented algorithms and always for the COO layout.
+	BalanceEdges Criterion = iota
+	// BalanceVertices cuts so each partition holds ~|V|/P vertices — the
+	// choice for vertex-oriented algorithms (BFS, BC, BF).
+	BalanceVertices
+)
+
+func (c Criterion) String() string {
+	switch c {
+	case BalanceEdges:
+		return "edges"
+	case BalanceVertices:
+		return "vertices"
+	default:
+		return fmt.Sprintf("Criterion(%d)", int(c))
+	}
+}
+
+// Partitioning is a division of the vertex set into P contiguous ranges.
+// Partition i owns vertices [Bounds[i], Bounds[i+1]).
+type Partitioning struct {
+	P      int
+	Bounds []graph.VID // length P+1; Bounds[0]=0, Bounds[P]=|V|
+}
+
+// ByDestination runs Algorithm 1: it assigns contiguous vertex ranges so
+// that the in-edges of each range total approximately |E|/P (BalanceEdges)
+// or the ranges have equal vertex counts (BalanceVertices). All in-edges
+// of a vertex land in its home partition. Boundaries are aligned to
+// BoundaryAlign vertices so engines can write frontier bitmaps without
+// atomics (see BoundaryAlign).
+func ByDestination(g *graph.Graph, p int, crit Criterion) *Partitioning {
+	return split(g.NumVertices(), g.NumEdges(), p, crit, BoundaryAlign, func(v graph.VID) int64 {
+		return g.InDegree(v)
+	})
+}
+
+// ByDestinationUnaligned is Algorithm 1 with exact (unaligned) cut
+// points, matching the paper's pseudocode line for line. It is used by
+// the analysis functions and tests against the Figure 1 worked example;
+// engines must use ByDestination.
+func ByDestinationUnaligned(g *graph.Graph, p int, crit Criterion) *Partitioning {
+	return split(g.NumVertices(), g.NumEdges(), p, crit, 1, func(v graph.VID) int64 {
+		return g.InDegree(v)
+	})
+}
+
+// BySource is the symmetric scheme: all out-edges of a vertex land in its
+// home partition. The paper analyses it (§II.B) but does not use it; it is
+// provided for the ablation benches.
+func BySource(g *graph.Graph, p int, crit Criterion) *Partitioning {
+	return split(g.NumVertices(), g.NumEdges(), p, crit, BoundaryAlign, func(v graph.VID) int64 {
+		return g.OutDegree(v)
+	})
+}
+
+// BoundaryAlign is the vertex alignment of every partition boundary.
+// Frontier bitmaps pack 64 vertices per word; engines rely on partitions
+// never sharing a bitmap word so the partition-exclusive paths can set
+// next-frontier bits without atomics. Aligning cut points to 64 vertices
+// guarantees word exclusivity while perturbing balance by at most 63
+// vertices per partition.
+const BoundaryAlign = 64
+
+func alignUp(v, n, align int) graph.VID {
+	v = (v + align - 1) &^ (align - 1)
+	if v > n {
+		v = n
+	}
+	return graph.VID(v)
+}
+
+// split is Algorithm 1 generalised over the per-vertex weight (in-degree
+// for by-destination, out-degree for by-source, 1 for vertex balancing).
+// Cut points are aligned to align vertices (a power of two).
+func split(n int, m int64, p int, crit Criterion, align int, degree func(graph.VID) int64) *Partitioning {
+	if p < 1 {
+		panic("partition: need at least 1 partition")
+	}
+	if p > n && n > 0 {
+		p = n // more partitions than vertices degenerates to singletons
+	}
+	pt := &Partitioning{P: p, Bounds: make([]graph.VID, p+1)}
+	pt.Bounds[p] = graph.VID(n)
+	if p == 1 || n == 0 {
+		for i := 1; i < p; i++ {
+			pt.Bounds[i] = graph.VID(n)
+		}
+		return pt
+	}
+	if crit == BalanceVertices {
+		for i := 1; i < p; i++ {
+			b := alignUp(i*n/p, n, align)
+			if b < pt.Bounds[i-1] {
+				b = pt.Bounds[i-1]
+			}
+			pt.Bounds[i] = b
+		}
+		return pt
+	}
+	avg := m / int64(p)
+	if avg == 0 {
+		avg = 1
+	}
+	var acc int64
+	i := 0
+	for v := 0; v < n; v++ {
+		if acc >= avg && i < p-1 && v%align == 0 {
+			i++
+			pt.Bounds[i] = graph.VID(v)
+			acc = 0
+		}
+		acc += degree(graph.VID(v))
+	}
+	// Ranges for partitions never reached stay empty at the end.
+	for j := i + 1; j < p; j++ {
+		pt.Bounds[j] = graph.VID(n)
+	}
+	return pt
+}
+
+// Home returns the home partition of vertex v (binary search over the
+// bounds; O(log P)).
+func (pt *Partitioning) Home(v graph.VID) int {
+	// Find the last bound <= v.
+	idx := sort.Search(pt.P, func(i int) bool { return pt.Bounds[i+1] > v })
+	return idx
+}
+
+// Range returns the vertex range [lo,hi) owned by partition i.
+func (pt *Partitioning) Range(i int) (lo, hi graph.VID) {
+	return pt.Bounds[i], pt.Bounds[i+1]
+}
+
+// VertexCount returns the number of vertices owned by partition i.
+func (pt *Partitioning) VertexCount(i int) int {
+	return int(pt.Bounds[i+1] - pt.Bounds[i])
+}
+
+// InEdgeCounts returns, per partition, the number of in-edges of its
+// vertex range — the edge load of a by-destination partitioning.
+func (pt *Partitioning) InEdgeCounts(g *graph.Graph) []int64 {
+	counts := make([]int64, pt.P)
+	off := g.InOffsets()
+	for i := 0; i < pt.P; i++ {
+		lo, hi := pt.Range(i)
+		counts[i] = off[hi] - off[lo]
+	}
+	return counts
+}
+
+// OutEdgeCounts returns, per partition, the number of out-edges of its
+// vertex range.
+func (pt *Partitioning) OutEdgeCounts(g *graph.Graph) []int64 {
+	counts := make([]int64, pt.P)
+	off := g.OutOffsets()
+	for i := 0; i < pt.P; i++ {
+		lo, hi := pt.Range(i)
+		counts[i] = off[hi] - off[lo]
+	}
+	return counts
+}
+
+// Validate checks partitioning invariants: bounds are monotone, cover
+// [0,n] exactly, and Home agrees with Range.
+func (pt *Partitioning) Validate(n int) error {
+	if len(pt.Bounds) != pt.P+1 {
+		return fmt.Errorf("partition: bounds length %d, want %d", len(pt.Bounds), pt.P+1)
+	}
+	if pt.Bounds[0] != 0 || int(pt.Bounds[pt.P]) != n {
+		return fmt.Errorf("partition: bounds span [%d,%d], want [0,%d]", pt.Bounds[0], pt.Bounds[pt.P], n)
+	}
+	for i := 0; i < pt.P; i++ {
+		if pt.Bounds[i] > pt.Bounds[i+1] {
+			return fmt.Errorf("partition: bounds not monotone at %d", i)
+		}
+	}
+	return nil
+}
+
+// Imbalance returns max(load)/mean(load) for the given per-partition
+// loads; 1.0 is perfect balance. Empty partitionings return 1.
+func Imbalance(loads []int64) float64 {
+	if len(loads) == 0 {
+		return 1
+	}
+	var sum, max int64
+	for _, l := range loads {
+		sum += l
+		if l > max {
+			max = l
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	mean := float64(sum) / float64(len(loads))
+	return float64(max) / mean
+}

@@ -1,0 +1,332 @@
+package partition
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestAlgorithm1OnPaperExample(t *testing.T) {
+	// Figure 1: 6 vertices, 14 edges, 2 partitions by destination with
+	// edge balancing splits as {0,1,2,3} (7 in-edges) and {4,5} (7).
+	g := gen.PaperExample()
+	pt := ByDestinationUnaligned(g, 2, BalanceEdges)
+	if pt.Bounds[1] != 4 {
+		t.Fatalf("cut at %d, want 4 (bounds %v)", pt.Bounds[1], pt.Bounds)
+	}
+	counts := pt.InEdgeCounts(g)
+	if counts[0] != 7 || counts[1] != 7 {
+		t.Fatalf("edge counts %v, want [7 7]", counts)
+	}
+}
+
+func TestReplicationFactorPaperExample(t *testing.T) {
+	// §II.D: the average replication factor of the Figure 1 partitioned
+	// CSR is 7/6.
+	g := gen.PaperExample()
+	pt := ByDestinationUnaligned(g, 2, BalanceEdges)
+	r := ReplicationFactor(g, pt)
+	if math.Abs(r-7.0/6.0) > 1e-12 {
+		t.Fatalf("replication factor %v, want 7/6", r)
+	}
+}
+
+func TestReplicationMatchesBuiltPCSR(t *testing.T) {
+	g := gen.TinySocial()
+	for _, p := range []int{2, 4, 16, 64} {
+		pt := ByDestination(g, p, BalanceEdges)
+		want := ReplicationFactor(g, pt)
+		pcsr := NewPCSR(g, pt)
+		got := float64(pcsr.TotalReplicas()) / float64(g.NumVertices())
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("P=%d: analytic %v vs built %v", p, want, got)
+		}
+	}
+}
+
+func TestReplicationMonotoneAndBounded(t *testing.T) {
+	g := gen.TinySocial()
+	prev := 0.0
+	worst := WorstCaseReplicationFactor(g)
+	for _, p := range []int{1, 2, 4, 8, 16, 64, 256} {
+		pt := ByDestination(g, p, BalanceEdges)
+		r := ReplicationFactor(g, pt)
+		if r < 1 && g.NumEdges() > 0 {
+			// Vertices with zero out-degree contribute 0 replicas, so r
+			// can dip below 1 only if many exist; TinySocial has hubs so
+			// expect >= prev regardless.
+			t.Logf("replication %v below 1 at P=%d", r, p)
+		}
+		if r+1e-9 < prev {
+			t.Fatalf("replication not monotone: %v after %v at P=%d", r, prev, p)
+		}
+		if r > worst+1e-9 {
+			t.Fatalf("replication %v exceeds worst case %v", r, worst)
+		}
+		prev = r
+	}
+}
+
+func TestPartitioningInvariants(t *testing.T) {
+	g := gen.TinySocial()
+	n := g.NumVertices()
+	for _, p := range []int{1, 3, 4, 7, 48, 500, 5000} {
+		for _, crit := range []Criterion{BalanceEdges, BalanceVertices} {
+			pt := ByDestination(g, p, crit)
+			if err := pt.Validate(n); err != nil {
+				t.Fatalf("P=%d crit=%v: %v", p, crit, err)
+			}
+			// Every vertex's home agrees with its range.
+			for v := 0; v < n; v += 13 {
+				h := pt.Home(graph.VID(v))
+				lo, hi := pt.Range(h)
+				if graph.VID(v) < lo || graph.VID(v) >= hi {
+					t.Fatalf("home(%d)=%d but range [%d,%d)", v, h, lo, hi)
+				}
+			}
+			// Aligned boundaries (except the final bound n).
+			for i := 1; i < pt.P; i++ {
+				b := int(pt.Bounds[i])
+				if b != n && b%BoundaryAlign != 0 {
+					t.Fatalf("bound %d not aligned", b)
+				}
+			}
+		}
+	}
+}
+
+// Property: partitioning by destination conserves edges and confines each
+// vertex's in-edges to a single partition, on random graphs.
+func TestPCOOEdgeConservationProperty(t *testing.T) {
+	f := func(raw []uint16, pRaw uint8) bool {
+		const n = 192
+		p := int(pRaw%8) + 1
+		edges := make([]graph.Edge, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, graph.Edge{Src: graph.VID(raw[i] % n), Dst: graph.VID(raw[i+1] % n)})
+		}
+		g := graph.FromEdges(n, edges)
+		pt := ByDestination(g, p, BalanceEdges)
+		pcoo := NewPCOO(g, pt)
+		if pcoo.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for i, part := range pcoo.Parts {
+			lo, hi := pt.Range(i)
+			for _, d := range part.Dst {
+				if d < lo || d >= hi {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPCSREdgeConservation(t *testing.T) {
+	g := gen.TinySocial()
+	for _, p := range []int{1, 4, 48} {
+		pt := ByDestination(g, p, BalanceEdges)
+		pcsr := NewPCSR(g, pt)
+		if pcsr.NumEdges() != g.NumEdges() {
+			t.Fatalf("P=%d: %d edges, want %d", p, pcsr.NumEdges(), g.NumEdges())
+		}
+		// Rebuild the edge multiset and compare.
+		var rebuilt []graph.Edge
+		for _, part := range pcsr.Parts {
+			for k, u := range part.Verts {
+				for _, v := range part.Dst[part.Off[k]:part.Off[k+1]] {
+					rebuilt = append(rebuilt, graph.Edge{Src: u, Dst: v})
+				}
+			}
+		}
+		graph.SortEdges(rebuilt)
+		orig := g.Edges()
+		graph.SortEdges(orig)
+		if len(rebuilt) != len(orig) {
+			t.Fatalf("P=%d: rebuilt %d edges, want %d", p, len(rebuilt), len(orig))
+		}
+		for i := range orig {
+			if rebuilt[i] != orig[i] {
+				t.Fatalf("P=%d: edge %d differs: %v vs %v", p, i, rebuilt[i], orig[i])
+			}
+		}
+	}
+}
+
+func TestPCSRDestinationsInRange(t *testing.T) {
+	g := gen.TinySocial()
+	pt := ByDestination(g, 16, BalanceEdges)
+	pcsr := NewPCSR(g, pt)
+	for i, part := range pcsr.Parts {
+		lo, hi := pt.Range(i)
+		for _, v := range part.Dst {
+			if v < lo || v >= hi {
+				t.Fatalf("partition %d: destination %d outside [%d,%d)", i, v, lo, hi)
+			}
+		}
+		// Verts strictly ascending.
+		for k := 1; k < len(part.Verts); k++ {
+			if part.Verts[k-1] >= part.Verts[k] {
+				t.Fatalf("partition %d: Verts not ascending", i)
+			}
+		}
+	}
+}
+
+func TestBySourcePartitioning(t *testing.T) {
+	g := gen.TinySocial()
+	pt := BySource(g, 8, BalanceEdges)
+	if err := pt.Validate(g.NumVertices()); err != nil {
+		t.Fatal(err)
+	}
+	counts := pt.OutEdgeCounts(g)
+	var sum int64
+	for _, c := range counts {
+		sum += c
+	}
+	if sum != g.NumEdges() {
+		t.Fatalf("out-edge counts sum %d, want %d", sum, g.NumEdges())
+	}
+}
+
+func TestEdgeBalanceQuality(t *testing.T) {
+	g := gen.Preset("livejournal-sm")
+	pt := ByDestination(g, 48, BalanceEdges)
+	imb := Imbalance(pt.InEdgeCounts(g))
+	// Perfect balance is 1.0; hubs and 64-alignment allow some skew, but
+	// edge balancing should stay far from the vertex-balanced skew.
+	vpt := ByDestination(g, 48, BalanceVertices)
+	vimb := Imbalance(vpt.InEdgeCounts(g))
+	if imb >= vimb {
+		t.Fatalf("edge balancing (%.2f) should beat vertex balancing (%.2f)", imb, vimb)
+	}
+}
+
+func TestStorageModelShapes(t *testing.T) {
+	g := gen.TinySocial()
+	ps := []int{1, 4, 16, 64, 256}
+	curve := Curve(g, ps)
+	for i := 1; i < len(curve); i++ {
+		if curve[i].COO != curve[0].COO {
+			t.Fatal("COO storage must be independent of P")
+		}
+		if curve[i].CSC != curve[0].CSC {
+			t.Fatal("CSC storage must be independent of P")
+		}
+		if curve[i].CSRUnpruned <= curve[i-1].CSRUnpruned {
+			t.Fatal("unpruned CSR must grow linearly with P")
+		}
+		if curve[i].CSRPruned+1 < curve[i-1].CSRPruned {
+			t.Fatal("pruned CSR must not shrink with P")
+		}
+	}
+	// COO = 2|E|bv exactly.
+	if curve[0].COO != 2*g.NumEdges()*DefaultBv {
+		t.Fatalf("COO bytes %d", curve[0].COO)
+	}
+}
+
+func TestStorageModelMatchesBuiltLayouts(t *testing.T) {
+	g := gen.TinySocial()
+	pt := ByDestination(g, 16, BalanceEdges)
+	pcoo := NewPCOO(g, pt)
+	if got := MeasuredPCOOBytes(pcoo); got != 2*g.NumEdges()*DefaultBv {
+		t.Fatalf("measured COO bytes %d", got)
+	}
+	pcsr := NewPCSR(g, pt)
+	measured := MeasuredPCSRBytes(pcsr)
+	model := Model(g, 16, DefaultBe, DefaultBv).CSRPruned
+	// The model omits the +1 offset slot per replica; allow small slack.
+	ratio := float64(measured) / float64(model)
+	if ratio < 0.8 || ratio > 1.3 {
+		t.Fatalf("measured CSR %d vs model %d (ratio %.2f)", measured, model, ratio)
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	if Imbalance(nil) != 1 {
+		t.Fatal("empty loads")
+	}
+	if Imbalance([]int64{5, 5, 5}) != 1 {
+		t.Fatal("uniform loads")
+	}
+	if got := Imbalance([]int64{10, 0, 2}); got != 10/4.0 {
+		t.Fatalf("imbalance = %v", got)
+	}
+}
+
+func TestReplicationCurve(t *testing.T) {
+	g := gen.TinySocial()
+	ps := []int{2, 8, 32}
+	c := ReplicationCurve(g, ps, BalanceEdges)
+	if len(c) != 3 {
+		t.Fatal("curve length")
+	}
+	if c[0] > c[1] || c[1] > c[2] {
+		t.Fatalf("curve not monotone: %v", c)
+	}
+}
+
+func TestMorePartitionsThanVertices(t *testing.T) {
+	g := gen.Chain(10)
+	pt := ByDestination(g, 100, BalanceEdges)
+	if err := pt.Validate(10); err != nil {
+		t.Fatal(err)
+	}
+	pcoo := NewPCOO(g, pt)
+	if pcoo.NumEdges() != g.NumEdges() {
+		t.Fatal("edges lost with P > n")
+	}
+}
+
+// Property: ByDestination with edge balancing never cuts worse than the
+// naive equal-vertex split on in-edge load, for random skewed graphs.
+func TestEdgeBalanceNeverWorseProperty(t *testing.T) {
+	f := func(raw []uint16, pRaw uint8) bool {
+		const n = 256
+		p := int(pRaw%4)*4 + 4 // 4..16
+		edges := make([]graph.Edge, 0, len(raw))
+		for i := 0; i+1 < len(raw); i += 2 {
+			// Skew destinations toward low IDs to stress the cut logic.
+			dst := graph.VID(int(raw[i+1]) % (int(raw[i])%n + 1))
+			edges = append(edges, graph.Edge{Src: graph.VID(raw[i] % n), Dst: dst})
+		}
+		if len(edges) == 0 {
+			return true
+		}
+		g := graph.FromEdges(n, edges)
+		eb := Imbalance(ByDestination(g, p, BalanceEdges).InEdgeCounts(g))
+		vb := Imbalance(ByDestination(g, p, BalanceVertices).InEdgeCounts(g))
+		// Allow slack: 64-alignment can cost a little on tiny graphs.
+		return eb <= vb*1.5+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHomeBinarySearchMatchesLinear(t *testing.T) {
+	g := gen.TinySocial()
+	pt := ByDestination(g, 48, BalanceEdges)
+	for v := 0; v < g.NumVertices(); v++ {
+		h := pt.Home(graph.VID(v))
+		linear := -1
+		for i := 0; i < pt.P; i++ {
+			lo, hi := pt.Range(i)
+			if graph.VID(v) >= lo && graph.VID(v) < hi {
+				linear = i
+				break
+			}
+		}
+		if h != linear {
+			t.Fatalf("Home(%d) = %d, linear scan says %d", v, h, linear)
+		}
+	}
+}

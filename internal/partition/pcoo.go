@@ -1,0 +1,60 @@
+package partition
+
+import (
+	"repro/internal/graph"
+)
+
+// PCOO is the partitioned COO layout: partition i holds exactly the edges
+// whose destination's home partition is i. With one worker per partition,
+// update sets are disjoint, so traversal needs no atomics. Storage is
+// 2|E|·b_v regardless of P (§II.E).
+type PCOO struct {
+	Part  *Partitioning
+	Parts []*graph.COO
+}
+
+// NewPCOO buckets g's edges by the home partition of their destination.
+// Within a partition, edges retain CSR order (sorted by source) — the
+// default "Source" sort order of Figure 7; see the hilbert package for
+// re-sorting by destination or Hilbert order.
+func NewPCOO(g *graph.Graph, pt *Partitioning) *PCOO {
+	p := pt.P
+	counts := pt.InEdgeCounts(g)
+	parts := make([]*graph.COO, p)
+	for i := 0; i < p; i++ {
+		parts[i] = &graph.COO{
+			N:   g.NumVertices(),
+			Src: make([]graph.VID, 0, counts[i]),
+			Dst: make([]graph.VID, 0, counts[i]),
+		}
+	}
+	// Iterate in CSR order; out-neighbour lists are sorted by destination
+	// and homes are contiguous ranges, so each vertex's edges split into
+	// runs per partition, advanced with a linear scan.
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, d := range g.OutNeighbors(graph.VID(v)) {
+			h := pt.Home(d)
+			parts[h].Src = append(parts[h].Src, graph.VID(v))
+			parts[h].Dst = append(parts[h].Dst, d)
+		}
+	}
+	return &PCOO{Part: pt, Parts: parts}
+}
+
+// NumEdges returns the total edge count across partitions.
+func (pc *PCOO) NumEdges() int64 {
+	var m int64
+	for _, p := range pc.Parts {
+		m += p.NumEdges()
+	}
+	return m
+}
+
+// EdgeCounts returns per-partition edge counts.
+func (pc *PCOO) EdgeCounts() []int64 {
+	out := make([]int64, len(pc.Parts))
+	for i, p := range pc.Parts {
+		out[i] = p.NumEdges()
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package partition
+
+import (
+	"repro/internal/graph"
+)
+
+// CSRPart is one partition of the pruned partitioned CSR layout: the
+// out-edges of the whole graph whose destination is homed here, indexed
+// by source vertex. Only sources with at least one edge into the
+// partition are stored ("pruned"), each alongside its vertex ID — the
+// scheme of §II.E whose storage grows with the replication factor r(p):
+//
+//	r(p)·|V|·(b_e+b_v) + |E|·b_v
+type CSRPart struct {
+	Verts []graph.VID // replicated source vertex IDs, ascending
+	Off   []int64     // len(Verts)+1; edges of Verts[k] are Dst[Off[k]:Off[k+1]]
+	Dst   []graph.VID
+}
+
+// NumEdges returns the edge count of the part.
+func (p *CSRPart) NumEdges() int64 { return int64(len(p.Dst)) }
+
+// NumReplicas returns how many source vertices are replicated into the
+// part.
+func (p *CSRPart) NumReplicas() int { return len(p.Verts) }
+
+// PCSR is the pruned partitioned CSR layout (partitioning-by-destination).
+// Forward traversal over a partition updates only destinations inside the
+// partition's range, but a source vertex appears in every partition it
+// has an edge into — the replication the paper shows makes CSR
+// non-scalable in P.
+type PCSR struct {
+	Part  *Partitioning
+	Parts []*CSRPart
+}
+
+// NewPCSR builds the pruned partitioned CSR from g.
+func NewPCSR(g *graph.Graph, pt *Partitioning) *PCSR {
+	p := pt.P
+	parts := make([]*CSRPart, p)
+	for i := range parts {
+		parts[i] = &CSRPart{Off: []int64{0}}
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		ns := g.OutNeighbors(graph.VID(v))
+		// Neighbours are sorted by destination and homes are contiguous,
+		// so this vertex's edges form one run per partition.
+		i := 0
+		for i < len(ns) {
+			h := pt.Home(ns[i])
+			j := i + 1
+			for j < len(ns) && ns[j] < pt.Bounds[h+1] {
+				j++
+			}
+			part := parts[h]
+			part.Verts = append(part.Verts, graph.VID(v))
+			part.Dst = append(part.Dst, ns[i:j]...)
+			part.Off = append(part.Off, int64(len(part.Dst)))
+			i = j
+		}
+	}
+	return &PCSR{Part: pt, Parts: parts}
+}
+
+// NumEdges returns the total edge count across partitions (equals the
+// graph's |E|: edges are partitioned, not replicated — only vertices are).
+func (pc *PCSR) NumEdges() int64 {
+	var m int64
+	for _, p := range pc.Parts {
+		m += p.NumEdges()
+	}
+	return m
+}
+
+// TotalReplicas returns the total number of (partition, source-vertex)
+// pairs, the numerator of the replication factor.
+func (pc *PCSR) TotalReplicas() int64 {
+	var r int64
+	for _, p := range pc.Parts {
+		r += int64(p.NumReplicas())
+	}
+	return r
+}

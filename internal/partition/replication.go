@@ -1,0 +1,56 @@
+package partition
+
+import "repro/internal/graph"
+
+// ReplicationFactor computes the average number of partitions in which a
+// vertex is replicated under partitioning-by-destination with the pruned
+// CSR layout: vertex u appears in every partition holding at least one of
+// u's out-edges (Figure 3). For the worked example of Figure 1 (6
+// vertices, 14 edges, 2 partitions) this returns 7/6.
+//
+// The computation is O(|E|) without materialising the layout: since
+// out-neighbour lists are sorted by destination and partitions are
+// contiguous ranges, the number of partitions u touches equals the number
+// of distinct home values in its sorted neighbour list, counted by
+// scanning boundary crossings.
+func ReplicationFactor(g *graph.Graph, pt *Partitioning) float64 {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	var replicas int64
+	for v := 0; v < n; v++ {
+		ns := g.OutNeighbors(graph.VID(v))
+		i := 0
+		for i < len(ns) {
+			h := pt.Home(ns[i])
+			replicas++
+			hi := pt.Bounds[h+1]
+			for i < len(ns) && ns[i] < hi {
+				i++
+			}
+		}
+	}
+	return float64(replicas) / float64(n)
+}
+
+// WorstCaseReplicationFactor returns |E|/|V| — the replication factor when
+// every vertex is its own partition (§II.D: 35.2 for Twitter, 76.2 for
+// Orkut).
+func WorstCaseReplicationFactor(g *graph.Graph) float64 {
+	if g.NumVertices() == 0 {
+		return 0
+	}
+	return float64(g.NumEdges()) / float64(g.NumVertices())
+}
+
+// ReplicationCurve evaluates the replication factor for each partition
+// count in ps, reproducing one series of Figure 3.
+func ReplicationCurve(g *graph.Graph, ps []int, crit Criterion) []float64 {
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		pt := ByDestination(g, p, crit)
+		out[i] = ReplicationFactor(g, pt)
+	}
+	return out
+}

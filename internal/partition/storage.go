@@ -1,0 +1,66 @@
+package partition
+
+import "repro/internal/graph"
+
+// Storage-size model of §II.E / Figure 4. b_e is the bytes per edge-list
+// index (we use 8: int64 offsets) and b_v the bytes per vertex ID (4:
+// uint32).
+
+// ByteSizes holds the modelled storage of each layout at a given P.
+type ByteSizes struct {
+	P           int
+	CSRPruned   int64 // r(p)·|V|·(b_e+b_v) + |E|·b_v
+	CSRUnpruned int64 // p·|V|·b_e + |E|·b_v  (Polymer: zero-degree kept)
+	CSC         int64 // |E|·b_v + |V|·b_e    (unpartitioned, §II.C)
+	COO         int64 // 2·|E|·b_v            (independent of p)
+}
+
+// Model evaluates the storage model for graph g at partition count p with
+// the given index/vertex byte widths.
+func Model(g *graph.Graph, p int, be, bv int64) ByteSizes {
+	v, e := int64(g.NumVertices()), g.NumEdges()
+	pt := ByDestination(g, p, BalanceEdges)
+	r := ReplicationFactor(g, pt)
+	return ByteSizes{
+		P:           p,
+		CSRPruned:   int64(r*float64(v)*float64(be+bv)) + e*bv,
+		CSRUnpruned: int64(p)*v*be + e*bv,
+		CSC:         e*bv + v*be,
+		COO:         2 * e * bv,
+	}
+}
+
+// DefaultBe and DefaultBv are the widths used throughout the repo.
+const (
+	DefaultBe = 8 // int64 edge-list offsets
+	DefaultBv = 4 // uint32 vertex IDs
+)
+
+// Curve evaluates the model over a sweep of partition counts, reproducing
+// Figure 4 for one graph.
+func Curve(g *graph.Graph, ps []int) []ByteSizes {
+	out := make([]ByteSizes, len(ps))
+	for i, p := range ps {
+		out[i] = Model(g, p, DefaultBe, DefaultBv)
+	}
+	return out
+}
+
+// MeasuredPCSRBytes returns the actual bytes consumed by a built pruned
+// PCSR (IDs + offsets + targets), for validating the analytic model.
+func MeasuredPCSRBytes(pc *PCSR) int64 {
+	var b int64
+	for _, p := range pc.Parts {
+		b += int64(len(p.Verts))*DefaultBv + int64(len(p.Off))*DefaultBe + int64(len(p.Dst))*DefaultBv
+	}
+	return b
+}
+
+// MeasuredPCOOBytes returns the actual bytes of a built PCOO.
+func MeasuredPCOOBytes(pc *PCOO) int64 {
+	var b int64
+	for _, p := range pc.Parts {
+		b += int64(len(p.Src))*DefaultBv + int64(len(p.Dst))*DefaultBv
+	}
+	return b
+}

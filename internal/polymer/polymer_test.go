@@ -1,0 +1,104 @@
+package polymer
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/frontier"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func countingOp(n int) (api.EdgeOp, *int64) {
+	var edges int64
+	seen := make([]int32, n)
+	return api.EdgeOp{
+		Update: func(u, v graph.VID) bool {
+			atomic.AddInt64(&edges, 1)
+			return atomic.CompareAndSwapInt32(&seen[v], 0, 1)
+		},
+		UpdateAtomic: func(u, v graph.VID) bool {
+			atomic.AddInt64(&edges, 1)
+			return atomic.CompareAndSwapInt32(&seen[v], 0, 1)
+		},
+	}, &edges
+}
+
+func TestConfigs(t *testing.T) {
+	g := gen.TinySocial()
+	p := New(g, Polymer(), 0)
+	if p.Name() != "Polymer" {
+		t.Fatal("polymer name")
+	}
+	if p.Partitioning().P != 4 {
+		t.Fatalf("polymer partitions = %d, want 4 (one per NUMA domain)", p.Partitioning().P)
+	}
+	v1 := New(g, GGv1(), 0)
+	if v1.Name() != "GG-v1" {
+		t.Fatal("ggv1 name")
+	}
+}
+
+func TestGGv1BalancesEdgesBetterThanPolymer(t *testing.T) {
+	g := gen.Preset("livejournal-sm")
+	pol := New(g, Polymer(), 1).Partitioning()
+	v1 := New(g, GGv1(), 1).Partitioning()
+	// GG-v1's contribution is edge balance: its in-edge imbalance must
+	// not exceed Polymer's vertex-balanced split.
+	imb := func(loads []int64) float64 {
+		var sum, max int64
+		for _, l := range loads {
+			sum += l
+			if l > max {
+				max = l
+			}
+		}
+		return float64(max) * float64(len(loads)) / float64(sum)
+	}
+	if imb(v1.InEdgeCounts(g)) > imb(pol.InEdgeCounts(g)) {
+		t.Fatalf("GG-v1 imbalance %.2f worse than Polymer %.2f",
+			imb(v1.InEdgeCounts(g)), imb(pol.InEdgeCounts(g)))
+	}
+}
+
+func TestDenseForwardAppliesAllEdges(t *testing.T) {
+	g := gen.TinySocial()
+	for _, cfg := range []Config{Polymer(), GGv1()} {
+		e := New(g, cfg, 0)
+		op, edges := countingOp(g.NumVertices())
+		e.EdgeMap(frontier.All(g), op, api.DirForward)
+		if *edges != g.NumEdges() {
+			t.Fatalf("%s: applied %d edges, want %d", cfg.SystemName, *edges, g.NumEdges())
+		}
+	}
+}
+
+func TestSparsePartitionedCoversAllEdgesOfActives(t *testing.T) {
+	g := gen.TinySocial()
+	e := New(g, GGv1(), 0)
+	var leaf graph.VID
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.OutDegree(graph.VID(v)) >= 1 && g.OutDegree(graph.VID(v)) <= 3 {
+			leaf = graph.VID(v)
+			break
+		}
+	}
+	op, edges := countingOp(g.NumVertices())
+	e.EdgeMap(frontier.FromVertex(g, leaf), op, api.DirForward)
+	if *edges != g.OutDegree(leaf) {
+		t.Fatalf("sparse path applied %d edges, want %d", *edges, g.OutDegree(leaf))
+	}
+}
+
+func TestBackwardMatchesForwardFrontier(t *testing.T) {
+	g := gen.TinySocial()
+	e := New(g, Polymer(), 0)
+	opF, _ := countingOp(g.NumVertices())
+	fwd := e.EdgeMap(frontier.All(g), opF, api.DirForward)
+	opB, _ := countingOp(g.NumVertices())
+	bwd := e.EdgeMap(frontier.All(g), opB, api.DirBackward)
+	if fwd.Count() != bwd.Count() {
+		t.Fatalf("forward %d vs backward %d", fwd.Count(), bwd.Count())
+	}
+}

@@ -1,0 +1,171 @@
+package reorder
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestPermutationsAreBijections(t *testing.T) {
+	g := gen.TinySocial()
+	for _, s := range Strategies() {
+		perm := Permutation(g, s, 7)
+		seen := make([]bool, g.NumVertices())
+		for _, p := range perm {
+			if seen[p] {
+				t.Fatalf("%v: duplicate image %d", s, p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestApplyConservesStructure(t *testing.T) {
+	g := gen.TinySocial()
+	for _, s := range Strategies() {
+		perm := Permutation(g, s, 7)
+		h := Apply(g, perm)
+		if h.NumEdges() != g.NumEdges() || h.NumVertices() != g.NumVertices() {
+			t.Fatalf("%v: sizes changed", s)
+		}
+		// Degree multiset must be preserved: degree of old v equals
+		// degree of perm[v].
+		for v := 0; v < g.NumVertices(); v++ {
+			if g.OutDegree(graph.VID(v)) != h.OutDegree(perm[v]) {
+				t.Fatalf("%v: out-degree of %d changed", s, v)
+			}
+			if g.InDegree(graph.VID(v)) != h.InDegree(perm[v]) {
+				t.Fatalf("%v: in-degree of %d changed", s, v)
+			}
+		}
+	}
+}
+
+func TestIdentityIsNoop(t *testing.T) {
+	g := gen.TinyRoad()
+	h := Apply(g, Permutation(g, Identity, 0))
+	eg, eh := g.Edges(), h.Edges()
+	for i := range eg {
+		if eg[i] != eh[i] {
+			t.Fatal("identity changed the graph")
+		}
+	}
+}
+
+func TestDegreeDescPlacesHubsFirst(t *testing.T) {
+	g := gen.TinySocial()
+	perm := Permutation(g, ByDegreeDesc, 0)
+	h := Apply(g, perm)
+	// New vertex 0 must have the maximum total degree.
+	max := int64(0)
+	for v := 0; v < h.NumVertices(); v++ {
+		if d := h.OutDegree(graph.VID(v)) + h.InDegree(graph.VID(v)); d > max {
+			max = d
+		}
+	}
+	if d0 := h.OutDegree(0) + h.InDegree(0); d0 != max {
+		t.Fatalf("vertex 0 degree %d, max %d", d0, max)
+	}
+	// Degrees must be non-increasing along new IDs.
+	prev := int64(1 << 62)
+	for v := 0; v < h.NumVertices(); v++ {
+		d := h.OutDegree(graph.VID(v)) + h.InDegree(graph.VID(v))
+		if d > prev {
+			t.Fatalf("degrees not sorted at %d", v)
+		}
+		prev = d
+	}
+}
+
+func TestBFSReducesRoadBandwidth(t *testing.T) {
+	// On a lattice whose IDs were scrambled, BFS ordering must reduce
+	// the mean edge gap dramatically.
+	g := gen.TinyRoad()
+	scrambled := Apply(g, Permutation(g, Random, 99))
+	bfsed := Apply(scrambled, Permutation(scrambled, ByBFS, 0))
+	if Bandwidth(bfsed) >= Bandwidth(scrambled)/2 {
+		t.Fatalf("BFS order bandwidth %.1f not well below random %.1f",
+			Bandwidth(bfsed), Bandwidth(scrambled))
+	}
+}
+
+func TestRandomSeedsDiffer(t *testing.T) {
+	g := gen.TinySocial()
+	a := Permutation(g, Random, 1)
+	b := Permutation(g, Random, 2)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical permutations")
+	}
+	c := Permutation(g, Random, 1)
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatal("same seed gave different permutations")
+		}
+	}
+}
+
+func TestApplyPanicsOnNonBijection(t *testing.T) {
+	g := gen.Chain(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Apply(g, []graph.VID{0, 0, 1, 2})
+}
+
+// Relabelling must not change algorithm results modulo the relabelling:
+// PageRank of perm[v] on the reordered graph equals PageRank of v.
+func TestReorderingPreservesPageRank(t *testing.T) {
+	g := gen.TinySocial()
+	base := algorithms.PR(core.NewEngine(g, core.Options{}), 8).Ranks
+	for _, s := range Strategies() {
+		perm := Permutation(g, s, 3)
+		h := Apply(g, perm)
+		got := algorithms.PR(core.NewEngine(h, core.Options{}), 8).Ranks
+		for v := range base {
+			diff := base[v] - got[perm[v]]
+			if diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("%v: rank of %d changed by %g", s, v, diff)
+			}
+		}
+	}
+}
+
+// Property: Apply∘Permutation never loses or duplicates edges for random
+// graphs under the random strategy.
+func TestApplyEdgeConservationProperty(t *testing.T) {
+	f := func(raw []uint16, seed uint64) bool {
+		const n = 64
+		edges := make([]graph.Edge, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, graph.Edge{Src: graph.VID(raw[i] % n), Dst: graph.VID(raw[i+1] % n)})
+		}
+		g := graph.FromEdges(n, edges)
+		h := Apply(g, Permutation(g, Random, seed))
+		return h.NumEdges() == g.NumEdges() && h.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrategyStrings(t *testing.T) {
+	want := map[Strategy]string{Identity: "identity", ByDegreeDesc: "degree", ByBFS: "bfs", Random: "random"}
+	for s, w := range want {
+		if s.String() != w {
+			t.Fatalf("%v != %s", s, w)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Package shard provides GraphChi-style out-of-core processing — the
+// system the paper's partitioning-by-destination originates from (§II.B
+// cites GraphChi's scheme; out-of-core engines "determine the
+// partitioning factor such that individual partitions fit in core
+// memory"). A graph's partitioned COO is written to one file per shard;
+// iteration then streams shards from disk one at a time, so resident
+// memory is bounded by the per-vertex arrays plus a single shard
+// regardless of |E|.
+//
+// The same partitioning invariant as in-memory processing holds: a
+// shard holds all in-edges of its vertex range, so updates from a shard
+// sweep are confined to that range.
+package shard
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// manifest is the on-disk index of a sharded graph.
+type manifest struct {
+	Magic      string      `json:"magic"`
+	Vertices   int         `json:"vertices"`
+	Edges      int64       `json:"edges"`
+	Shards     int         `json:"shards"`
+	Bounds     []graph.VID `json:"bounds"`
+	EdgeCounts []int64     `json:"edge_counts"`
+}
+
+const manifestMagic = "ggrind-shards-v1"
+
+// Store is an opened sharded graph directory.
+type Store struct {
+	dir string
+	m   manifest
+}
+
+// Write shards g into dir (created if needed) with p partitions by
+// destination and returns the opened store.
+func Write(dir string, g *graph.Graph, p int) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	pt := partition.ByDestination(g, p, partition.BalanceEdges)
+	pcoo := partition.NewPCOO(g, pt)
+	m := manifest{
+		Magic:    manifestMagic,
+		Vertices: g.NumVertices(),
+		Edges:    g.NumEdges(),
+		Shards:   pt.P,
+		Bounds:   pt.Bounds,
+	}
+	for i, part := range pcoo.Parts {
+		m.EdgeCounts = append(m.EdgeCounts, part.NumEdges())
+		if err := writeShardFile(shardPath(dir, i), part); err != nil {
+			return nil, err
+		}
+	}
+	data, err := json.MarshalIndent(m, "", " ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), data, 0o644); err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir, m: m}, nil
+}
+
+// Open loads an existing sharded graph directory.
+func Open(dir string) (*Store, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return nil, err
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("shard: bad manifest: %v", err)
+	}
+	if m.Magic != manifestMagic {
+		return nil, fmt.Errorf("shard: bad magic %q", m.Magic)
+	}
+	if m.Shards != len(m.EdgeCounts) || len(m.Bounds) != m.Shards+1 {
+		return nil, fmt.Errorf("shard: inconsistent manifest")
+	}
+	return &Store{dir: dir, m: m}, nil
+}
+
+// NumVertices returns |V|.
+func (s *Store) NumVertices() int { return s.m.Vertices }
+
+// NumEdges returns |E|.
+func (s *Store) NumEdges() int64 { return s.m.Edges }
+
+// NumShards returns the shard count.
+func (s *Store) NumShards() int { return s.m.Shards }
+
+// Range returns shard i's destination vertex range.
+func (s *Store) Range(i int) (lo, hi graph.VID) { return s.m.Bounds[i], s.m.Bounds[i+1] }
+
+// LoadShard reads shard i's edges from disk.
+func (s *Store) LoadShard(i int) (*graph.COO, error) {
+	if i < 0 || i >= s.m.Shards {
+		return nil, fmt.Errorf("shard: index %d out of range", i)
+	}
+	return readShardFile(shardPath(s.dir, i), s.m.Vertices, s.m.EdgeCounts[i])
+}
+
+// Sweep streams every shard once, in order, calling fn for each edge.
+// Only one shard is resident at a time.
+func (s *Store) Sweep(fn func(u, v graph.VID)) error {
+	for i := 0; i < s.m.Shards; i++ {
+		c, err := s.LoadShard(i)
+		if err != nil {
+			return err
+		}
+		for e := range c.Src {
+			fn(c.Src[e], c.Dst[e])
+		}
+	}
+	return nil
+}
+
+func shardPath(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%04d.bin", i))
+}
+
+func writeShardFile(path string, c *graph.COO) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := binary.Write(f, binary.LittleEndian, int64(len(c.Src))); err != nil {
+		return err
+	}
+	if err := binary.Write(f, binary.LittleEndian, c.Src); err != nil {
+		return err
+	}
+	return binary.Write(f, binary.LittleEndian, c.Dst)
+}
+
+func readShardFile(path string, n int, wantEdges int64) (*graph.COO, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var count int64
+	if err := binary.Read(f, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("shard: %s: %v", path, err)
+	}
+	if count != wantEdges || count < 0 {
+		return nil, fmt.Errorf("shard: %s: edge count %d, manifest says %d", path, count, wantEdges)
+	}
+	c := &graph.COO{N: n, Src: make([]graph.VID, count), Dst: make([]graph.VID, count)}
+	if err := binary.Read(f, binary.LittleEndian, c.Src); err != nil {
+		return nil, fmt.Errorf("shard: %s: sources: %v", path, err)
+	}
+	if err := binary.Read(f, binary.LittleEndian, c.Dst); err != nil {
+		return nil, fmt.Errorf("shard: %s: destinations: %v", path, err)
+	}
+	for i := range c.Src {
+		if int(c.Src[i]) >= n || int(c.Dst[i]) >= n {
+			return nil, fmt.Errorf("shard: %s: endpoint out of range at %d", path, i)
+		}
+	}
+	return c, nil
+}
+
+// PageRank runs the power method out-of-core: per iteration one
+// sequential pass over the shards, with resident memory bounded by the
+// two rank arrays plus one shard. Matches algorithms.PR numerically
+// (same damping and dangling handling).
+func PageRank(s *Store, iters int, outDeg []int64) ([]float64, error) {
+	n := s.NumVertices()
+	if len(outDeg) != n {
+		return nil, fmt.Errorf("shard: out-degree array length %d, want %d", len(outDeg), n)
+	}
+	const damping = 0.85
+	ranks := make([]float64, n)
+	contrib := make([]float64, n)
+	acc := make([]float64, n)
+	for i := range ranks {
+		ranks[i] = 1 / float64(n)
+	}
+	for it := 0; it < iters; it++ {
+		var dangling float64
+		for v := 0; v < n; v++ {
+			if outDeg[v] == 0 {
+				dangling += ranks[v]
+				contrib[v] = 0
+			} else {
+				contrib[v] = ranks[v] / float64(outDeg[v])
+			}
+			acc[v] = 0
+		}
+		if err := s.Sweep(func(u, v graph.VID) { acc[v] += contrib[u] }); err != nil {
+			return nil, err
+		}
+		base := (1-damping)/float64(n) + damping*dangling/float64(n)
+		for v := 0; v < n; v++ {
+			ranks[v] = base + damping*acc[v]
+		}
+	}
+	return ranks, nil
+}
+
+// OutDegrees extracts the per-vertex out-degree from the shards in one
+// pass (needed by PageRank when the in-memory graph is gone).
+func (s *Store) OutDegrees() ([]int64, error) {
+	deg := make([]int64, s.NumVertices())
+	err := s.Sweep(func(u, _ graph.VID) { deg[u]++ })
+	return deg, err
+}

@@ -1,0 +1,156 @@
+package shard
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/algorithms"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestWriteOpenRoundTrip(t *testing.T) {
+	g := gen.TinySocial()
+	dir := t.TempDir()
+	st, err := Write(dir, g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumVertices() != g.NumVertices() || st.NumEdges() != g.NumEdges() {
+		t.Fatal("sizes wrong")
+	}
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.NumShards() != st.NumShards() {
+		t.Fatal("shard count changed on reopen")
+	}
+}
+
+func TestSweepVisitsEveryEdgeOnce(t *testing.T) {
+	g := gen.TinySocial()
+	st, err := Write(t.TempDir(), g, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[graph.Edge]int{}
+	if err := st.Sweep(func(u, v graph.VID) { seen[graph.Edge{Src: u, Dst: v}]++ }); err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, c := range seen {
+		total += int64(c)
+	}
+	if total != g.NumEdges() {
+		t.Fatalf("swept %d edges, want %d", total, g.NumEdges())
+	}
+	for _, e := range g.Edges() {
+		if seen[e] == 0 {
+			t.Fatalf("edge %v missing from shards", e)
+		}
+	}
+}
+
+func TestShardDestinationsInRange(t *testing.T) {
+	g := gen.TinyRoad()
+	st, err := Write(t.TempDir(), g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < st.NumShards(); i++ {
+		lo, hi := st.Range(i)
+		c, err := st.LoadShard(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range c.Dst {
+			if d < lo || d >= hi {
+				t.Fatalf("shard %d: destination %d outside [%d,%d)", i, d, lo, hi)
+			}
+		}
+	}
+}
+
+func TestOutOfCorePageRankMatchesInMemory(t *testing.T) {
+	g := gen.Preset("yahoo-sm")
+	st, err := Write(t.TempDir(), g, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outDeg, err := st.OutDegrees()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := PageRank(st, 10, outDeg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := algorithms.SerialPR(g, 10)
+	for v := range want {
+		if math.Abs(got[v]-want[v]) > 1e-12 {
+			t.Fatalf("rank[%d] = %v, want %v", v, got[v], want[v])
+		}
+	}
+}
+
+func TestOutDegreesMatchGraph(t *testing.T) {
+	g := gen.TinySocial()
+	st, err := Write(t.TempDir(), g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg, err := st.OutDegrees()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if deg[v] != g.OutDegree(graph.VID(v)) {
+			t.Fatalf("out-degree[%d] = %d, want %d", v, deg[v], g.OutDegree(graph.VID(v)))
+		}
+	}
+}
+
+func TestOpenRejectsCorruption(t *testing.T) {
+	g := gen.Chain(32)
+	dir := t.TempDir()
+	if _, err := Write(dir, g, 4); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the manifest.
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("corrupt manifest accepted")
+	}
+	if _, err := Open(t.TempDir()); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+}
+
+func TestLoadShardValidates(t *testing.T) {
+	g := gen.Chain(32)
+	dir := t.TempDir()
+	st, err := Write(dir, g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate a shard file; reload must fail.
+	path := filepath.Join(dir, "shard-0000.bin")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.LoadShard(0); err == nil {
+		t.Fatal("truncated shard accepted")
+	}
+	if _, err := st.LoadShard(99); err == nil {
+		t.Fatal("out-of-range shard index accepted")
+	}
+}

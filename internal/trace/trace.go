@@ -1,0 +1,129 @@
+// Package trace records per-iteration execution telemetry: for every
+// EdgeMap, the frontier statistics going in, the class/layout chosen,
+// and the wall time. Traces explain *why* a run performed as it did —
+// the PRDelta dense→medium→sparse progression of the paper's §IV.A is
+// directly visible in a trace — and export to CSV for offline plotting.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Event is one recorded EdgeMap iteration.
+type Event struct {
+	Seq        int
+	Class      string // sparse / medium / dense (or a forced layout)
+	FrontierSz int64
+	ActiveDeg  int64 // Σ out-degree over the frontier
+	Duration   time.Duration
+}
+
+// Recorder accumulates events; safe for concurrent use (engines call it
+// from the coordinating goroutine, but tools may read concurrently).
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// New returns an empty recorder.
+func New() *Recorder { return &Recorder{} }
+
+// Record appends one event, assigning its sequence number.
+func (r *Recorder) Record(class string, frontierSz, activeDeg int64, d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, Event{
+		Seq: len(r.events), Class: class,
+		FrontierSz: frontierSz, ActiveDeg: activeDeg, Duration: d,
+	})
+}
+
+// Events returns a copy of the recorded events.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Reset clears the recorder.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = r.events[:0]
+}
+
+// WriteCSV emits "seq,class,frontier,activedeg,micros" rows.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "seq,class,frontier,activedeg,micros"); err != nil {
+		return err
+	}
+	for _, e := range r.Events() {
+		if _, err := fmt.Fprintf(w, "%d,%s,%d,%d,%d\n",
+			e.Seq, e.Class, e.FrontierSz, e.ActiveDeg, e.Duration.Microseconds()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary aggregates a trace per class.
+type Summary struct {
+	Class    string
+	Count    int
+	Total    time.Duration
+	MaxFront int64
+}
+
+// Summarise groups events by class, ordered by first appearance.
+func (r *Recorder) Summarise() []Summary {
+	events := r.Events()
+	byClass := map[string]*Summary{}
+	var order []string
+	for _, e := range events {
+		s, ok := byClass[e.Class]
+		if !ok {
+			s = &Summary{Class: e.Class}
+			byClass[e.Class] = s
+			order = append(order, e.Class)
+		}
+		s.Count++
+		s.Total += e.Duration
+		if e.FrontierSz > s.MaxFront {
+			s.MaxFront = e.FrontierSz
+		}
+	}
+	out := make([]Summary, 0, len(order))
+	for _, c := range order {
+		out = append(out, *byClass[c])
+	}
+	return out
+}
+
+// String renders the summary compactly, classes sorted for stability.
+func (r *Recorder) String() string {
+	sums := r.Summarise()
+	sort.Slice(sums, func(i, j int) bool { return sums[i].Class < sums[j].Class })
+	var b strings.Builder
+	for i, s := range sums {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%s×%d (%.1fms, max|F|=%d)",
+			s.Class, s.Count, s.Total.Seconds()*1000, s.MaxFront)
+	}
+	return b.String()
+}

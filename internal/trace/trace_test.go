@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	r := New()
+	r.Record("dense", 100, 5000, 2*time.Millisecond)
+	r.Record("dense", 80, 4000, time.Millisecond)
+	r.Record("sparse", 3, 10, 100*time.Microsecond)
+	if r.Len() != 3 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	ev := r.Events()
+	if ev[0].Seq != 0 || ev[2].Seq != 2 {
+		t.Fatal("sequence numbering wrong")
+	}
+	if ev[2].Class != "sparse" || ev[2].FrontierSz != 3 {
+		t.Fatalf("event content wrong: %+v", ev[2])
+	}
+}
+
+func TestSummarise(t *testing.T) {
+	r := New()
+	r.Record("dense", 100, 0, 2*time.Millisecond)
+	r.Record("sparse", 5, 0, time.Millisecond)
+	r.Record("dense", 500, 0, 3*time.Millisecond)
+	sums := r.Summarise()
+	if len(sums) != 2 {
+		t.Fatalf("summaries = %d", len(sums))
+	}
+	if sums[0].Class != "dense" || sums[0].Count != 2 || sums[0].Total != 5*time.Millisecond {
+		t.Fatalf("dense summary wrong: %+v", sums[0])
+	}
+	if sums[0].MaxFront != 500 {
+		t.Fatalf("max frontier %d", sums[0].MaxFront)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := New()
+	r.Record("medium", 42, 99, 1500*time.Microsecond)
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "seq,class,frontier,activedeg,micros\n") {
+		t.Fatalf("missing header: %q", out)
+	}
+	if !strings.Contains(out, "0,medium,42,99,1500") {
+		t.Fatalf("missing row: %q", out)
+	}
+}
+
+func TestResetAndString(t *testing.T) {
+	r := New()
+	r.Record("dense", 1, 1, time.Millisecond)
+	if r.String() == "" {
+		t.Fatal("empty render")
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatal("reset failed")
+	}
+}

@@ -1,0 +1,197 @@
+// Package repro is the public API of the GraphGrind-v2 reproduction: a
+// shared-memory graph analytics framework that accelerates traversal by
+// exploiting the temporal locality of partitioning-by-destination
+// (Sun, Vandierendonck & Nikolopoulos, ICPP 2017).
+//
+// The typical flow is: obtain a Graph (from an edge list or a generator),
+// build an Engine over it, and run algorithms:
+//
+//	g := repro.RMAT(16, 16, 0.57, 0.19, 0.19, 1)
+//	eng := repro.NewEngine(g, repro.Options{})
+//	ranks := repro.PageRankDelta(eng, 60)
+//
+// Engines for the paper's baselines (Ligra, Polymer, GraphGrind-v1) are
+// available through NewLigra, NewPolymer and NewGGv1 and accept the same
+// algorithms, enabling apples-to-apples comparisons.
+package repro
+
+import (
+	"repro/internal/algorithms"
+	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/gio"
+	"repro/internal/graph"
+	"repro/internal/hilbert"
+	"repro/internal/ligra"
+	"repro/internal/partition"
+	"repro/internal/polymer"
+)
+
+// Core graph types.
+type (
+	// Graph is the dual CSR/CSC graph representation.
+	Graph = graph.Graph
+	// VID is a vertex identifier.
+	VID = graph.VID
+	// Edge is a directed edge.
+	Edge = graph.Edge
+)
+
+// FromEdges builds a graph with n vertices from a directed edge list.
+func FromEdges(n int, edges []Edge) *Graph { return graph.FromEdges(n, edges) }
+
+// WeightOf returns the deterministic weight of edge (u,v) used by the
+// weighted algorithms (Bellman-Ford, SPMV, BP).
+func WeightOf(u, v VID) float32 { return graph.WeightOf(u, v) }
+
+// Generators (see internal/gen for parameter semantics).
+var (
+	// RMAT generates a directed R-MAT graph with 2^scale vertices.
+	RMAT = gen.RMAT
+	// PowerLaw generates a Zipf-degree directed graph.
+	PowerLaw = gen.PowerLaw
+	// ErdosRenyi generates a uniform random directed graph.
+	ErdosRenyi = gen.ErdosRenyi
+	// RoadGrid generates an undirected road-network-like lattice.
+	RoadGrid = gen.RoadGrid
+	// Preset builds one of the Table I dataset substitutes by name.
+	Preset = gen.Preset
+	// PresetNames lists the available presets.
+	PresetNames = gen.PresetNames
+)
+
+// Engine configuration re-exports.
+type (
+	// Options configures the GraphGrind-v2 engine.
+	Options = core.Options
+	// Layout forces a single traversal layout (experiments only).
+	Layout = core.Layout
+	// System is the engine interface all algorithms run on.
+	System = api.System
+	// EdgeOp is the per-edge operator for custom EdgeMap computations.
+	EdgeOp = api.EdgeOp
+	// Direction is the baseline engines' traversal hint.
+	Direction = api.Direction
+)
+
+// Layout and direction constants.
+const (
+	LayoutAuto = core.LayoutAuto
+	LayoutCSR  = core.LayoutCSR
+	LayoutCSC  = core.LayoutCSC
+	LayoutCOO  = core.LayoutCOO
+
+	DirAuto     = api.DirAuto
+	DirForward  = api.DirForward
+	DirBackward = api.DirBackward
+)
+
+// NewEngine builds the GraphGrind-v2 engine (three layouts, Algorithm 2
+// dispatch, atomic-free partition-exclusive updates).
+func NewEngine(g *Graph, opts Options) *core.Engine { return core.NewEngine(g, opts) }
+
+// NewLigra builds the Ligra baseline engine.
+func NewLigra(g *Graph, threads int) System { return ligra.New(g, threads) }
+
+// NewPolymer builds the Polymer baseline engine.
+func NewPolymer(g *Graph, threads int) System { return polymer.New(g, polymer.Polymer(), threads) }
+
+// NewGGv1 builds the GraphGrind-v1 baseline engine.
+func NewGGv1(g *Graph, threads int) System { return polymer.New(g, polymer.GGv1(), threads) }
+
+// Partitioning analysis re-exports (Figures 3 and 4).
+var (
+	// PartitionByDestination runs Algorithm 1 with aligned boundaries.
+	PartitionByDestination = partition.ByDestination
+	// ReplicationFactor computes the pruned-CSR replication factor.
+	ReplicationFactor = partition.ReplicationFactor
+)
+
+// Criterion constants for PartitionByDestination.
+const (
+	BalanceEdges    = partition.BalanceEdges
+	BalanceVertices = partition.BalanceVertices
+)
+
+// EdgeOrder constants for Options.EdgeOrder (Figure 7).
+const (
+	OrderBySource      = hilbert.BySource
+	OrderByDestination = hilbert.ByDestination
+	OrderByHilbert     = hilbert.ByHilbert
+)
+
+// Algorithms. Each runs on any System.
+
+// BFS runs breadth-first search from src and returns the parent array.
+func BFS(sys System, src VID) []int32 { return algorithms.BFS(sys, src).Parents }
+
+// ConnectedComponents runs label propagation and returns per-vertex
+// component labels.
+func ConnectedComponents(sys System) []int32 { return algorithms.CC(sys).Labels }
+
+// PageRank runs the power method for iters iterations.
+func PageRank(sys System, iters int) []float64 { return algorithms.PR(sys, iters).Ranks }
+
+// PageRankDelta runs delta-forwarding PageRank until convergence or
+// maxIters.
+func PageRankDelta(sys System, maxIters int) []float64 {
+	return algorithms.PRDelta(sys, maxIters).Ranks
+}
+
+// SpMV multiplies the graph's weighted adjacency (transposed) with the
+// fixed input vector.
+func SpMV(sys System) []float64 { return algorithms.SPMV(sys).Y }
+
+// ShortestPaths runs Bellman-Ford from src under the deterministic
+// positive edge weights.
+func ShortestPaths(sys System, src VID) []float32 { return algorithms.BellmanFord(sys, src).Dist }
+
+// BetweennessCentrality computes single-source dependency scores; rsys
+// must be an engine over g.Reverse().
+func BetweennessCentrality(sys, rsys System, src VID) []float64 {
+	return algorithms.BC(sys, rsys, src).Scores
+}
+
+// BeliefPropagation runs loopy BP for iters iterations and returns
+// per-vertex marginals.
+func BeliefPropagation(sys System, iters int) []float64 {
+	return algorithms.BP(sys, iters).Beliefs
+}
+
+// SourceVertex returns the deterministic experiment root: the vertex
+// with the highest out-degree.
+func SourceVertex(g *Graph) VID { return algorithms.SourceVertex(g) }
+
+// Beyond-Table-II applications (API-generality demonstrations).
+
+// KCore returns per-vertex coreness (intended for symmetric graphs).
+func KCore(sys System) []int32 { return algorithms.KCore(sys).Coreness }
+
+// MaximalIndependentSet returns a deterministic MIS membership array
+// (intended for symmetric graphs).
+func MaximalIndependentSet(sys System) []bool { return algorithms.MIS(sys).InSet }
+
+// Radii returns per-vertex eccentricity estimates from a 64-source
+// bit-parallel BFS.
+func Radii(sys System) []int32 { return algorithms.Radii(sys).Ecc }
+
+// Coloring returns a proper vertex colouring via iterated MIS (intended
+// for symmetric graphs).
+func Coloring(sys System) []int32 { return algorithms.Coloring(sys).Colors }
+
+// LoadGraph reads a graph from disk, dispatching on extension
+// (.el/.txt/.edges, .adj, .bin/.ggr, each optionally .gz).
+func LoadGraph(path string) (*Graph, error) { return gio.Load(path) }
+
+// SaveGraph writes a graph to disk, dispatching on extension like
+// LoadGraph.
+func SaveGraph(path string, g *Graph) error { return gio.Save(path, g) }
+
+// TriangleCount counts triangles on a symmetric graph.
+func TriangleCount(sys System) int64 { return algorithms.TriangleCount(sys).Triangles }
+
+// NewEngineAuto builds a GraphGrind-v2 engine whose partition count is
+// chosen by the locality heuristic of §IV.G (per-partition vertex slice
+// sized to cache) when Options.Partitions is zero.
+func NewEngineAuto(g *Graph, opts Options) *core.Engine { return core.NewEngineAuto(g, opts) }

@@ -1,0 +1,203 @@
+package repro
+
+import (
+	"math"
+	"testing"
+)
+
+// Public-API surface tests: everything a downstream user would touch.
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	g := RMAT(10, 8, 0.57, 0.19, 0.19, 1)
+	eng := NewEngine(g, Options{})
+	src := SourceVertex(g)
+
+	parents := BFS(eng, src)
+	if parents[src] != int32(src) {
+		t.Fatal("source is not its own parent")
+	}
+
+	ranks := PageRank(eng, 10)
+	var sum float64
+	for _, r := range ranks {
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("rank mass %v", sum)
+	}
+
+	labels := ConnectedComponents(eng)
+	if len(labels) != g.NumVertices() {
+		t.Fatal("label array length")
+	}
+
+	dist := ShortestPaths(eng, src)
+	if dist[src] != 0 {
+		t.Fatal("source distance nonzero")
+	}
+
+	y := SpMV(eng)
+	if len(y) != g.NumVertices() {
+		t.Fatal("SpMV length")
+	}
+
+	beliefs := BeliefPropagation(eng, 5)
+	for _, b := range beliefs {
+		if b < 0 || b > 1 {
+			t.Fatal("belief out of range")
+		}
+	}
+
+	scores := BetweennessCentrality(eng, NewEngine(g.Reverse(), Options{}), src)
+	if len(scores) != g.NumVertices() {
+		t.Fatal("BC length")
+	}
+}
+
+func TestPublicBaselines(t *testing.T) {
+	g := RMAT(9, 8, 0.57, 0.19, 0.19, 2)
+	engines := []System{
+		NewLigra(g, 2),
+		NewPolymer(g, 2),
+		NewGGv1(g, 2),
+		NewEngine(g, Options{Threads: 2}),
+	}
+	src := SourceVertex(g)
+	var want []float32
+	for _, e := range engines {
+		d := ShortestPaths(e, src)
+		if want == nil {
+			want = d
+		} else {
+			for v := range d {
+				if math.Abs(float64(d[v]-want[v])) > 1e-4 &&
+					!(math.IsInf(float64(d[v]), 1) && math.IsInf(float64(want[v]), 1)) {
+					t.Fatalf("%s: dist[%d]=%v, want %v", e.Name(), v, d[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+func TestPublicPartitionAnalysis(t *testing.T) {
+	g := Preset("usaroad-sm")
+	pt := PartitionByDestination(g, 48, BalanceEdges)
+	r := ReplicationFactor(g, pt)
+	if r < 1 || r > 4 {
+		t.Fatalf("road-graph replication %v out of expected band", r)
+	}
+}
+
+func TestPublicPageRankDelta(t *testing.T) {
+	g := PowerLaw(1<<10, 1<<14, 2.2, 3)
+	eng := NewEngine(g, Options{})
+	ranks := PageRankDelta(eng, 100)
+	pr := PageRank(NewEngine(g, Options{}), 60)
+	for v := range ranks {
+		if math.Abs(ranks[v]-pr[v]) > 1e-3+0.1*pr[v] {
+			t.Fatalf("PRDelta diverges at %d: %v vs %v", v, ranks[v], pr[v])
+		}
+	}
+}
+
+func TestPublicConstants(t *testing.T) {
+	if LayoutAuto == LayoutCOO || DirForward == DirBackward {
+		t.Fatal("constant collision")
+	}
+	if len(PresetNames()) != 8 {
+		t.Fatal("preset count")
+	}
+	if w := WeightOf(1, 2); w <= 0 || w > 1 {
+		t.Fatal("weight range")
+	}
+}
+
+func TestPublicExtendedAlgorithms(t *testing.T) {
+	// Symmetric graph so the undirected-notion algorithms are valid.
+	var edges []Edge
+	for i := 0; i < 40; i++ {
+		for j := i + 1; j < 40; j += i%3 + 1 {
+			edges = append(edges, Edge{Src: VID(i), Dst: VID(j)}, Edge{Src: VID(j), Dst: VID(i)})
+		}
+	}
+	g := FromEdges(40, edges)
+	eng := NewEngine(g, Options{Threads: 2})
+
+	core := KCore(eng)
+	if len(core) != 40 {
+		t.Fatal("KCore length")
+	}
+	mis := MaximalIndependentSet(eng)
+	for v, in := range mis {
+		if !in {
+			continue
+		}
+		for _, w := range g.OutNeighbors(VID(v)) {
+			if int(w) != v && mis[w] {
+				t.Fatal("MIS not independent")
+			}
+		}
+	}
+	colors := Coloring(eng)
+	for v := range colors {
+		for _, w := range g.OutNeighbors(VID(v)) {
+			if int(w) != v && colors[w] == colors[v] {
+				t.Fatal("colouring not proper")
+			}
+		}
+	}
+	ecc := Radii(eng)
+	if len(ecc) != 40 {
+		t.Fatal("Radii length")
+	}
+}
+
+func TestPublicAutoEngine(t *testing.T) {
+	g := RMAT(10, 8, 0.57, 0.19, 0.19, 5)
+	eng := NewEngineAuto(g, Options{Threads: 2})
+	if eng.Options().Partitions < 2 {
+		t.Fatalf("auto partitions = %d", eng.Options().Partitions)
+	}
+	if labels := ConnectedComponents(eng); len(labels) != g.NumVertices() {
+		t.Fatal("auto engine broken")
+	}
+}
+
+func TestPublicGeneratorsExported(t *testing.T) {
+	if g := ErdosRenyi(64, 128, 1); g.NumEdges() != 128 {
+		t.Fatal("ErdosRenyi")
+	}
+	if g := RoadGrid(8, 8, 1); g.NumVertices() != 64 {
+		t.Fatal("RoadGrid")
+	}
+	if g := PowerLaw(64, 256, 2.2, 1); g.NumEdges() != 256 {
+		t.Fatal("PowerLaw")
+	}
+}
+
+func TestPublicGraphIO(t *testing.T) {
+	g := RMAT(8, 8, 0.57, 0.19, 0.19, 9)
+	path := t.TempDir() + "/g.bin.gz"
+	if err := SaveGraph(path, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() || g2.NumVertices() != g.NumVertices() {
+		t.Fatal("round trip changed graph")
+	}
+}
+
+func TestPublicTriangleCount(t *testing.T) {
+	// Symmetric triangle: exactly one.
+	g := FromEdges(3, []Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 0},
+		{Src: 1, Dst: 2}, {Src: 2, Dst: 1},
+		{Src: 0, Dst: 2}, {Src: 2, Dst: 0},
+	})
+	if got := TriangleCount(NewEngine(g, Options{Threads: 1})); got != 1 {
+		t.Fatalf("triangles = %d, want 1", got)
+	}
+}
