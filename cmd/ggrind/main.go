@@ -7,12 +7,14 @@
 //	ggrind -graph twitter-sm -alg PRDelta -system GG-v2 -partitions 384
 //	ggrind -graph usaroad-sm -alg BF -system Ligra
 //	ggrind -graph livejournal-sm -alg BFS -layout COO -reps 5
+//	ggrind -graph yahoo-sm -alg PR -system OOC -partitions 24
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -23,28 +25,37 @@ import (
 	"repro/internal/gen"
 	"repro/internal/gio"
 	"repro/internal/graph"
+	"repro/internal/shard"
 	"repro/internal/trace"
 )
 
+// main delegates to run so deferred cleanup (the OOC temp shard
+// directory) still happens on error exits.
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		graphName  = flag.String("graph", "twitter-sm", "graph preset: "+strings.Join(gen.PresetNames(), ", "))
 		graphFile  = flag.String("file", "", "load graph from file instead of a preset (.el/.adj/.bin[.gz])")
 		traceOut   = flag.String("trace", "", "write a per-iteration CSV trace to this file (GG-v2 only)")
 		algCode    = flag.String("alg", "PRDelta", "algorithm code: BC CC PR BFS PRDelta SPMV BF BP")
-		system     = flag.String("system", "GG-v2", "engine: L, P, GG-v1, GG-v2")
-		partitions = flag.Int("partitions", 0, "GG-v2 partition count (0 = default)")
+		system     = flag.String("system", "GG-v2", "engine: L, P, GG-v1, GG-v2, OOC (out-of-core)")
+		partitions = flag.Int("partitions", 0, "GG-v2/OOC partition count (0 = default)")
 		layout     = flag.String("layout", "auto", "GG-v2 forced layout: auto, CSR, CSC, COO")
 		atomics    = flag.Bool("atomics", false, "force atomic updates in the COO layout")
 		threads    = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
 		reps       = flag.Int("reps", 3, "repetitions; the median is reported")
+		shardDir   = flag.String("sharddir", "", "OOC shard directory (empty = fresh temp dir, removed on exit)")
+		cacheSh    = flag.Int("cacheshards", 0, "OOC LRU budget in resident shards (0 = default)")
 	)
 	flag.Parse()
 
 	spec, ok := algorithms.SpecByCode(*algCode)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "ggrind: unknown algorithm %q\n", *algCode)
-		os.Exit(2)
+		return 2
 	}
 
 	var g *graph.Graph
@@ -56,7 +67,7 @@ func main() {
 		g, err = gio.Load(*graphFile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ggrind: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	} else {
 		fmt.Printf("building %s...\n", label)
@@ -82,7 +93,7 @@ func main() {
 			opts.Layout = core.LayoutCOO
 		default:
 			fmt.Fprintf(os.Stderr, "ggrind: unknown layout %q\n", *layout)
-			os.Exit(2)
+			return 2
 		}
 		eng := core.NewEngine(g, opts)
 		fmt.Printf("engine: GG-v2 layout=%v partitions=%d threads=%d\n",
@@ -90,6 +101,39 @@ func main() {
 		sys = eng
 		if spec.NeedsReverse {
 			rsys = core.NewEngine(g.Reverse(), opts)
+		}
+	} else if *system == "OOC" {
+		dir := *shardDir
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "ggrind-shards-*")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ggrind: %v\n", err)
+				return 1
+			}
+			defer os.RemoveAll(tmp)
+			dir = tmp
+		}
+		p := *partitions
+		if p <= 0 {
+			p = 24
+		}
+		oopts := shard.Options{Threads: *threads, CacheShards: *cacheSh}
+		fmt.Printf("sharding to %s (%d partitions)...\n", dir, p)
+		eng, err := shard.Build(filepath.Join(dir, "fwd"), g, p, oopts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ggrind: %v\n", err)
+			return 1
+		}
+		fmt.Printf("engine: OOC shards=%d cache=%d threads=%d\n",
+			eng.Store().NumShards(), eng.Options().CacheShards, eng.Threads())
+		sys = eng
+		if spec.NeedsReverse {
+			reng, err := shard.Build(filepath.Join(dir, "rev"), g.Reverse(), p, oopts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ggrind: %v\n", err)
+				return 1
+			}
+			rsys = reng
 		}
 	} else {
 		sys = bench.BuildSystem(*system, g, *partitions, *threads)
@@ -116,21 +160,27 @@ func main() {
 	if eng, ok := sys.(*core.Engine); ok {
 		fmt.Printf("telemetry: %s\n", eng.Telemetry().String())
 	}
+	if eng, ok := sys.(*shard.Engine); ok {
+		st := eng.Stats()
+		fmt.Printf("ooc: %d dense + %d sparse sweeps, %d disk loads, %d cache hits, %d shard visits skipped\n",
+			st.DenseSweeps, st.SparseSweeps, st.ShardLoads, st.CacheHits, st.ShardsSkipped)
+	}
 	if rec != nil {
 		f, err := os.Create(*traceOut)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ggrind: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		if err := rec.WriteCSV(f); err != nil {
 			f.Close()
 			fmt.Fprintf(os.Stderr, "ggrind: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		if err := f.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "ggrind: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("trace: %s (%s)\n", *traceOut, rec.String())
 	}
+	return 0
 }

@@ -7,9 +7,11 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/core"
+	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/ligra"
 	"repro/internal/polymer"
+	"repro/internal/shard"
 )
 
 // Cross-engine property tests: on randomly generated graphs, every
@@ -30,13 +32,45 @@ func randomGraph(raw []uint16, nBits uint8) *graph.Graph {
 	return graph.FromEdges(n, edges)
 }
 
-func enginesFor(g *graph.Graph) []api.System {
+// oocEngine shards g into a fresh temp directory and returns the
+// out-of-core engine over it. The small cache budget forces eviction and
+// re-reads, so the differential suite also exercises the LRU path.
+func oocEngine(t *testing.T, g *graph.Graph) *shard.Engine {
+	t.Helper()
+	e, err := shard.Build(t.TempDir(), g, 4, shard.Options{CacheShards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func enginesFor(t *testing.T, g *graph.Graph) []api.System {
 	return []api.System{
 		core.NewEngine(g, core.Options{}),
 		core.NewEngine(g, core.Options{Layout: core.LayoutCOO}),
 		core.NewEngine(g, core.Options{Layout: core.LayoutCSC}),
 		ligra.New(g, 0),
 		polymer.New(g, polymer.GGv1(), 0),
+		oocEngine(t, g),
+	}
+}
+
+// TestSystemConformance gates the differential suite: every registered
+// engine must satisfy the api.System contract checks on representative
+// graphs before algorithm agreement means anything.
+func TestSystemConformance(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"social": gen.TinySocial(),
+		"road":   gen.TinyRoad(),
+		"star":   gen.Star(100),
+		"empty":  graph.FromEdges(16, nil),
+	}
+	for gname, g := range graphs {
+		for _, sys := range enginesFor(t, g) {
+			if err := api.CheckSystem(sys); err != nil {
+				t.Errorf("%s: %v", gname, err)
+			}
+		}
 	}
 }
 
@@ -48,7 +82,7 @@ func TestCrossEngineBFSProperty(t *testing.T) {
 		}
 		src := SourceVertex(g)
 		want := SerialBFSDepths(g, src)
-		for _, sys := range enginesFor(g) {
+		for _, sys := range enginesFor(t, g) {
 			got := BFSDepths(g, BFS(sys, src).Parents, src)
 			for v := range want {
 				if got[v] != want[v] {
@@ -67,7 +101,7 @@ func TestCrossEngineCCProperty(t *testing.T) {
 	f := func(raw []uint16, nBits uint8) bool {
 		g := randomGraph(raw, nBits)
 		want := SerialCCLabels(g)
-		for _, sys := range enginesFor(g) {
+		for _, sys := range enginesFor(t, g) {
 			got := CC(sys).Labels
 			for v := range want {
 				if got[v] != want[v] {
@@ -90,7 +124,7 @@ func TestCrossEngineSSSPProperty(t *testing.T) {
 		}
 		src := SourceVertex(g)
 		want := SerialSSSP(g, src)
-		for _, sys := range enginesFor(g) {
+		for _, sys := range enginesFor(t, g) {
 			got := BellmanFord(sys, src).Dist
 			for v := range want {
 				wInf := math.IsInf(float64(want[v]), 1)
@@ -114,7 +148,7 @@ func TestCrossEngineSPMVProperty(t *testing.T) {
 	f := func(raw []uint16, nBits uint8) bool {
 		g := randomGraph(raw, nBits)
 		want := SerialSPMV(g)
-		for _, sys := range enginesFor(g) {
+		for _, sys := range enginesFor(t, g) {
 			got := SPMV(sys).Y
 			for v := range want {
 				if math.Abs(got[v]-want[v]) > 1e-9 {
@@ -133,7 +167,7 @@ func TestCrossEnginePRProperty(t *testing.T) {
 	f := func(raw []uint16, nBits uint8) bool {
 		g := randomGraph(raw, nBits)
 		want := SerialPR(g, 5)
-		for _, sys := range enginesFor(g) {
+		for _, sys := range enginesFor(t, g) {
 			got := PR(sys, 5).Ranks
 			for v := range want {
 				if math.Abs(got[v]-want[v]) > 1e-9 {
@@ -160,6 +194,7 @@ func TestCrossEngineBCProperty(t *testing.T) {
 		pairs := [][2]api.System{
 			{core.NewEngine(g, core.Options{}), core.NewEngine(rg, core.Options{})},
 			{ligra.New(g, 0), ligra.New(rg, 0)},
+			{oocEngine(t, g), oocEngine(t, rg)},
 		}
 		for _, pair := range pairs {
 			got := BC(pair[0], pair[1], src).Scores

@@ -20,18 +20,19 @@ func symmetricTestGraphs() map[string]*graph.Graph {
 	}
 }
 
-func extendedSystems(g *graph.Graph) map[string]api.System {
+func extendedSystems(t *testing.T, g *graph.Graph) map[string]api.System {
 	return map[string]api.System{
 		"ggv2":     core.NewEngine(g, core.Options{}),
 		"ggv2-coo": core.NewEngine(g, core.Options{Layout: core.LayoutCOO}),
 		"ligra":    ligra.New(g, 0),
+		"ooc":      oocEngine(t, g),
 	}
 }
 
 func TestKCoreAgreesWithSerial(t *testing.T) {
 	for gname, g := range symmetricTestGraphs() {
 		want := SerialKCore(g)
-		for sname, sys := range extendedSystems(g) {
+		for sname, sys := range extendedSystems(t, g) {
 			res := KCore(sys)
 			for v := range want {
 				if res.Coreness[v] != want[v] {
@@ -70,7 +71,7 @@ func TestKCoreStar(t *testing.T) {
 
 func TestMISValidOnAllEnginesAndGraphs(t *testing.T) {
 	for gname, g := range symmetricTestGraphs() {
-		for sname, sys := range extendedSystems(g) {
+		for sname, sys := range extendedSystems(t, g) {
 			res := MIS(sys)
 			if msg := VerifyMIS(g, res.InSet); msg != "" {
 				t.Fatalf("%s/%s: invalid MIS: %s", gname, sname, msg)
@@ -84,7 +85,7 @@ func TestMISDeterministicAcrossEngines(t *testing.T) {
 	// on every engine.
 	g := gen.TinyRoad()
 	var want []bool
-	for sname, sys := range extendedSystems(g) {
+	for sname, sys := range extendedSystems(t, g) {
 		res := MIS(sys)
 		if want == nil {
 			want = res.InSet
@@ -115,7 +116,7 @@ func TestMISCliquePicksExactlyOne(t *testing.T) {
 func TestRadiiAgreesWithSerial(t *testing.T) {
 	for gname, g := range symmetricTestGraphs() {
 		want := SerialRadii(g)
-		for sname, sys := range extendedSystems(g) {
+		for sname, sys := range extendedSystems(t, g) {
 			res := Radii(sys)
 			for v := range want {
 				if res.Ecc[v] != want[v] {
@@ -157,7 +158,7 @@ func TestTopKByOutDegree(t *testing.T) {
 
 func TestColoringProperOnAllGraphs(t *testing.T) {
 	for gname, g := range symmetricTestGraphs() {
-		for sname, sys := range extendedSystems(g) {
+		for sname, sys := range extendedSystems(t, g) {
 			res := Coloring(sys)
 			if msg := VerifyColoring(g, res.Colors); msg != "" {
 				t.Fatalf("%s/%s: invalid colouring: %s", gname, sname, msg)
@@ -180,7 +181,7 @@ func TestColoringCliqueNeedsNColors(t *testing.T) {
 func TestColoringDeterministicAcrossEngines(t *testing.T) {
 	g := gen.TinyRoad()
 	var want []int32
-	for sname, sys := range extendedSystems(g) {
+	for sname, sys := range extendedSystems(t, g) {
 		res := Coloring(sys)
 		if want == nil {
 			want = res.Colors
@@ -197,7 +198,7 @@ func TestColoringDeterministicAcrossEngines(t *testing.T) {
 func TestTriangleCountAgreesWithSerial(t *testing.T) {
 	for gname, g := range symmetricTestGraphs() {
 		want := SerialTriangleCount(g)
-		for sname, sys := range extendedSystems(g) {
+		for sname, sys := range extendedSystems(t, g) {
 			got := TriangleCount(sys).Triangles
 			if got != want {
 				t.Fatalf("%s/%s: %d triangles, want %d", gname, sname, got, want)

@@ -1,0 +1,105 @@
+package api
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/frontier"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/sched"
+)
+
+// serialSystem is a minimal, obviously correct System used to validate
+// the conformance checker itself: a serial backward sweep over the
+// in-memory CSC. The fault knobs inject the contract violations the
+// checker must detect.
+type serialSystem struct {
+	g    *graph.Graph
+	pool *sched.Pool
+
+	dropCondGate bool // apply edges even when Cond is false
+	doubleApply  bool // apply every edge twice
+	overActivate bool // put rejected destinations in the next frontier
+}
+
+func newSerialSystem(g *graph.Graph) *serialSystem {
+	return &serialSystem{g: g, pool: sched.NewPool(1)}
+}
+
+func (s *serialSystem) Name() string        { return "serial" }
+func (s *serialSystem) Graph() *graph.Graph { return s.g }
+func (s *serialSystem) Threads() int        { return 1 }
+
+func (s *serialSystem) EdgeMap(f *frontier.Frontier, op EdgeOp, _ Direction) *frontier.Frontier {
+	n := s.g.NumVertices()
+	cond := op.CondOf()
+	cur := f.Bitmap()
+	next := frontier.NewBitmap(n)
+	var count, outDeg int64
+	for v := 0; v < n; v++ {
+		dst := graph.VID(v)
+		for _, u := range s.g.InNeighbors(dst) {
+			if !cur.Get(u) {
+				continue
+			}
+			if !cond(dst) && !s.dropCondGate {
+				continue
+			}
+			changed := op.Update(u, dst)
+			if s.doubleApply {
+				op.Update(u, dst)
+			}
+			if (changed || s.overActivate) && !next.Get(dst) {
+				next.Set(dst)
+				count++
+				outDeg += s.g.OutDegree(dst)
+			}
+		}
+	}
+	nf := frontier.FromBitmap(n, next)
+	nf.SetStats(count, outDeg)
+	return nf
+}
+
+func (s *serialSystem) VertexMap(f *frontier.Frontier, fn func(graph.VID)) {
+	f.ForEach(fn)
+}
+
+func (s *serialSystem) VertexFilter(f *frontier.Frontier, pred func(graph.VID) bool) *frontier.Frontier {
+	return VertexFilter(s.pool, s.g, f, pred)
+}
+
+func TestCheckSystemAcceptsCorrectSystem(t *testing.T) {
+	for _, g := range []*graph.Graph{gen.TinySocial(), gen.Chain(70), gen.Star(65), graph.FromEdges(3, nil)} {
+		if err := CheckSystem(newSerialSystem(g)); err != nil {
+			t.Errorf("conformant system rejected: %v", err)
+		}
+	}
+}
+
+func TestCheckSystemCatchesViolations(t *testing.T) {
+	g := gen.TinySocial()
+	cases := []struct {
+		name    string
+		mutate  func(*serialSystem)
+		keyword string // expected fragment of the error
+	}{
+		{"dropped Cond gate", func(s *serialSystem) { s.dropCondGate = true }, "Cond=false"},
+		{"double application", func(s *serialSystem) { s.doubleApply = true }, "updates"},
+		{"over-activation", func(s *serialSystem) { s.overActivate = true }, "frontier"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sys := newSerialSystem(g)
+			tc.mutate(sys)
+			err := CheckSystem(sys)
+			if err == nil {
+				t.Fatalf("checker accepted a system with %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.keyword) {
+				t.Fatalf("error %q does not mention %q", err, tc.keyword)
+			}
+		})
+	}
+}

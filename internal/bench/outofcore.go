@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/algorithms"
+	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/shard"
+)
+
+// OutOfCoreResult is one algorithm's in-memory vs. out-of-core timing.
+type OutOfCoreResult struct {
+	Alg       string
+	InMemory  float64 // seconds
+	OutOfCore float64 // seconds
+	Slowdown  float64 // OutOfCore / InMemory
+}
+
+// OutOfCore runs a representative algorithm slate on the in-memory
+// GG-v2 engine and on the shard.Engine over the same graph, reporting
+// the streaming overhead the LRU cache and frontier-aware sweeps are
+// meant to bound. dir receives the shard files; shards and threads 0
+// select defaults. The returned figure has one X index per algorithm
+// (the note lines give the mapping) and one series per engine.
+func OutOfCore(g *graph.Graph, dir string, shards, threads, reps int) (*Figure, []OutOfCoreResult, error) {
+	if shards <= 0 {
+		shards = 16
+	}
+	inMem := core.NewEngine(g, core.Options{Threads: threads})
+	ooc, err := shard.Build(dir, g, shards, shard.Options{Threads: threads})
+	if err != nil {
+		return nil, nil, err
+	}
+	runs := []struct {
+		alg string
+		run func(sys api.System)
+	}{
+		{"PR", func(sys api.System) { algorithms.PR(sys, 10) }},
+		{"BFS", func(sys api.System) { algorithms.BFS(sys, algorithms.SourceVertex(g)) }},
+		{"CC", func(sys api.System) { algorithms.CC(sys) }},
+		{"SPMV", func(sys api.System) { algorithms.SPMV(sys) }},
+	}
+	fig := &Figure{
+		ID:     "OOC",
+		Title:  "in-memory vs. out-of-core engine",
+		XLabel: "algorithm#",
+		YLabel: "seconds",
+		Series: []Series{{Name: "GG-v2"}, {Name: "OOC"}},
+	}
+	var results []OutOfCoreResult
+	for i, r := range runs {
+		mem := MedianTime(reps, func() { r.run(inMem) })
+		str := MedianTime(reps, func() { r.run(ooc) })
+		res := OutOfCoreResult{
+			Alg:       r.alg,
+			InMemory:  Seconds(mem),
+			OutOfCore: Seconds(str),
+			Slowdown:  Speedup(str, mem),
+		}
+		results = append(results, res)
+		fig.Series[0].X = append(fig.Series[0].X, float64(i))
+		fig.Series[0].Y = append(fig.Series[0].Y, res.InMemory)
+		fig.Series[1].X = append(fig.Series[1].X, float64(i))
+		fig.Series[1].Y = append(fig.Series[1].Y, res.OutOfCore)
+		fig.Notes = append(fig.Notes, fmt.Sprintf("alg %d = %s (%.1fx streaming overhead)", i, r.alg, res.Slowdown))
+	}
+	st := ooc.Stats()
+	fig.Notes = append(fig.Notes, fmt.Sprintf(
+		"OOC engine: %d shards, %d disk loads, %d cache hits, %d shard visits skipped",
+		ooc.Store().NumShards(), st.ShardLoads, st.CacheHits, st.ShardsSkipped))
+	return fig, results, nil
+}

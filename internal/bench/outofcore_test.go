@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/algorithms"
+	"repro/internal/gen"
+	"repro/internal/shard"
+)
+
+func TestOutOfCoreComparisonRuns(t *testing.T) {
+	g := gen.TinySocial()
+	fig, results, err := OutOfCore(g, t.TempDir(), 8, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("got %d results, want 4", len(results))
+	}
+	for _, r := range results {
+		if r.InMemory <= 0 || r.OutOfCore <= 0 {
+			t.Fatalf("%s: non-positive timing %+v", r.Alg, r)
+		}
+	}
+	text := fig.Render()
+	for _, want := range []string{"GG-v2", "OOC", "cache hits"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("rendered figure missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestOutOfCoreComparisonAgrees pins the comparison to correctness, not
+// just timing: the engine being benchmarked must produce the in-memory
+// engine's PageRank.
+func TestOutOfCoreComparisonAgrees(t *testing.T) {
+	g := gen.TinySocial()
+	ooc, err := shard.Build(t.TempDir(), g, 8, shard.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := algorithms.PR(ooc, 10).Ranks
+	want := algorithms.SerialPR(g, 10)
+	for v := range want {
+		diff := got[v] - want[v]
+		if diff < -1e-12 || diff > 1e-12 {
+			t.Fatalf("rank[%d] = %v, want %v", v, got[v], want[v])
+		}
+	}
+}

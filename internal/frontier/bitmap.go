@@ -110,6 +110,11 @@ func (b *Bitmap) ToList() []graph.VID {
 	return out
 }
 
+// Words exposes the backing word array (64 vertices per word, vertex v
+// in bit v&63 of word v>>6). Callers must treat it as read-only; engines
+// use it to test 64-vertex blocks for activity without per-bit calls.
+func (b *Bitmap) Words() []uint64 { return b.words }
+
 // Clone returns a deep copy.
 func (b *Bitmap) Clone() *Bitmap {
 	nb := &Bitmap{n: b.n, words: make([]uint64, len(b.words))}

@@ -1,0 +1,76 @@
+package shard
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// resident is a shard decoded and regrouped for parallel application:
+// edges are stably bucketed into destination sub-ranges whose bounds are
+// aligned to 64 vertices, so each sub-range's task owns its frontier
+// bitmap words exclusively and updates need no atomics. Bucketing
+// preserves the shard file's edge order within each sub-range, and since
+// all in-edges of a destination fall into one bucket, the per-destination
+// application order is independent of the task count.
+type resident struct {
+	idx      int
+	src, dst []graph.VID
+	off      []int // len = tasks+1; task t owns edges [off[t], off[t+1])
+}
+
+// lruCache keeps up to cap resident shards, evicting the least recently
+// used. It is the mechanism that lets iterative algorithms (PageRank's
+// fixed sweeps, label propagation) avoid re-reading cold files every
+// EdgeMap when the working set fits the budget.
+type lruCache struct {
+	cap int
+	mu  sync.Mutex
+	ll  *list.List // front = most recently used; values are *resident
+	idx map[int]*list.Element
+}
+
+func newLRUCache(capacity int) *lruCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lruCache{cap: capacity, ll: list.New(), idx: make(map[int]*list.Element)}
+}
+
+// get returns the resident shard i if cached, promoting it to most
+// recently used.
+func (c *lruCache) get(i int) (*resident, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.idx[i]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*resident), true
+}
+
+// put inserts shard i, evicting from the cold end past capacity.
+func (c *lruCache) put(sh *resident) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.idx[sh.idx]; ok {
+		c.ll.MoveToFront(el)
+		el.Value = sh
+		return
+	}
+	c.idx[sh.idx] = c.ll.PushFront(sh)
+	for c.ll.Len() > c.cap {
+		cold := c.ll.Back()
+		c.ll.Remove(cold)
+		delete(c.idx, cold.Value.(*resident).idx)
+	}
+}
+
+// len returns the number of resident shards.
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,375 @@
+package shard
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/api"
+	"repro/internal/frontier"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/sched"
+)
+
+// Options configures the out-of-core engine.
+type Options struct {
+	// Threads is the worker parallelism for intra-shard application and
+	// vertex operators; 0 selects GOMAXPROCS.
+	Threads int
+	// CacheShards is the LRU budget in resident shards; 0 selects
+	// DefaultCacheShards. The engine's edge-data footprint is bounded by
+	// this many decoded shards plus the one being loaded.
+	CacheShards int
+	// SparseDiv is the density threshold divisor: a frontier with
+	// |F| + Σ out-deg ≤ |E|/SparseDiv takes the sparse path (load only
+	// shards with active sources); denser frontiers stream the full
+	// shard sequence. 0 selects the paper's 20.
+	SparseDiv int64
+}
+
+// DefaultCacheShards is the default LRU budget. It is deliberately small
+// — out of core means most shards live on disk — while still letting
+// mid-size working sets (BFS wavefronts that revisit the same ranges)
+// hit the cache.
+const DefaultCacheShards = 8
+
+func (o Options) withDefaults() Options {
+	if o.CacheShards <= 0 {
+		o.CacheShards = DefaultCacheShards
+	}
+	if o.SparseDiv <= 0 {
+		o.SparseDiv = 20
+	}
+	return o
+}
+
+// Stats counts the engine's sweep and I/O activity.
+type Stats struct {
+	DenseSweeps   int64 // EdgeMaps that streamed the full shard sequence
+	SparseSweeps  int64 // EdgeMaps that loaded only shards with active sources
+	ShardLoads    int64 // shard files decoded from disk
+	CacheHits     int64 // shard applications served from the LRU cache
+	ShardsSkipped int64 // shard visits avoided by frontier-awareness
+}
+
+// Engine runs the engine-neutral algorithm API out of core: it
+// implements api.System on top of a Store, so every algorithm in
+// internal/algorithms executes unmodified while edge data streams from
+// disk. Dense and medium sweeps touch only per-vertex state (frontier
+// bitmaps, the CSR degree index for frontier statistics, the
+// source-range summaries) plus the resident shards; sparse sweeps
+// additionally walk the in-memory out-neighbour lists of just the
+// active vertices — O(frontier work) — to plan the exact shard set to
+// load. The Graph handle is therefore load-bearing: the api.System
+// contract exposes it for algorithm-side metadata, and the sparse
+// planner reads its adjacency. A deployment that drops the in-memory
+// adjacency would substitute summary-based planning (over-approximate
+// but sound) in planSparse; the edge *application* never reads it.
+//
+// Writes are partition-exclusive end to end: a shard holds all in-edges
+// of its 64-aligned destination range, and each resident shard is
+// applied in parallel over 64-aligned destination sub-ranges, so the
+// non-atomic EdgeOp.Update path is always used — the out-of-core
+// counterpart of the paper's "COO + na" configuration.
+//
+// EdgeMap cannot return an error through the api.System interface, so a
+// shard that fails to load mid-sweep panics with the underlying error.
+// Engines over corrupt directories fail fast in NewEngine instead when
+// the manifest is unreadable.
+type Engine struct {
+	st   *Store
+	g    *graph.Graph
+	pool *sched.Pool
+	opts Options
+
+	home  []int32    // vertex -> shard whose destination range holds it
+	feeds [][]uint64 // per-shard source-range summary (Store.SourceSummary)
+	cache *lruCache
+
+	stats Stats
+
+	// Test hooks observing disk loads (nil outside tests): onLoadBegin
+	// fires before a shard file is read, onLoadEnd after it is resident.
+	onLoadBegin, onLoadEnd func(shard int)
+}
+
+var _ api.System = (*Engine)(nil)
+
+// NewEngine builds the out-of-core engine for an opened store. g must be
+// the graph the store was written from (its per-vertex metadata — not
+// its adjacency — backs the api.System contract); mismatched dimensions
+// are rejected.
+func NewEngine(st *Store, g *graph.Graph, opts Options) (*Engine, error) {
+	if st.NumVertices() != g.NumVertices() || st.NumEdges() != g.NumEdges() {
+		return nil, fmt.Errorf("shard: store is %dv/%de but graph is %dv/%de",
+			st.NumVertices(), st.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	opts = opts.withDefaults()
+	feeds, err := st.SourceSummary()
+	if err != nil {
+		return nil, err
+	}
+	home := make([]int32, g.NumVertices())
+	for i := 0; i < st.NumShards(); i++ {
+		lo, hi := st.Range(i)
+		for v := lo; v < hi; v++ {
+			home[v] = int32(i)
+		}
+	}
+	return &Engine{
+		st:    st,
+		g:     g,
+		pool:  sched.NewPool(opts.Threads),
+		opts:  opts,
+		home:  home,
+		feeds: feeds,
+		cache: newLRUCache(opts.CacheShards),
+	}, nil
+}
+
+// Build shards g into dir with p partitions and returns an engine over
+// the new store — the one-call construction examples and tests use.
+func Build(dir string, g *graph.Graph, p int, opts Options) (*Engine, error) {
+	st, err := Write(dir, g, p)
+	if err != nil {
+		return nil, err
+	}
+	return NewEngine(st, g, opts)
+}
+
+// Name implements api.System.
+func (e *Engine) Name() string { return "OOC" }
+
+// Graph implements api.System.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Threads implements api.System.
+func (e *Engine) Threads() int { return e.pool.Threads() }
+
+// Store returns the underlying shard store.
+func (e *Engine) Store() *Store { return e.st }
+
+// Options returns the resolved engine options.
+func (e *Engine) Options() Options { return e.opts }
+
+// Stats returns a snapshot of the engine's sweep and I/O counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		DenseSweeps:   atomic.LoadInt64(&e.stats.DenseSweeps),
+		SparseSweeps:  atomic.LoadInt64(&e.stats.SparseSweeps),
+		ShardLoads:    atomic.LoadInt64(&e.stats.ShardLoads),
+		CacheHits:     atomic.LoadInt64(&e.stats.CacheHits),
+		ShardsSkipped: atomic.LoadInt64(&e.stats.ShardsSkipped),
+	}
+}
+
+// VertexMap implements api.System.
+func (e *Engine) VertexMap(f *frontier.Frontier, fn func(graph.VID)) {
+	api.VertexMap(e.pool, f, fn)
+}
+
+// VertexFilter implements api.System.
+func (e *Engine) VertexFilter(f *frontier.Frontier, pred func(graph.VID) bool) *frontier.Frontier {
+	return api.VertexFilter(e.pool, e.g, f, pred)
+}
+
+// EdgeMap applies op over the active edges of f with a frontier-aware
+// shard sweep. The direction hint is ignored: every traversal is a
+// destination-grouped sweep, which is the only order an out-of-core
+// layout supports without a second edge copy on disk.
+func (e *Engine) EdgeMap(f *frontier.Frontier, op api.EdgeOp, _ api.Direction) *frontier.Frontier {
+	n := e.g.NumVertices()
+	if f.Count() == 0 {
+		return frontier.New(n)
+	}
+	var plan []int
+	// Reuse the central Algorithm 2 thresholds; only the sparse/non-sparse
+	// cut matters here (denseDiv is irrelevant for a two-way split).
+	if f.Classify(e.g, e.opts.SparseDiv, 2) == frontier.Sparse {
+		atomic.AddInt64(&e.stats.SparseSweeps, 1)
+		plan = e.planSparse(f)
+	} else {
+		atomic.AddInt64(&e.stats.DenseSweeps, 1)
+		plan = e.planDense(f)
+	}
+	atomic.AddInt64(&e.stats.ShardsSkipped, int64(e.st.NumShards()-len(plan)))
+
+	cur := f.Bitmap()
+	cond := op.CondOf()
+	next := frontier.NewBitmap(n)
+	accs := make([]sweepAccum, e.pool.Threads())
+	for _, si := range plan {
+		e.apply(e.load(si), cur, cond, op, next, accs)
+	}
+	var count, outDeg int64
+	for i := range accs {
+		count += accs[i].count
+		outDeg += accs[i].outDeg
+	}
+	nf := frontier.FromBitmap(n, next)
+	nf.SetStats(count, outDeg)
+	return nf
+}
+
+// planSparse computes the exact set of shards holding at least one edge
+// from an active source, by walking the in-memory CSR adjacency of only
+// the active vertices — O(|F| + Σ out-deg) work, the same bound that
+// made the frontier sparse. Shards outside the set are never loaded.
+func (e *Engine) planSparse(f *frontier.Frontier) []int {
+	marked := make([]bool, e.st.NumShards())
+	f.ForEach(func(u graph.VID) {
+		for _, v := range e.g.OutNeighbors(u) {
+			marked[e.home[v]] = true
+		}
+	})
+	plan := make([]int, 0, len(marked))
+	for i, m := range marked {
+		if m {
+			plan = append(plan, i)
+		}
+	}
+	return plan
+}
+
+// planDense streams the full shard sequence but still skips shards whose
+// source-range summary intersects no active range — the coarse,
+// classification-style activity test (cost O(|V|/64 + P²/64), no edge
+// work). A shard with no edges at all has an empty summary and is always
+// skipped.
+func (e *Engine) planDense(f *frontier.Frontier) []int {
+	p := e.st.NumShards()
+	active := make([]uint64, summaryWords(p))
+	bm := f.Bitmap()
+	words := bm.Words()
+	for i := 0; i < p; i++ {
+		lo, hi := e.st.Range(i)
+		// Interior bounds are BoundaryAlign-aligned, so ranges map to
+		// disjoint word runs (the final range owns the tail).
+		for w, whi := int(lo)/64, (int(hi)+63)/64; w < whi; w++ {
+			if words[w] != 0 {
+				active[i/64] |= 1 << (i % 64)
+				break
+			}
+		}
+	}
+	plan := make([]int, 0, p)
+	for i := 0; i < p; i++ {
+		feeds := e.feeds[i]
+		for w := range feeds {
+			if feeds[w]&active[w] != 0 {
+				plan = append(plan, i)
+				break
+			}
+		}
+	}
+	return plan
+}
+
+// load returns shard si ready for application, from the LRU cache when
+// resident, otherwise decoding it from disk. Loads happen one at a time
+// on the sweep goroutine, so at most one uncached shard is in flight.
+func (e *Engine) load(si int) *resident {
+	if sh, ok := e.cache.get(si); ok {
+		atomic.AddInt64(&e.stats.CacheHits, 1)
+		return sh
+	}
+	if e.onLoadBegin != nil {
+		e.onLoadBegin(si)
+	}
+	coo, err := e.st.LoadShard(si)
+	if err != nil {
+		panic(fmt.Sprintf("shard: engine sweep: %v", err))
+	}
+	sh := e.bucket(si, coo)
+	if e.onLoadEnd != nil {
+		e.onLoadEnd(si)
+	}
+	atomic.AddInt64(&e.stats.ShardLoads, 1)
+	e.cache.put(sh)
+	return sh
+}
+
+// tasksPerWorker oversubscribes intra-shard tasks relative to workers so
+// self-scheduling can balance skewed destination sub-ranges.
+const tasksPerWorker = 4
+
+// bucket regroups a decoded shard's edges into destination sub-ranges
+// aligned to partition.BoundaryAlign via a stable counting sort. Within
+// a bucket the shard file's order is preserved, and all in-edges of a
+// destination share a bucket, so per-destination application order does
+// not depend on the task count.
+func (e *Engine) bucket(si int, coo *graph.COO) *resident {
+	lo, hi := e.st.Range(si)
+	units := (int(hi-lo) + partition.BoundaryAlign - 1) / partition.BoundaryAlign
+	tasks := e.pool.Threads() * tasksPerWorker
+	if tasks > units {
+		tasks = units
+	}
+	if tasks < 1 {
+		tasks = 1
+	}
+	// unitTask[u] is the task owning 64-vertex unit u; units are dealt to
+	// tasks in contiguous, near-equal runs.
+	unitTask := make([]int32, units)
+	for t := 0; t < tasks; t++ {
+		for u := t * units / tasks; u < (t+1)*units/tasks; u++ {
+			unitTask[u] = int32(t)
+		}
+	}
+	taskOf := func(d graph.VID) int32 {
+		return unitTask[int(d-lo)/partition.BoundaryAlign]
+	}
+	counts := make([]int, tasks+1)
+	for _, d := range coo.Dst {
+		counts[taskOf(d)+1]++
+	}
+	for t := 0; t < tasks; t++ {
+		counts[t+1] += counts[t]
+	}
+	sh := &resident{
+		idx: si,
+		src: make([]graph.VID, len(coo.Src)),
+		dst: make([]graph.VID, len(coo.Dst)),
+		off: counts,
+	}
+	cursor := make([]int, tasks)
+	for i, d := range coo.Dst {
+		t := taskOf(d)
+		at := sh.off[t] + cursor[t]
+		sh.src[at] = coo.Src[i]
+		sh.dst[at] = d
+		cursor[t]++
+	}
+	return sh
+}
+
+// sweepAccum collects per-worker next-frontier statistics, padded to a
+// cache line.
+type sweepAccum struct {
+	count  int64
+	outDeg int64
+	_      [6]int64
+}
+
+// apply runs op over one resident shard in parallel: one task per
+// destination sub-range, so every destination (and every next-frontier
+// bitmap word) is written by exactly one worker and the non-atomic
+// Update path is safe.
+func (e *Engine) apply(sh *resident, cur *frontier.Bitmap, cond func(graph.VID) bool, op api.EdgeOp, next *frontier.Bitmap, accs []sweepAccum) {
+	e.pool.ParallelTasks(len(sh.off)-1, func(task, worker int) {
+		a := &accs[worker]
+		src := sh.src[sh.off[task]:sh.off[task+1]]
+		dst := sh.dst[sh.off[task]:sh.off[task+1]]
+		for i := range src {
+			u, v := src[i], dst[i]
+			if !cur.Get(u) || !cond(v) {
+				continue
+			}
+			if op.Update(u, v) && !next.Get(v) {
+				next.Set(v)
+				a.count++
+				a.outDeg += e.g.OutDegree(v)
+			}
+		}
+	})
+}

@@ -2,10 +2,18 @@
 // system the paper's partitioning-by-destination originates from (§II.B
 // cites GraphChi's scheme; out-of-core engines "determine the
 // partitioning factor such that individual partitions fit in core
-// memory"). A graph's partitioned COO is written to one file per shard;
-// iteration then streams shards from disk one at a time, so resident
-// memory is bounded by the per-vertex arrays plus a single shard
-// regardless of |E|.
+// memory").
+//
+// The package has two layers. Store is the storage substrate: a graph's
+// partitioned COO is written to one file per shard, and iteration
+// streams shards from disk so resident edge data is bounded by a single
+// shard regardless of |E|. Engine builds a full api.System on top of the
+// Store, so every algorithm written against the engine-neutral API runs
+// unmodified out of core: EdgeMap is a frontier-aware shard sweep that
+// skips shards with no active sources, applies each resident shard in
+// parallel over destination sub-ranges (partition-exclusive, so updates
+// need no atomics), and keeps recently used shards in an LRU cache so
+// iterative algorithms do not re-read cold files every sweep.
 //
 // The same partitioning invariant as in-memory processing holds: a
 // shard holds all in-edges of its vertex range, so updates from a shard
@@ -31,6 +39,12 @@ type manifest struct {
 	Shards     int         `json:"shards"`
 	Bounds     []graph.VID `json:"bounds"`
 	EdgeCounts []int64     `json:"edge_counts"`
+	// SrcSummary[i] is a bitset over the P destination ranges: bit j is
+	// set iff shard i contains an edge whose source lies in range j. The
+	// engine's frontier-aware sweep intersects it with the frontier's
+	// active ranges to skip shards. Optional: stores written before the
+	// field existed compute it lazily with one streaming pass.
+	SrcSummary [][]uint64 `json:"src_summary,omitempty"`
 }
 
 const manifestMagic = "ggrind-shards-v1"
@@ -58,6 +72,12 @@ func Write(dir string, g *graph.Graph, p int) (*Store, error) {
 	}
 	for i, part := range pcoo.Parts {
 		m.EdgeCounts = append(m.EdgeCounts, part.NumEdges())
+		summary := make([]uint64, summaryWords(pt.P))
+		for _, u := range part.Src {
+			j := pt.Home(u)
+			summary[j/64] |= 1 << (j % 64)
+		}
+		m.SrcSummary = append(m.SrcSummary, summary)
 		if err := writeShardFile(shardPath(dir, i), part); err != nil {
 			return nil, err
 		}
@@ -88,6 +108,42 @@ func Open(dir string) (*Store, error) {
 	if m.Shards != len(m.EdgeCounts) || len(m.Bounds) != m.Shards+1 {
 		return nil, fmt.Errorf("shard: inconsistent manifest")
 	}
+	if m.Vertices < 0 || m.Edges < 0 {
+		return nil, fmt.Errorf("shard: negative sizes in manifest (%d vertices, %d edges)", m.Vertices, m.Edges)
+	}
+	if m.Bounds[0] != 0 || int(m.Bounds[m.Shards]) != m.Vertices {
+		return nil, fmt.Errorf("shard: bounds span [%d,%d], want [0,%d]", m.Bounds[0], m.Bounds[m.Shards], m.Vertices)
+	}
+	var edgeSum int64
+	for i := 0; i < m.Shards; i++ {
+		if m.Bounds[i] > m.Bounds[i+1] {
+			return nil, fmt.Errorf("shard: bounds not monotone at %d", i)
+		}
+		// Interior bounds must be BoundaryAlign-aligned (or the exhausted
+		// tail |V|): the engine's non-atomic parallel apply relies on
+		// ranges never sharing a frontier-bitmap word, so a foreign store
+		// violating it would corrupt frontiers silently.
+		if i > 0 && int(m.Bounds[i])%partition.BoundaryAlign != 0 && int(m.Bounds[i]) != m.Vertices {
+			return nil, fmt.Errorf("shard: bound %d (%d) not aligned to %d vertices", i, m.Bounds[i], partition.BoundaryAlign)
+		}
+		if m.EdgeCounts[i] < 0 {
+			return nil, fmt.Errorf("shard: negative edge count for shard %d", i)
+		}
+		edgeSum += m.EdgeCounts[i]
+	}
+	if edgeSum != m.Edges {
+		return nil, fmt.Errorf("shard: edge counts sum to %d, manifest says %d", edgeSum, m.Edges)
+	}
+	if m.SrcSummary != nil {
+		if len(m.SrcSummary) != m.Shards {
+			return nil, fmt.Errorf("shard: source summary covers %d shards, want %d", len(m.SrcSummary), m.Shards)
+		}
+		for i, s := range m.SrcSummary {
+			if len(s) != summaryWords(m.Shards) {
+				return nil, fmt.Errorf("shard: source summary %d has %d words, want %d", i, len(s), summaryWords(m.Shards))
+			}
+		}
+	}
 	return &Store{dir: dir, m: m}, nil
 }
 
@@ -103,12 +159,46 @@ func (s *Store) NumShards() int { return s.m.Shards }
 // Range returns shard i's destination vertex range.
 func (s *Store) Range(i int) (lo, hi graph.VID) { return s.m.Bounds[i], s.m.Bounds[i+1] }
 
-// LoadShard reads shard i's edges from disk.
+// Home returns the shard whose destination range contains v.
+func (s *Store) Home(v graph.VID) int {
+	pt := partition.Partitioning{P: s.m.Shards, Bounds: s.m.Bounds}
+	return pt.Home(v)
+}
+
+func summaryWords(p int) int { return (p + 63) / 64 }
+
+// SourceSummary returns, per shard, the bitset of destination ranges
+// that contain at least one of the shard's edge sources. Stores written
+// by this version persist it in the manifest; older directories are
+// summarised with one streaming pass, cached for the Store's lifetime.
+func (s *Store) SourceSummary() ([][]uint64, error) {
+	if s.m.SrcSummary != nil {
+		return s.m.SrcSummary, nil
+	}
+	summary := make([][]uint64, s.m.Shards)
+	for i := range summary {
+		summary[i] = make([]uint64, summaryWords(s.m.Shards))
+		c, err := s.LoadShard(i)
+		if err != nil {
+			return nil, err
+		}
+		for _, u := range c.Src {
+			j := s.Home(u)
+			summary[i][j/64] |= 1 << (j % 64)
+		}
+	}
+	s.m.SrcSummary = summary
+	return summary, nil
+}
+
+// LoadShard reads shard i's edges from disk, validating that every
+// source is a vertex and every destination falls inside the shard's
+// range (the invariant the engine's partition-exclusive apply assumes).
 func (s *Store) LoadShard(i int) (*graph.COO, error) {
 	if i < 0 || i >= s.m.Shards {
 		return nil, fmt.Errorf("shard: index %d out of range", i)
 	}
-	return readShardFile(shardPath(s.dir, i), s.m.Vertices, s.m.EdgeCounts[i])
+	return readShardFile(shardPath(s.dir, i), s.m.Vertices, s.m.Bounds[i], s.m.Bounds[i+1], s.m.EdgeCounts[i])
 }
 
 // Sweep streams every shard once, in order, calling fn for each edge.
@@ -145,7 +235,7 @@ func writeShardFile(path string, c *graph.COO) error {
 	return binary.Write(f, binary.LittleEndian, c.Dst)
 }
 
-func readShardFile(path string, n int, wantEdges int64) (*graph.COO, error) {
+func readShardFile(path string, n int, lo, hi graph.VID, wantEdges int64) (*graph.COO, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -166,53 +256,19 @@ func readShardFile(path string, n int, wantEdges int64) (*graph.COO, error) {
 		return nil, fmt.Errorf("shard: %s: destinations: %v", path, err)
 	}
 	for i := range c.Src {
-		if int(c.Src[i]) >= n || int(c.Dst[i]) >= n {
-			return nil, fmt.Errorf("shard: %s: endpoint out of range at %d", path, i)
+		if int(c.Src[i]) >= n {
+			return nil, fmt.Errorf("shard: %s: source out of range at %d", path, i)
+		}
+		if c.Dst[i] < lo || c.Dst[i] >= hi {
+			return nil, fmt.Errorf("shard: %s: destination %d outside shard range [%d,%d) at %d",
+				path, c.Dst[i], lo, hi, i)
 		}
 	}
 	return c, nil
 }
 
-// PageRank runs the power method out-of-core: per iteration one
-// sequential pass over the shards, with resident memory bounded by the
-// two rank arrays plus one shard. Matches algorithms.PR numerically
-// (same damping and dangling handling).
-func PageRank(s *Store, iters int, outDeg []int64) ([]float64, error) {
-	n := s.NumVertices()
-	if len(outDeg) != n {
-		return nil, fmt.Errorf("shard: out-degree array length %d, want %d", len(outDeg), n)
-	}
-	const damping = 0.85
-	ranks := make([]float64, n)
-	contrib := make([]float64, n)
-	acc := make([]float64, n)
-	for i := range ranks {
-		ranks[i] = 1 / float64(n)
-	}
-	for it := 0; it < iters; it++ {
-		var dangling float64
-		for v := 0; v < n; v++ {
-			if outDeg[v] == 0 {
-				dangling += ranks[v]
-				contrib[v] = 0
-			} else {
-				contrib[v] = ranks[v] / float64(outDeg[v])
-			}
-			acc[v] = 0
-		}
-		if err := s.Sweep(func(u, v graph.VID) { acc[v] += contrib[u] }); err != nil {
-			return nil, err
-		}
-		base := (1-damping)/float64(n) + damping*dangling/float64(n)
-		for v := 0; v < n; v++ {
-			ranks[v] = base + damping*acc[v]
-		}
-	}
-	return ranks, nil
-}
-
 // OutDegrees extracts the per-vertex out-degree from the shards in one
-// pass (needed by PageRank when the in-memory graph is gone).
+// pass (needed when the in-memory graph is gone).
 func (s *Store) OutDegrees() ([]int64, error) {
 	deg := make([]int64, s.NumVertices())
 	err := s.Sweep(func(u, _ graph.VID) { deg[u]++ })

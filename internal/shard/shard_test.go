@@ -1,12 +1,12 @@
 package shard
 
 import (
-	"math"
+	"encoding/binary"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
 
-	"repro/internal/algorithms"
 	"repro/internal/gen"
 	"repro/internal/graph"
 )
@@ -27,6 +27,64 @@ func TestWriteOpenRoundTrip(t *testing.T) {
 	}
 	if st2.NumShards() != st.NumShards() {
 		t.Fatal("shard count changed on reopen")
+	}
+	// The manifest round-trips every field, including the source-range
+	// summary the engine's frontier-aware sweep uses.
+	for i := 0; i < st.NumShards(); i++ {
+		lo, hi := st.Range(i)
+		lo2, hi2 := st2.Range(i)
+		if lo != lo2 || hi != hi2 {
+			t.Fatalf("shard %d range changed on reopen: [%d,%d) vs [%d,%d)", i, lo, hi, lo2, hi2)
+		}
+	}
+	s1, err := st.SourceSummary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := st2.SourceSummary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s1) != len(s2) {
+		t.Fatalf("summary length changed on reopen: %d vs %d", len(s1), len(s2))
+	}
+	for i := range s1 {
+		for w := range s1[i] {
+			if s1[i][w] != s2[i][w] {
+				t.Fatalf("summary for shard %d changed on reopen", i)
+			}
+		}
+	}
+}
+
+func TestSourceSummaryComputedWhenAbsent(t *testing.T) {
+	// Stores written before the summary field existed must yield the
+	// identical summary from a streaming pass.
+	g := gen.TinySocial()
+	dir := t.TempDir()
+	st, err := Write(dir, g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := st.SourceSummary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2.m.SrcSummary = nil // simulate a pre-summary manifest
+	got, err := st2.SourceSummary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		for w := range want[i] {
+			if got[i][w] != want[i][w] {
+				t.Fatalf("computed summary for shard %d differs from persisted one", i)
+			}
+		}
 	}
 }
 
@@ -74,28 +132,6 @@ func TestShardDestinationsInRange(t *testing.T) {
 	}
 }
 
-func TestOutOfCorePageRankMatchesInMemory(t *testing.T) {
-	g := gen.Preset("yahoo-sm")
-	st, err := Write(t.TempDir(), g, 24)
-	if err != nil {
-		t.Fatal(err)
-	}
-	outDeg, err := st.OutDegrees()
-	if err != nil {
-		t.Fatal(err)
-	}
-	got, err := PageRank(st, 10, outDeg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	want := algorithms.SerialPR(g, 10)
-	for v := range want {
-		if math.Abs(got[v]-want[v]) > 1e-12 {
-			t.Fatalf("rank[%d] = %v, want %v", v, got[v], want[v])
-		}
-	}
-}
-
 func TestOutDegreesMatchGraph(t *testing.T) {
 	g := gen.TinySocial()
 	st, err := Write(t.TempDir(), g, 8)
@@ -113,44 +149,223 @@ func TestOutDegreesMatchGraph(t *testing.T) {
 	}
 }
 
-func TestOpenRejectsCorruption(t *testing.T) {
-	g := gen.Chain(32)
-	dir := t.TempDir()
-	if _, err := Write(dir, g, 4); err != nil {
-		t.Fatal(err)
+// TestStoreFailurePaths: every way a shard directory can be wrong must
+// surface as an error — never a panic, never silently wrong data.
+func TestStoreFailurePaths(t *testing.T) {
+	manifestOf := func(dir string) string { return filepath.Join(dir, "manifest.json") }
+	cases := []struct {
+		name string
+		// corrupt mutates a freshly written 4-shard store directory.
+		corrupt func(t *testing.T, dir string)
+		// openFails: Open(dir) must error. Otherwise Open must succeed
+		// and LoadShard(0) must error.
+		openFails bool
+	}{
+		{
+			name:      "missing directory",
+			corrupt:   func(t *testing.T, dir string) { os.RemoveAll(dir) },
+			openFails: true,
+		},
+		{
+			name: "missing manifest",
+			corrupt: func(t *testing.T, dir string) {
+				if err := os.Remove(manifestOf(dir)); err != nil {
+					t.Fatal(err)
+				}
+			},
+			openFails: true,
+		},
+		{
+			name: "manifest is not JSON",
+			corrupt: func(t *testing.T, dir string) {
+				if err := os.WriteFile(manifestOf(dir), []byte("{"), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			openFails: true,
+		},
+		{
+			name: "wrong magic",
+			corrupt: func(t *testing.T, dir string) {
+				rewriteManifest(t, dir, func(m *manifest) { m.Magic = "not-a-shard-store" })
+			},
+			openFails: true,
+		},
+		{
+			name: "edge-count list shorter than shard count",
+			corrupt: func(t *testing.T, dir string) {
+				rewriteManifest(t, dir, func(m *manifest) { m.EdgeCounts = m.EdgeCounts[:1] })
+			},
+			openFails: true,
+		},
+		{
+			name: "bounds length disagrees with shard count",
+			corrupt: func(t *testing.T, dir string) {
+				rewriteManifest(t, dir, func(m *manifest) { m.Bounds = m.Bounds[:2] })
+			},
+			openFails: true,
+		},
+		{
+			name: "source summary wrong shape",
+			corrupt: func(t *testing.T, dir string) {
+				rewriteManifest(t, dir, func(m *manifest) { m.SrcSummary = m.SrcSummary[:1] })
+			},
+			openFails: true,
+		},
+		{
+			name: "bounds exceed the vertex count",
+			corrupt: func(t *testing.T, dir string) {
+				rewriteManifest(t, dir, func(m *manifest) {
+					m.Bounds = append([]graph.VID(nil), m.Bounds...)
+					m.Bounds[1] = graph.VID(m.Vertices) + 64
+				})
+			},
+			openFails: true,
+		},
+		{
+			name: "bounds not monotone",
+			corrupt: func(t *testing.T, dir string) {
+				rewriteManifest(t, dir, func(m *manifest) {
+					m.Bounds = append([]graph.VID(nil), m.Bounds...)
+					m.Bounds[1], m.Bounds[2] = m.Bounds[2], m.Bounds[1]
+				})
+			},
+			openFails: true,
+		},
+		{
+			name: "edge counts disagree with total",
+			corrupt: func(t *testing.T, dir string) {
+				rewriteManifest(t, dir, func(m *manifest) {
+					m.EdgeCounts = append([]int64(nil), m.EdgeCounts...)
+					m.EdgeCounts[0]++
+				})
+			},
+			openFails: true,
+		},
+		{
+			// The engine's non-atomic parallel apply requires 64-aligned
+			// interior bounds; a foreign store without them must be
+			// rejected, not silently corrupt frontiers.
+			name: "interior bound not 64-aligned",
+			corrupt: func(t *testing.T, dir string) {
+				rewriteManifest(t, dir, func(m *manifest) {
+					m.Bounds = append([]graph.VID(nil), m.Bounds...)
+					m.Bounds[1] += 3
+				})
+			},
+			openFails: true,
+		},
+		{
+			name: "shard destination outside its range",
+			corrupt: func(t *testing.T, dir string) {
+				// Shard 0 of Chain(256) owns destinations [0,64); point
+				// its last destination at a valid vertex outside that
+				// range (format: int64 count, count src, count dst).
+				path := filepath.Join(dir, "shard-0000.bin")
+				data, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				binary.LittleEndian.PutUint32(data[len(data)-4:], 200)
+				if err := os.WriteFile(path, data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
+		{
+			name: "shard file missing",
+			corrupt: func(t *testing.T, dir string) {
+				if err := os.Remove(filepath.Join(dir, "shard-0000.bin")); err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
+		{
+			name: "shard file truncated",
+			corrupt: func(t *testing.T, dir string) {
+				path := filepath.Join(dir, "shard-0000.bin")
+				data, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
+		{
+			name: "shard header disagrees with manifest edge count",
+			corrupt: func(t *testing.T, dir string) {
+				path := filepath.Join(dir, "shard-0000.bin")
+				data, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				binary.LittleEndian.PutUint64(data[:8], uint64(len(data))) // bogus count
+				if err := os.WriteFile(path, data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
 	}
-	// Corrupt the manifest.
-	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte("{"), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := Open(dir); err == nil {
-		t.Fatal("corrupt manifest accepted")
-	}
-	if _, err := Open(t.TempDir()); err == nil {
-		t.Fatal("empty dir accepted")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := gen.Chain(256)
+			dir := t.TempDir()
+			if _, err := Write(dir, g, 4); err != nil {
+				t.Fatal(err)
+			}
+			tc.corrupt(t, dir)
+			st, err := Open(dir)
+			if tc.openFails {
+				if err == nil {
+					t.Fatal("Open accepted a corrupt store")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			if _, err := st.LoadShard(0); err == nil {
+				t.Fatal("LoadShard accepted a corrupt shard file")
+			}
+		})
 	}
 }
 
-func TestLoadShardValidates(t *testing.T) {
-	g := gen.Chain(32)
-	dir := t.TempDir()
-	st, err := Write(dir, g, 4)
+func TestLoadShardRejectsOutOfRangeIndex(t *testing.T) {
+	st, err := Write(t.TempDir(), gen.Chain(32), 4)
 	if err != nil {
 		t.Fatal(err)
-	}
-	// Truncate a shard file; reload must fail.
-	path := filepath.Join(dir, "shard-0000.bin")
-	data, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := st.LoadShard(0); err == nil {
-		t.Fatal("truncated shard accepted")
 	}
 	if _, err := st.LoadShard(99); err == nil {
 		t.Fatal("out-of-range shard index accepted")
+	}
+	if _, err := st.LoadShard(-1); err == nil {
+		t.Fatal("negative shard index accepted")
+	}
+}
+
+// rewriteManifest round-trips the manifest through its JSON form with an
+// edit applied, so corruption cases stay structurally valid JSON.
+func rewriteManifest(t *testing.T, dir string, edit func(*manifest)) {
+	t.Helper()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := st.m
+	edit(&m)
+	writeManifest(t, dir, m)
+}
+
+func writeManifest(t *testing.T, dir string, m manifest) {
+	t.Helper()
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), data, 0o644); err != nil {
+		t.Fatal(err)
 	}
 }
