@@ -25,6 +25,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/gio"
 	"repro/internal/graph"
+	"repro/internal/sched"
 	"repro/internal/shard"
 	"repro/internal/trace"
 )
@@ -49,6 +50,8 @@ func run() int {
 		reps       = flag.Int("reps", 3, "repetitions; the median is reported")
 		shardDir   = flag.String("sharddir", "", "OOC shard directory (empty = fresh temp dir, removed on exit)")
 		cacheSh    = flag.Int("cacheshards", 0, "OOC LRU budget in resident shards (0 = default)")
+		noPrefetch = flag.Bool("noprefetch", false, "OOC: disable the sweep pipeline (load and apply alternate)")
+		domains    = flag.Int("domains", 0, "OOC modelled NUMA domain count (0 = the paper's 4)")
 	)
 	flag.Parse()
 
@@ -117,15 +120,21 @@ func run() int {
 		if p <= 0 {
 			p = 24
 		}
-		oopts := shard.Options{Threads: *threads, CacheShards: *cacheSh}
+		oopts := shard.Options{
+			Threads:     *threads,
+			CacheShards: *cacheSh,
+			NoPrefetch:  *noPrefetch,
+			Topology:    sched.Topology{Domains: *domains},
+		}
 		fmt.Printf("sharding to %s (%d partitions)...\n", dir, p)
 		eng, err := shard.Build(filepath.Join(dir, "fwd"), g, p, oopts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ggrind: %v\n", err)
 			return 1
 		}
-		fmt.Printf("engine: OOC shards=%d cache=%d threads=%d\n",
-			eng.Store().NumShards(), eng.Options().CacheShards, eng.Threads())
+		fmt.Printf("engine: OOC shards=%d cache=%d threads=%d prefetch=%v domains=%d\n",
+			eng.Store().NumShards(), eng.Options().CacheShards, eng.Threads(),
+			!eng.Options().NoPrefetch, eng.Topology().Domains)
 		sys = eng
 		if spec.NeedsReverse {
 			reng, err := shard.Build(filepath.Join(dir, "rev"), g.Reverse(), p, oopts)
@@ -164,6 +173,10 @@ func run() int {
 		st := eng.Stats()
 		fmt.Printf("ooc: %d dense + %d sparse sweeps, %d disk loads, %d cache hits, %d shard visits skipped\n",
 			st.DenseSweeps, st.SparseSweeps, st.ShardLoads, st.CacheHits, st.ShardsSkipped)
+		fmt.Printf("ooc pipeline: %d prefetch loads (%d overlapped an apply), %d prefetch cache promotions\n",
+			st.PrefetchLoads, st.OverlappedLoads, st.PrefetchHits)
+		fmt.Printf("ooc numa: %d domains, shards applied per domain %v, edges per domain %v\n",
+			eng.Topology().Domains, st.DomainShards, st.DomainEdges)
 	}
 	if rec != nil {
 		f, err := os.Create(*traceOut)

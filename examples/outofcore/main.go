@@ -1,10 +1,13 @@
 // Out-of-core example: shard a graph to disk GraphChi-style (the system
 // the paper's partitioning-by-destination comes from) and run the
-// ordinary algorithm suite on shard.Engine — the same PageRank, BFS and
-// connected-components code that runs on the in-memory engines, but
-// with edge data streaming from disk. The engine's frontier-aware
-// sweeps skip shards with no active sources and its LRU cache keeps hot
-// shards resident across iterations.
+// ordinary algorithm suite on shard.Engine — the same PageRank and BFS
+// code that runs on the in-memory engines, but with edge data streaming
+// from disk through the pipelined sweep (plan → prefetch → apply →
+// publish): the planner picks the shard order, a staging goroutine
+// loads the next shard while the current one is applied by the workers
+// of its modelled NUMA domain, and the LRU cache keeps hot shards
+// resident across iterations. See README.md for the pipeline and
+// placement model in detail.
 package main
 
 import (
@@ -57,6 +60,8 @@ func main() {
 	st := ooc.Stats()
 	fmt.Printf("PageRank (10 dense sweeps, streaming): max diff vs in-memory %.2e, %d disk loads\n",
 		maxDiff, st.ShardLoads)
+	fmt.Printf("  pipeline: %d prefetch loads, %d overlapped an apply; NUMA domain shards %v\n",
+		st.PrefetchLoads, st.OverlappedLoads, st.DomainShards)
 	if maxDiff > 1e-9 {
 		panic("results diverge")
 	}

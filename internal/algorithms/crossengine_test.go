@@ -33,11 +33,25 @@ func randomGraph(raw []uint16, nBits uint8) *graph.Graph {
 }
 
 // oocEngine shards g into a fresh temp directory and returns the
-// out-of-core engine over it. The small cache budget forces eviction and
-// re-reads, so the differential suite also exercises the LRU path.
+// out-of-core engine over it, with the sweep pipeline (prefetch) on —
+// its default. The small cache budget forces eviction and re-reads, so
+// the differential suite also exercises the LRU path.
 func oocEngine(t *testing.T, g *graph.Graph) *shard.Engine {
 	t.Helper()
 	e, err := shard.Build(t.TempDir(), g, 4, shard.Options{CacheShards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// oocNoPrefetchEngine is the OOC-prefetch differential variant's
+// counterpart: the same engine with the pipeline disabled, so every
+// oracle-agreement property doubles as a prefetch-on/off equivalence
+// check.
+func oocNoPrefetchEngine(t *testing.T, g *graph.Graph) *shard.Engine {
+	t.Helper()
+	e, err := shard.Build(t.TempDir(), g, 4, shard.Options{CacheShards: 2, NoPrefetch: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,6 +66,7 @@ func enginesFor(t *testing.T, g *graph.Graph) []api.System {
 		ligra.New(g, 0),
 		polymer.New(g, polymer.GGv1(), 0),
 		oocEngine(t, g),
+		oocNoPrefetchEngine(t, g),
 	}
 }
 

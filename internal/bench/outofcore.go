@@ -7,6 +7,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/sched"
 	"repro/internal/shard"
 )
 
@@ -18,20 +19,36 @@ type OutOfCoreResult struct {
 	Slowdown  float64 // OutOfCore / InMemory
 }
 
+// PrefetchResult is the pipeline ablation: the same cold-cache
+// multi-iteration PageRank run with the sweep pipeline on and off. A
+// one-shard LRU defeats caching across sweeps, so every iteration
+// re-reads (nearly) the whole store and the double buffer's load/apply
+// overlap is the only difference between the two columns.
+type PrefetchResult struct {
+	On      float64 // seconds, prefetch pipeline enabled
+	Off     float64 // seconds, loads and applies strictly alternating
+	Speedup float64 // Off / On: >1 means the pipeline won
+}
+
 // OutOfCore runs a representative algorithm slate on the in-memory
 // GG-v2 engine and on the shard.Engine over the same graph, reporting
 // the streaming overhead the LRU cache and frontier-aware sweeps are
-// meant to bound. dir receives the shard files; shards and threads 0
-// select defaults. The returned figure has one X index per algorithm
-// (the note lines give the mapping) and one series per engine.
-func OutOfCore(g *graph.Graph, dir string, shards, threads, reps int) (*Figure, []OutOfCoreResult, error) {
+// meant to bound, plus the prefetch-pipeline ablation on a cold-cache
+// PageRank. dir receives the shard files; shards and threads 0 select
+// defaults. The returned figure has one X index per algorithm (the note
+// lines give the mapping) and one series per engine.
+func OutOfCore(g *graph.Graph, dir string, shards, threads, reps int) (*Figure, []OutOfCoreResult, PrefetchResult, error) {
 	if shards <= 0 {
 		shards = 16
 	}
 	inMem := core.NewEngine(g, core.Options{Threads: threads})
-	ooc, err := shard.Build(dir, g, shards, shard.Options{Threads: threads})
+	// Domains: 1 keeps the headline Slowdown column measuring streaming
+	// overhead alone, comparable with pre-placement numbers — the
+	// default 4-domain topology would confine each apply to a quarter
+	// of the pool. The pipeline ablation below runs the shipped default.
+	ooc, err := shard.Build(dir, g, shards, shard.Options{Threads: threads, Topology: sched.Topology{Domains: 1}})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, PrefetchResult{}, err
 	}
 	runs := []struct {
 		alg string
@@ -70,5 +87,26 @@ func OutOfCore(g *graph.Graph, dir string, shards, threads, reps int) (*Figure, 
 	fig.Notes = append(fig.Notes, fmt.Sprintf(
 		"OOC engine: %d shards, %d disk loads, %d cache hits, %d shard visits skipped",
 		ooc.Store().NumShards(), st.ShardLoads, st.CacheHits, st.ShardsSkipped))
-	return fig, results, nil
+
+	// Pipeline ablation: cold-cache (one-shard LRU) 10-iteration
+	// PageRank, prefetch on vs off over the already-written store,
+	// both under the engine's default (4-domain) placement.
+	pfOn, err := shard.NewEngine(ooc.Store(), g, shard.Options{Threads: threads, CacheShards: 1})
+	if err != nil {
+		return nil, nil, PrefetchResult{}, err
+	}
+	pfOff, err := shard.NewEngine(ooc.Store(), g, shard.Options{Threads: threads, CacheShards: 1, NoPrefetch: true})
+	if err != nil {
+		return nil, nil, PrefetchResult{}, err
+	}
+	on := MedianTime(reps, func() { algorithms.PR(pfOn, 10) })
+	off := MedianTime(reps, func() { algorithms.PR(pfOff, 10) })
+	pf := PrefetchResult{On: Seconds(on), Off: Seconds(off), Speedup: Speedup(off, on)}
+	fig.Notes = append(fig.Notes, fmt.Sprintf(
+		"cold-cache PR ablation: prefetch on %.3fs vs off %.3fs (%.2fx)", pf.On, pf.Off, pf.Speedup))
+	ast := pfOn.Stats()
+	fig.Notes = append(fig.Notes, fmt.Sprintf(
+		"OOC pipeline: %d prefetch loads (%d overlapped an apply), %d prefetch cache promotions, domain shards %v",
+		ast.PrefetchLoads, ast.OverlappedLoads, ast.PrefetchHits, ast.DomainShards))
+	return fig, results, pf, nil
 }

@@ -11,7 +11,7 @@ import (
 
 func TestOutOfCoreComparisonRuns(t *testing.T) {
 	g := gen.TinySocial()
-	fig, results, err := OutOfCore(g, t.TempDir(), 8, 0, 1)
+	fig, results, pf, err := OutOfCore(g, t.TempDir(), 8, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -23,8 +23,14 @@ func TestOutOfCoreComparisonRuns(t *testing.T) {
 			t.Fatalf("%s: non-positive timing %+v", r.Alg, r)
 		}
 	}
+	// The pipeline ablation must produce real timings for both columns;
+	// which side wins on a micro graph under the OS page cache is not a
+	// stable property, so only the shape is asserted here.
+	if pf.On <= 0 || pf.Off <= 0 || pf.Speedup <= 0 {
+		t.Fatalf("prefetch ablation has non-positive entries: %+v", pf)
+	}
 	text := fig.Render()
-	for _, want := range []string{"GG-v2", "OOC", "cache hits"} {
+	for _, want := range []string{"GG-v2", "OOC", "cache hits", "prefetch", "cold-cache PR ablation", "domain shards"} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("rendered figure missing %q:\n%s", want, text)
 		}

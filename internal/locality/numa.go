@@ -27,12 +27,37 @@ type NUMATraffic struct {
 
 // MeasureNUMATraffic walks the partitioned COO and classifies each
 // vertex-array access as local or remote under the round-robin
-// partition→domain placement.
+// partition→domain placement — the placement shard.Engine uses for its
+// sweeps (shard i's destination range lives on domain i mod D).
 func MeasureNUMATraffic(g *graph.Graph, p int, topo sched.Topology) NUMATraffic {
 	if topo.Domains <= 0 {
 		topo = sched.DefaultTopology()
 	}
 	pt := partition.ByDestination(g, p, partition.BalanceEdges)
+	return measureTraffic(g, pt, topo, func(v graph.VID) int {
+		return topo.DomainOf(pt.Home(v))
+	})
+}
+
+// MeasureNUMAPlacement generalises MeasureNUMATraffic to an arbitrary
+// data placement: home(v) names the domain holding v's vertex-array
+// slice, while computation keeps the round-robin discipline (partition
+// i is processed by a core of domain i mod D). It exists to score
+// placements against each other — e.g. the partition-aware placement
+// versus an unplaced baseline that stripes vertex pages across domains
+// with no regard for partition structure.
+func MeasureNUMAPlacement(g *graph.Graph, p int, topo sched.Topology, home func(graph.VID) int) NUMATraffic {
+	if topo.Domains <= 0 {
+		topo = sched.DefaultTopology()
+	}
+	pt := partition.ByDestination(g, p, partition.BalanceEdges)
+	return measureTraffic(g, pt, topo, home)
+}
+
+// measureTraffic runs one dense COO iteration under the modelled
+// execution (partition i processed on domain i mod D) and classifies
+// every vertex-array access by the data placement home.
+func measureTraffic(g *graph.Graph, pt *partition.Partitioning, topo sched.Topology, home func(graph.VID) int) NUMATraffic {
 	pcoo := partition.NewPCOO(g, pt)
 	var t NUMATraffic
 	t.DomainLoads = make([]int64, topo.Domains)
@@ -40,15 +65,15 @@ func MeasureNUMATraffic(g *graph.Graph, p int, topo sched.Topology) NUMATraffic 
 		dom := topo.DomainOf(pi)
 		t.DomainLoads[dom] += part.NumEdges()
 		for i := range part.Src {
-			// The destination's home partition is pi by construction, so
-			// the next-array access is always local. Verified, not
-			// assumed: Home() is consulted.
-			if topo.DomainOf(pt.Home(part.Dst[i])) == dom {
+			// Under the partition-aware placement the destination's home
+			// partition is pi by construction, so the next-array access
+			// is always local. Verified, not assumed: home() is consulted.
+			if home(part.Dst[i]) == dom {
 				t.LocalNext++
 			} else {
 				t.RemoteNext++
 			}
-			if topo.DomainOf(pt.Home(part.Src[i])) == dom {
+			if home(part.Src[i]) == dom {
 				t.LocalCur++
 			} else {
 				t.RemoteCur++

@@ -1,9 +1,12 @@
 package locality
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/partition"
 	"repro/internal/sched"
 )
 
@@ -63,5 +66,41 @@ func TestNUMASingleDomainAllLocal(t *testing.T) {
 	tr := MeasureNUMATraffic(g, 8, sched.Topology{Domains: 1})
 	if tr.RemoteCur != 0 || tr.RemoteNext != 0 || tr.LocalShare != 1 {
 		t.Fatalf("single domain should be fully local: %+v", tr)
+	}
+}
+
+func TestNUMAPlacementGeneralisesTraffic(t *testing.T) {
+	// MeasureNUMAPlacement with the partition-aware placement must
+	// reproduce MeasureNUMATraffic exactly — same model, explicit home.
+	g := gen.TinySocial()
+	const p = 16
+	topo := sched.Topology{Domains: 4}
+	want := MeasureNUMATraffic(g, p, topo)
+	pt := partition.ByDestination(g, p, partition.BalanceEdges)
+	got := MeasureNUMAPlacement(g, p, topo, func(v graph.VID) int {
+		return topo.DomainOf(pt.Home(v))
+	})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("placement-general measurement %+v differs from %+v", got, want)
+	}
+}
+
+func TestNUMAPlacementScoresStripedWorse(t *testing.T) {
+	// An unplaced baseline (64-vertex pages striped across domains,
+	// ignoring partition structure) must lose the all-local next-array
+	// property and the overall local share.
+	g := gen.TinySocial()
+	const p = 16
+	topo := sched.Topology{Domains: 4}
+	placed := MeasureNUMATraffic(g, p, topo)
+	striped := MeasureNUMAPlacement(g, p, topo, func(v graph.VID) int {
+		return int(v) / partition.BoundaryAlign % topo.Domains
+	})
+	if striped.RemoteNext == 0 {
+		t.Fatal("striped placement kept all next accesses local; baseline is not a baseline")
+	}
+	if striped.LocalShare >= placed.LocalShare {
+		t.Fatalf("striped local share %.3f should be below placed %.3f",
+			striped.LocalShare, placed.LocalShare)
 	}
 }

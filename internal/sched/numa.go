@@ -52,3 +52,59 @@ func (t Topology) DomainLoads(partLoads []int64) []int64 {
 	}
 	return out
 }
+
+// DomainView is a Pool restricted to the workers one NUMA domain owns —
+// the modelled counterpart of Polymer pinning a partition's processing
+// threads to the socket that holds the partition's memory. Go cannot pin
+// OS threads to sockets, so the view preserves the *scheduling*
+// discipline instead: a task set run through a DomainView executes on at
+// most Threads() concurrent goroutines, and every callback carries the
+// pool-global worker ID of a worker the domain owns, so per-worker
+// accumulators indexed by [0, Pool.Threads()) stay exclusive across
+// domains.
+type DomainView struct {
+	workers []int // pool-global worker IDs owned by this domain
+}
+
+// Split deals the pool's worker IDs round-robin across the topology's
+// domains, mirroring the round-robin partition→domain placement of
+// DomainOf. Every domain gets at least one worker: when the pool has
+// fewer workers than the topology has domains, domain d borrows worker
+// d mod Threads() — the model of a machine whose cores are shared
+// between domains, which degrades gracefully because a shard sweep
+// applies one shard at a time.
+func (t Topology) Split(p *Pool) []*DomainView {
+	d := t.Domains
+	if d <= 0 {
+		d = 1
+	}
+	views := make([]*DomainView, d)
+	for i := range views {
+		views[i] = &DomainView{}
+	}
+	for w := 0; w < p.Threads(); w++ {
+		views[w%d].workers = append(views[w%d].workers, w)
+	}
+	for i, v := range views {
+		if len(v.workers) == 0 {
+			v.workers = []int{i % p.Threads()}
+		}
+	}
+	return views
+}
+
+// Threads returns the number of workers the domain owns.
+func (v *DomainView) Threads() int { return len(v.workers) }
+
+// Workers returns the pool-global worker IDs the domain owns, in
+// ascending order (Split deals IDs round-robin, preserving order).
+func (v *DomainView) Workers() []int { return v.workers }
+
+// ParallelTasks runs exactly k tasks self-scheduled over just this
+// domain's workers: fn(task, worker) where worker is the pool-global
+// worker ID. Semantics match Pool.ParallelTasks — each task runs on
+// exactly one worker, at most Threads() run concurrently — with the
+// concurrency and worker identities confined to the domain.
+func (v *DomainView) ParallelTasks(k int, fn func(task, worker int)) {
+	runTasks(v.workers, k, fn)
+}

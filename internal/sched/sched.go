@@ -17,6 +17,7 @@ import (
 // executes inline, which tests use for deterministic sequencing.
 type Pool struct {
 	threads int
+	ids     []int // 0..threads-1, the worker IDs runTasks hands out
 }
 
 // NewPool returns a pool with the given parallelism; threads <= 0 selects
@@ -25,7 +26,11 @@ func NewPool(threads int) *Pool {
 	if threads <= 0 {
 		threads = runtime.GOMAXPROCS(0)
 	}
-	return &Pool{threads: threads}
+	ids := make([]int, threads)
+	for i := range ids {
+		ids[i] = i
+	}
+	return &Pool{threads: threads, ids: ids}
 }
 
 // Threads returns the pool's parallelism.
@@ -150,23 +155,31 @@ func (p *Pool) ParallelRange(n int, fn func(worker, lo, hi int)) {
 // most Threads() run concurrently. This is the "one partition per thread"
 // execution the paper's atomic-free path requires.
 func (p *Pool) ParallelTasks(k int, fn func(task, worker int)) {
+	runTasks(p.ids, k, fn)
+}
+
+// runTasks is the shared task-scheduling kernel behind Pool.ParallelTasks
+// and DomainView.ParallelTasks: k tasks self-scheduled over at most
+// len(ids) goroutines, each callback carrying the worker ID it runs as.
+// One goroutine (or k <= 1) executes inline.
+func runTasks(ids []int, k int, fn func(task, worker int)) {
 	if k <= 0 {
 		return
 	}
-	workers := p.threads
+	workers := len(ids)
 	if workers > k {
 		workers = k
 	}
 	if workers <= 1 {
 		for t := 0; t < k; t++ {
-			fn(t, 0)
+			fn(t, ids[0])
 		}
 		return
 	}
 	var next int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
-	for w := 0; w < workers; w++ {
+	for i := 0; i < workers; i++ {
 		go func(w int) {
 			defer wg.Done()
 			for {
@@ -176,7 +189,7 @@ func (p *Pool) ParallelTasks(k int, fn func(task, worker int)) {
 				}
 				fn(t, w)
 			}
-		}(w)
+		}(ids[i])
 	}
 	wg.Wait()
 }

@@ -147,3 +147,80 @@ func TestDefaultTopology(t *testing.T) {
 		t.Fatal("zero topology should map everything to domain 0")
 	}
 }
+
+func TestSplitPartitionsWorkersAcrossDomains(t *testing.T) {
+	// With workers >= domains, Split deals every worker ID to exactly
+	// one domain — the disjointness per-worker accumulators rely on.
+	topo := Topology{Domains: 4}
+	p := NewPool(10)
+	views := topo.Split(p)
+	if len(views) != 4 {
+		t.Fatalf("got %d views, want 4", len(views))
+	}
+	seen := map[int]int{}
+	for d, v := range views {
+		if v.Threads() == 0 {
+			t.Fatalf("domain %d owns no workers", d)
+		}
+		for _, w := range v.Workers() {
+			if w < 0 || w >= p.Threads() {
+				t.Fatalf("domain %d owns out-of-pool worker %d", d, w)
+			}
+			seen[w]++
+		}
+	}
+	if len(seen) != p.Threads() {
+		t.Fatalf("%d workers assigned, pool has %d", len(seen), p.Threads())
+	}
+	for w, c := range seen {
+		if c != 1 {
+			t.Fatalf("worker %d assigned to %d domains", w, c)
+		}
+	}
+}
+
+func TestSplitSharesWorkersWhenScarce(t *testing.T) {
+	// Fewer workers than domains: every domain still gets a worker
+	// (borrowed round-robin), so applies never stall on an empty view.
+	topo := Topology{Domains: 8}
+	views := topo.Split(NewPool(3))
+	for d, v := range views {
+		if v.Threads() != 1 {
+			t.Fatalf("domain %d has %d workers, want exactly 1 borrowed", d, v.Threads())
+		}
+		if w := v.Workers()[0]; w != d%3 {
+			t.Fatalf("domain %d borrowed worker %d, want %d", d, w, d%3)
+		}
+	}
+}
+
+func TestDomainViewParallelTasks(t *testing.T) {
+	// Every task runs exactly once, and only on worker IDs the domain
+	// owns.
+	topo := Topology{Domains: 3}
+	p := NewPool(7)
+	views := topo.Split(p)
+	for d, v := range views {
+		owned := map[int]bool{}
+		for _, w := range v.Workers() {
+			owned[w] = true
+		}
+		const k = 40
+		var ran [k]int64
+		var badWorker int64
+		v.ParallelTasks(k, func(task, worker int) {
+			atomic.AddInt64(&ran[task], 1)
+			if !owned[worker] {
+				atomic.AddInt64(&badWorker, 1)
+			}
+		})
+		for task := range ran {
+			if ran[task] != 1 {
+				t.Fatalf("domain %d: task %d ran %d times", d, task, ran[task])
+			}
+		}
+		if badWorker != 0 {
+			t.Fatalf("domain %d: %d callbacks carried foreign worker IDs", d, badWorker)
+		}
+	}
+}

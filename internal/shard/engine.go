@@ -25,6 +25,20 @@ type Options struct {
 	// shards with active sources); denser frontiers stream the full
 	// shard sequence. 0 selects the paper's 20.
 	SparseDiv int64
+	// NoPrefetch disables the sweep pipeline: shards are loaded and
+	// applied strictly alternately on the sweep goroutine, the pre-
+	// pipeline behaviour. The zero value — prefetch on — stages shard
+	// i+1 on a dedicated goroutine while shard i is applied.
+	NoPrefetch bool
+	// Topology is the modelled NUMA topology shards are placed on;
+	// the zero value selects sched.DefaultTopology (4 domains, the
+	// paper's machine). Shard i's destination range lives on domain
+	// i mod Domains and is applied by that domain's workers — which
+	// confines each shard's apply to Threads/Domains workers, the
+	// price of the ownership discipline (a real NUMA machine pays it
+	// back in local bandwidth; the model only keeps the books).
+	// Domains: 1 restores full-pool applies.
+	Topology sched.Topology
 }
 
 // DefaultCacheShards is the default LRU budget. It is deliberately small
@@ -40,16 +54,31 @@ func (o Options) withDefaults() Options {
 	if o.SparseDiv <= 0 {
 		o.SparseDiv = 20
 	}
+	if o.Topology.Domains <= 0 {
+		o.Topology = sched.DefaultTopology()
+	}
 	return o
 }
 
-// Stats counts the engine's sweep and I/O activity.
+// Stats counts the engine's sweep, pipeline and I/O activity.
 type Stats struct {
 	DenseSweeps   int64 // EdgeMaps that streamed the full shard sequence
 	SparseSweeps  int64 // EdgeMaps that loaded only shards with active sources
-	ShardLoads    int64 // shard files decoded from disk
+	ShardLoads    int64 // shard files decoded from disk (by either path)
 	CacheHits     int64 // shard applications served from the LRU cache
 	ShardsSkipped int64 // shard visits avoided by frontier-awareness
+
+	// Pipeline counters (zero when NoPrefetch).
+	PrefetchHits    int64 // staged shards promoted from the LRU cache
+	PrefetchLoads   int64 // staged shards decoded from disk by the prefetcher
+	OverlappedLoads int64 // prefetch loads that overlapped an in-progress apply
+
+	// Modelled NUMA placement: per-domain shard applications and edges
+	// applied, indexed by domain. Placement is round-robin by shard
+	// index (Topology.DomainOf), so a balanced sweep shows near-equal
+	// domain loads.
+	DomainShards []int64
+	DomainEdges  []int64
 }
 
 // Engine runs the engine-neutral algorithm API out of core: it
@@ -72,6 +101,15 @@ type Stats struct {
 // non-atomic EdgeOp.Update path is always used — the out-of-core
 // counterpart of the paper's "COO + na" configuration.
 //
+// Sweeps are pipelined (plan → prefetch → apply → publish): once the
+// planner fixes the shard order, a staging goroutine loads shard i+1 —
+// or promotes it from the LRU — while shard i is applied, and each
+// shard is applied by the workers of the modelled NUMA domain that owns
+// its destination range (round-robin by shard index, the placement
+// Polymer uses for in-memory partitions). Results are bit-identical
+// with the pipeline on or off: application order is the plan order
+// either way, and per-destination edge order never depends on timing.
+//
 // EdgeMap cannot return an error through the api.System interface, so a
 // shard that fails to load mid-sweep panics with the underlying error.
 // Engines over corrupt directories fail fast in NewEngine instead when
@@ -86,11 +124,24 @@ type Engine struct {
 	feeds [][]uint64 // per-shard source-range summary (Store.SourceSummary)
 	cache *lruCache
 
+	// Modelled NUMA placement: shard si's destination range lives on
+	// domain domainOf[si] and is applied by domains[domainOf[si]]'s
+	// workers (a per-domain view of pool).
+	domainOf []int32
+	domains  []*sched.DomainView
+
+	// applying is 1 while the sweep goroutine is applying a shard; the
+	// prefetcher samples it to count loads that overlapped an apply.
+	applying int32
+
 	stats Stats
 
-	// Test hooks observing disk loads (nil outside tests): onLoadBegin
-	// fires before a shard file is read, onLoadEnd after it is resident.
-	onLoadBegin, onLoadEnd func(shard int)
+	// Test hooks (nil outside tests): onLoadBegin fires before a shard
+	// file is read (on the staging goroutine when prefetch is on),
+	// onLoadEnd after it is resident; onApplyBegin/onApplyEnd bracket
+	// one shard's parallel application on the sweep goroutine.
+	onLoadBegin, onLoadEnd   func(shard int)
+	onApplyBegin, onApplyEnd func(shard int)
 }
 
 var _ api.System = (*Engine)(nil)
@@ -116,14 +167,25 @@ func NewEngine(st *Store, g *graph.Graph, opts Options) (*Engine, error) {
 			home[v] = int32(i)
 		}
 	}
+	pool := sched.NewPool(opts.Threads)
+	domainOf := make([]int32, st.NumShards())
+	for i := range domainOf {
+		domainOf[i] = int32(opts.Topology.DomainOf(i))
+	}
 	return &Engine{
-		st:    st,
-		g:     g,
-		pool:  sched.NewPool(opts.Threads),
-		opts:  opts,
-		home:  home,
-		feeds: feeds,
-		cache: newLRUCache(opts.CacheShards),
+		st:       st,
+		g:        g,
+		pool:     pool,
+		opts:     opts,
+		home:     home,
+		feeds:    feeds,
+		cache:    newLRUCache(opts.CacheShards),
+		domainOf: domainOf,
+		domains:  opts.Topology.Split(pool),
+		stats: Stats{
+			DomainShards: make([]int64, opts.Topology.Domains),
+			DomainEdges:  make([]int64, opts.Topology.Domains),
+		},
 	}, nil
 }
 
@@ -152,16 +214,36 @@ func (e *Engine) Store() *Store { return e.st }
 // Options returns the resolved engine options.
 func (e *Engine) Options() Options { return e.opts }
 
-// Stats returns a snapshot of the engine's sweep and I/O counters.
+// Stats returns a snapshot of the engine's sweep, pipeline and I/O
+// counters.
 func (e *Engine) Stats() Stats {
-	return Stats{
-		DenseSweeps:   atomic.LoadInt64(&e.stats.DenseSweeps),
-		SparseSweeps:  atomic.LoadInt64(&e.stats.SparseSweeps),
-		ShardLoads:    atomic.LoadInt64(&e.stats.ShardLoads),
-		CacheHits:     atomic.LoadInt64(&e.stats.CacheHits),
-		ShardsSkipped: atomic.LoadInt64(&e.stats.ShardsSkipped),
+	s := Stats{
+		DenseSweeps:     atomic.LoadInt64(&e.stats.DenseSweeps),
+		SparseSweeps:    atomic.LoadInt64(&e.stats.SparseSweeps),
+		ShardLoads:      atomic.LoadInt64(&e.stats.ShardLoads),
+		CacheHits:       atomic.LoadInt64(&e.stats.CacheHits),
+		ShardsSkipped:   atomic.LoadInt64(&e.stats.ShardsSkipped),
+		PrefetchHits:    atomic.LoadInt64(&e.stats.PrefetchHits),
+		PrefetchLoads:   atomic.LoadInt64(&e.stats.PrefetchLoads),
+		OverlappedLoads: atomic.LoadInt64(&e.stats.OverlappedLoads),
+		DomainShards:    make([]int64, len(e.stats.DomainShards)),
+		DomainEdges:     make([]int64, len(e.stats.DomainEdges)),
 	}
+	for d := range s.DomainShards {
+		s.DomainShards[d] = atomic.LoadInt64(&e.stats.DomainShards[d])
+		s.DomainEdges[d] = atomic.LoadInt64(&e.stats.DomainEdges[d])
+	}
+	return s
 }
+
+// Topology returns the modelled NUMA topology shards are placed on.
+func (e *Engine) Topology() sched.Topology { return e.opts.Topology }
+
+// ShardDomain returns the modelled NUMA domain owning shard si's
+// destination range. The assignment is round-robin by shard index — the
+// same placement locality.MeasureNUMATraffic models — so it is
+// deterministic for a given store and topology.
+func (e *Engine) ShardDomain(si int) int { return int(e.domainOf[si]) }
 
 // VertexMap implements api.System.
 func (e *Engine) VertexMap(f *frontier.Frontier, fn func(graph.VID)) {
@@ -173,10 +255,15 @@ func (e *Engine) VertexFilter(f *frontier.Frontier, pred func(graph.VID) bool) *
 	return api.VertexFilter(e.pool, e.g, f, pred)
 }
 
-// EdgeMap applies op over the active edges of f with a frontier-aware
-// shard sweep. The direction hint is ignored: every traversal is a
-// destination-grouped sweep, which is the only order an out-of-core
-// layout supports without a second edge copy on disk.
+// EdgeMap applies op over the active edges of f with a frontier-aware,
+// pipelined shard sweep: plan → prefetch → apply → publish. The planner
+// picks the shard sequence (exact for sparse frontiers, summary-pruned
+// for dense ones); a staging goroutine prefetches shard i+1 while shard
+// i is applied by the workers of its modelled NUMA domain; the next
+// frontier is published once with aggregated statistics. The direction
+// hint is ignored: every traversal is a destination-grouped sweep,
+// which is the only order an out-of-core layout supports without a
+// second edge copy on disk.
 func (e *Engine) EdgeMap(f *frontier.Frontier, op api.EdgeOp, _ api.Direction) *frontier.Frontier {
 	n := e.g.NumVertices()
 	if f.Count() == 0 {
@@ -198,8 +285,20 @@ func (e *Engine) EdgeMap(f *frontier.Frontier, op api.EdgeOp, _ api.Direction) *
 	cond := op.CondOf()
 	next := frontier.NewBitmap(n)
 	accs := make([]sweepAccum, e.pool.Threads())
-	for _, si := range plan {
-		e.apply(e.load(si), cur, cond, op, next, accs)
+	if e.opts.NoPrefetch {
+		// Unpipelined: load and apply alternate on the sweep goroutine.
+		for _, si := range plan {
+			e.applyShard(si, e.load(si), cur, cond, op, next, accs)
+		}
+	} else {
+		pf := e.prefetch(plan)
+		// stop is the teardown barrier: it runs even when a load error
+		// or an operator panic unwinds the sweep, so no staging
+		// goroutine outlives its EdgeMap.
+		defer pf.stop()
+		for _, si := range plan {
+			e.applyShard(si, pf.next(), cur, cond, op, next, accs)
+		}
 	}
 	var count, outDeg int64
 	for i := range accs {
@@ -265,28 +364,56 @@ func (e *Engine) planDense(f *frontier.Frontier) []int {
 	return plan
 }
 
-// load returns shard si ready for application, from the LRU cache when
-// resident, otherwise decoding it from disk. Loads happen one at a time
-// on the sweep goroutine, so at most one uncached shard is in flight.
+// load returns shard si ready for application on the NoPrefetch path:
+// loads happen one at a time on the sweep goroutine, so at most one
+// uncached shard is in flight (the pipelined path keeps the same
+// invariant by doing all loads on the single staging goroutine; see
+// prefetch.go). A load failure panics — EdgeMap cannot return an error.
 func (e *Engine) load(si int) *resident {
+	sh, err := e.fetch(si, false)
+	if err != nil {
+		panic(fmt.Sprintf("shard: engine sweep: %v", err))
+	}
+	return sh
+}
+
+// fetch is the one load path both sweep modes share: shard si from the
+// LRU cache when resident, otherwise decoded from disk. prefetching
+// marks calls from the staging goroutine, which additionally maintain
+// the pipeline counters — including overlap, a disk load that
+// intersected an in-progress apply on the sweep goroutine.
+func (e *Engine) fetch(si int, prefetching bool) (*resident, error) {
 	if sh, ok := e.cache.get(si); ok {
 		atomic.AddInt64(&e.stats.CacheHits, 1)
-		return sh
+		if prefetching {
+			atomic.AddInt64(&e.stats.PrefetchHits, 1)
+		}
+		return sh, nil
 	}
 	if e.onLoadBegin != nil {
 		e.onLoadBegin(si)
 	}
+	overlapped := prefetching && atomic.LoadInt32(&e.applying) != 0
 	coo, err := e.st.LoadShard(si)
 	if err != nil {
-		panic(fmt.Sprintf("shard: engine sweep: %v", err))
+		return nil, err
 	}
 	sh := e.bucket(si, coo)
+	if prefetching && atomic.LoadInt32(&e.applying) != 0 {
+		overlapped = true
+	}
 	if e.onLoadEnd != nil {
 		e.onLoadEnd(si)
 	}
 	atomic.AddInt64(&e.stats.ShardLoads, 1)
+	if prefetching {
+		atomic.AddInt64(&e.stats.PrefetchLoads, 1)
+		if overlapped {
+			atomic.AddInt64(&e.stats.OverlappedLoads, 1)
+		}
+	}
 	e.cache.put(sh)
-	return sh
+	return sh, nil
 }
 
 // tasksPerWorker oversubscribes intra-shard tasks relative to workers so
@@ -301,7 +428,9 @@ const tasksPerWorker = 4
 func (e *Engine) bucket(si int, coo *graph.COO) *resident {
 	lo, hi := e.st.Range(si)
 	units := (int(hi-lo) + partition.BoundaryAlign - 1) / partition.BoundaryAlign
-	tasks := e.pool.Threads() * tasksPerWorker
+	// Size tasks for the workers that will actually apply this shard —
+	// its owning domain's view, not the full pool.
+	tasks := e.domains[e.domainOf[si]].Threads() * tasksPerWorker
 	if tasks > units {
 		tasks = units
 	}
@@ -351,12 +480,24 @@ type sweepAccum struct {
 	_      [6]int64
 }
 
-// apply runs op over one resident shard in parallel: one task per
-// destination sub-range, so every destination (and every next-frontier
-// bitmap word) is written by exactly one worker and the non-atomic
-// Update path is safe.
-func (e *Engine) apply(sh *resident, cur *frontier.Bitmap, cond func(graph.VID) bool, op api.EdgeOp, next *frontier.Bitmap, accs []sweepAccum) {
-	e.pool.ParallelTasks(len(sh.off)-1, func(task, worker int) {
+// applyShard runs op over one resident shard in parallel with the
+// workers of the shard's modelled NUMA domain: one task per destination
+// sub-range, so every destination (and every next-frontier bitmap word)
+// is written by exactly one worker and the non-atomic Update path is
+// safe. Worker IDs are pool-global, so accs stays exclusively indexed.
+func (e *Engine) applyShard(si int, sh *resident, cur *frontier.Bitmap, cond func(graph.VID) bool, op api.EdgeOp, next *frontier.Bitmap, accs []sweepAccum) {
+	dom := e.domainOf[si]
+	atomic.AddInt64(&e.stats.DomainShards[dom], 1)
+	atomic.AddInt64(&e.stats.DomainEdges[dom], int64(len(sh.src)))
+	atomic.StoreInt32(&e.applying, 1)
+	// Deferred, not inline at the end: a panicking operator must not
+	// leave the flag stuck, or every later load on this engine would
+	// count as overlapped.
+	defer atomic.StoreInt32(&e.applying, 0)
+	if e.onApplyBegin != nil {
+		e.onApplyBegin(si)
+	}
+	e.domains[dom].ParallelTasks(len(sh.off)-1, func(task, worker int) {
 		a := &accs[worker]
 		src := sh.src[sh.off[task]:sh.off[task+1]]
 		dst := sh.dst[sh.off[task]:sh.off[task+1]]
@@ -372,4 +513,7 @@ func (e *Engine) apply(sh *resident, cur *frontier.Bitmap, cond func(graph.VID) 
 			}
 		}
 	})
+	if e.onApplyEnd != nil {
+		e.onApplyEnd(si)
+	}
 }

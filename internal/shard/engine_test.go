@@ -28,10 +28,16 @@ func TestEngineConformance(t *testing.T) {
 		"chain":  gen.Chain(100),
 		"star":   gen.Star(130),
 	}
+	// The multi-threaded entries are deliberate -race fodder: under CI's
+	// race detector they exercise the pipelined sweep (prefetch staging
+	// goroutine + parallel apply) and the unpipelined fallback with >1
+	// worker, which is where an exclusivity bug would surface.
 	configs := map[string]Options{
 		"default":        {},
 		"serial-tiny":    {Threads: 1, CacheShards: 1},
 		"aggressive-lru": {Threads: 4, CacheShards: 2},
+		"pipelined-mt":   {Threads: 8, CacheShards: 2},
+		"no-prefetch-mt": {Threads: 8, CacheShards: 2, NoPrefetch: true},
 	}
 	for gname, g := range graphs {
 		for cname, opts := range configs {

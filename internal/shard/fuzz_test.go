@@ -1,0 +1,191 @@
+package shard
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// Native fuzz targets for the two decoding surfaces a shard directory
+// exposes: the JSON manifest and the binary shard files. The contract
+// under fuzz is the one TestStoreFailurePaths pins with fixed fixtures —
+// arbitrary bytes must produce an error or a valid store, never a panic
+// and never an allocation sized by untrusted input. The corrupt-input
+// table tests seeded the committed corpora under testdata/fuzz (see
+// TestRegenFuzzCorpus).
+
+// FuzzManifest feeds arbitrary bytes to Open as manifest.json. When Open
+// accepts, the resulting store's accessors and shard loading must also
+// be panic-free (shard files are absent, so loads error).
+func FuzzManifest(f *testing.F) {
+	for _, seed := range manifestSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "manifest.json"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, err := Open(dir)
+		if err != nil {
+			return
+		}
+		for i := 0; i < st.NumShards(); i++ {
+			lo, hi := st.Range(i)
+			if lo > hi || int(hi) > st.NumVertices() {
+				t.Fatalf("Open accepted shard %d with range [%d,%d) over %d vertices", i, lo, hi, st.NumVertices())
+			}
+			if _, err := st.LoadShard(i); err == nil {
+				t.Fatalf("LoadShard(%d) succeeded with no shard file on disk", i)
+			}
+		}
+	})
+}
+
+// FuzzShardFile feeds arbitrary bytes to the shard-file decoder. The
+// declared edge count is read from the fuzzed header itself and passed
+// as the manifest's expectation — modelling a hostile directory whose
+// manifest and shard header agree — so the decoder's only defence is
+// validating the declared count against the file's actual size before
+// allocating.
+func FuzzShardFile(f *testing.F) {
+	for _, seed := range shardFileSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "shard-0000.bin")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var want int64
+		if len(data) >= 8 {
+			want = int64(binary.LittleEndian.Uint64(data[:8]))
+		}
+		const n, lo, hi = 256, 64, 128
+		c, err := readShardFile(path, n, lo, hi, want)
+		if err != nil {
+			return
+		}
+		// Acceptance means every decoded edge satisfies the invariants
+		// the engine's partition-exclusive apply assumes.
+		if int64(len(c.Src)) != want || int64(len(c.Dst)) != want {
+			t.Fatalf("decoded %d/%d edges, header says %d", len(c.Src), len(c.Dst), want)
+		}
+		for i := range c.Src {
+			if int(c.Src[i]) >= n {
+				t.Fatalf("accepted source %d >= %d vertices", c.Src[i], n)
+			}
+			if c.Dst[i] < lo || c.Dst[i] >= hi {
+				t.Fatalf("accepted destination %d outside [%d,%d)", c.Dst[i], lo, hi)
+			}
+		}
+	})
+}
+
+// manifestSeeds returns the corpus: one valid manifest plus the corrupt
+// shapes TestStoreFailurePaths enumerates, serialised to bytes.
+func manifestSeeds() [][]byte {
+	valid := validManifest()
+	mutate := func(edit func(*manifest)) []byte {
+		m := valid
+		// Deep-copy the slices an edit may alias.
+		m.Bounds = append([]graph.VID(nil), valid.Bounds...)
+		m.EdgeCounts = append([]int64(nil), valid.EdgeCounts...)
+		m.SrcSummary = append([][]uint64(nil), valid.SrcSummary...)
+		edit(&m)
+		data, err := json.Marshal(m)
+		if err != nil {
+			panic(err)
+		}
+		return data
+	}
+	return [][]byte{
+		mutate(func(*manifest) {}),
+		[]byte("{"),
+		[]byte("null"),
+		[]byte(`{"magic":"ggrind-shards-v1"}`),
+		mutate(func(m *manifest) { m.Magic = "not-a-shard-store" }),
+		mutate(func(m *manifest) { m.EdgeCounts = m.EdgeCounts[:1] }),
+		mutate(func(m *manifest) { m.Bounds = m.Bounds[:2] }),
+		mutate(func(m *manifest) { m.SrcSummary = m.SrcSummary[:1] }),
+		mutate(func(m *manifest) { m.Bounds[1] = graph.VID(m.Vertices) + 64 }),
+		mutate(func(m *manifest) { m.Bounds[1], m.Bounds[2] = m.Bounds[2], m.Bounds[1] }),
+		mutate(func(m *manifest) { m.EdgeCounts[0]++ }),
+		mutate(func(m *manifest) { m.Bounds[1] += 3 }),
+		mutate(func(m *manifest) { m.Vertices = -1 }),
+		mutate(func(m *manifest) { m.Edges = 1 << 60; m.EdgeCounts[0] = 1 << 60 }),
+	}
+}
+
+// validManifest writes a real 4-shard store and returns its manifest.
+func validManifest() manifest {
+	dir, err := os.MkdirTemp("", "shard-fuzz-seed-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	st, err := Write(dir, gen.Chain(256), 4)
+	if err != nil {
+		panic(err)
+	}
+	return st.m
+}
+
+// shardFileSeeds returns the corpus: a real shard file plus the header
+// and payload corruptions from the fixed-fixture tests.
+func shardFileSeeds() [][]byte {
+	dir, err := os.MkdirTemp("", "shard-fuzz-seed-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	g := gen.Chain(256)
+	if _, err := Write(dir, g, 4); err != nil {
+		panic(err)
+	}
+	// Shard 1 of Chain(256) owns destinations [64,128) — the range the
+	// fuzz target decodes against.
+	valid, err := os.ReadFile(filepath.Join(dir, "shard-0001.bin"))
+	if err != nil {
+		panic(err)
+	}
+	truncated := append([]byte(nil), valid[:len(valid)/2]...)
+	hugeCount := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(hugeCount[:8], 1<<60)
+	badDst := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(badDst[len(badDst)-4:], 200)
+	empty := make([]byte, 8) // zero edges, consistent size
+	return [][]byte{valid, truncated, hugeCount, badDst, empty, {1, 2, 3}}
+}
+
+// TestRegenFuzzCorpus rewrites the committed seed corpora under
+// testdata/fuzz from the seed generators above. It is a no-op unless
+// REGEN_FUZZ_CORPUS=1, so the corpora stay deterministic artefacts of
+// the table tests rather than hand-maintained binaries.
+func TestRegenFuzzCorpus(t *testing.T) {
+	if os.Getenv("REGEN_FUZZ_CORPUS") != "1" {
+		t.Skip("set REGEN_FUZZ_CORPUS=1 to rewrite testdata/fuzz")
+	}
+	write := func(target string, seeds [][]byte) {
+		dir := filepath.Join("testdata", "fuzz", target)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for i, seed := range seeds {
+			body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(seed)))
+			name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+			if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	write("FuzzManifest", manifestSeeds())
+	write("FuzzShardFile", shardFileSeeds())
+}

@@ -1,0 +1,74 @@
+package shard
+
+// Prefetching (PCPM-style pipelining, Lakhotia et al.): a sweep's shard
+// plan is known up front, so a dedicated staging goroutine reads shard
+// i+1 from disk — or promotes it from the LRU — while the sweep
+// goroutine applies shard i in parallel. The hand-off channel is
+// unbuffered, which is what makes the pipeline a strict double buffer:
+// at any moment at most one shard is being applied and at most one is
+// staged ahead, and because all loads happen sequentially on the one
+// staging goroutine, the engine's "at most one uncached load in flight"
+// invariant survives unchanged.
+
+// fetched is one staged shard handed from the prefetcher to the sweep.
+// err is set when the shard failed to load; the sweep re-panics it, the
+// same surfacing the unpipelined path uses.
+type fetched struct {
+	sh  *resident
+	err error
+}
+
+// prefetcher owns the staging goroutine for one sweep.
+type prefetcher struct {
+	out  chan fetched  // unbuffered: the double-buffer hand-off
+	quit chan struct{} // closed by stop to abandon undelivered work
+	done chan struct{} // closed when the staging goroutine has exited
+}
+
+// prefetch starts staging the planned shard sequence. The caller must
+// consume exactly len(plan) shards via next or call stop; stop is safe
+// (and idempotent via defer) in both cases and returns only after the
+// staging goroutine has exited, so no sweep leaks a goroutine even when
+// an operator panics mid-apply.
+func (e *Engine) prefetch(plan []int) *prefetcher {
+	p := &prefetcher{
+		out:  make(chan fetched),
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(p.done)
+		for _, si := range plan {
+			sh, err := e.fetch(si, true)
+			select {
+			case p.out <- fetched{sh: sh, err: err}:
+				if err != nil {
+					return
+				}
+			case <-p.quit:
+				return
+			}
+		}
+	}()
+	return p
+}
+
+// next blocks until the next planned shard is resident and returns it.
+// A load failure panics on the sweep goroutine — EdgeMap cannot return
+// an error through api.System — after the staging goroutine has already
+// shut itself down.
+func (p *prefetcher) next() *resident {
+	f := <-p.out
+	if f.err != nil {
+		panic("shard: engine sweep: " + f.err.Error())
+	}
+	return f.sh
+}
+
+// stop tears the staging goroutine down and waits for it to exit. It is
+// the teardown barrier: once stop returns, no prefetcher goroutine from
+// this sweep is running and no further cache or stats mutation happens.
+func (p *prefetcher) stop() {
+	close(p.quit)
+	<-p.done
+}

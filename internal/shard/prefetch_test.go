@@ -1,0 +1,237 @@
+package shard
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/frontier"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// passOp is the no-op operator dense-sweep tests drive the engine with.
+func passOp() api.EdgeOp {
+	return api.EdgeOp{
+		Update:       func(u, v graph.VID) bool { return true },
+		UpdateAtomic: func(u, v graph.VID) bool { return true },
+	}
+}
+
+// TestPrefetchOverlapOccurs instruments the load and apply hooks to
+// prove the pipeline actually overlaps: the staging goroutine's disk
+// load of the second planned shard is held until the sweep goroutine
+// has begun applying the first, so when the load proceeds an apply is
+// in progress by construction — and the engine must count it as
+// overlapped. With a sequential load-then-apply loop this
+// synchronisation would deadlock; the timeout converts that into a
+// failure.
+func TestPrefetchOverlapOccurs(t *testing.T) {
+	g := gen.TinySocial()
+	e := buildTestEngine(t, g, 8, Options{CacheShards: 1})
+
+	applyStarted := make(chan struct{})
+	secondLoadDone := make(chan struct{})
+	var applyOnce, loadOnce sync.Once
+	var loads int64
+	e.onApplyBegin = func(int) {
+		// Hold the first apply open until the staged load of the next
+		// shard has fully completed, so the two provably ran at the
+		// same time (and the overlap sampling is deterministic).
+		applyOnce.Do(func() {
+			close(applyStarted)
+			select {
+			case <-secondLoadDone:
+			case <-time.After(10 * time.Second):
+				t.Error("next shard's load never completed while the first apply was held open: pipeline is sequential")
+			}
+		})
+	}
+	e.onLoadBegin = func(int) {
+		// The first load must proceed unconditionally (nothing is being
+		// applied yet); every later load waits for an apply to start.
+		if atomic.AddInt64(&loads, 1) == 1 {
+			return
+		}
+		select {
+		case <-applyStarted:
+		case <-time.After(10 * time.Second):
+			t.Error("load of a later shard never saw an apply begin: pipeline is sequential")
+		}
+	}
+	e.onLoadEnd = func(int) {
+		if atomic.LoadInt64(&loads) >= 2 {
+			loadOnce.Do(func() { close(secondLoadDone) })
+		}
+	}
+
+	e.EdgeMap(frontier.All(g), passOp(), api.DirAuto)
+
+	st := e.Stats()
+	if st.PrefetchLoads < 2 {
+		t.Fatalf("only %d prefetch loads; the plan should span several shards", st.PrefetchLoads)
+	}
+	if st.OverlappedLoads == 0 {
+		t.Fatal("no load overlapped an apply despite the enforced interleaving")
+	}
+	if st.OverlappedLoads >= st.PrefetchLoads {
+		t.Fatalf("%d of %d loads overlapped; the first load precedes any apply and cannot overlap",
+			st.OverlappedLoads, st.PrefetchLoads)
+	}
+}
+
+// TestNoPrefetchIsSequential: with the pipeline off, loads and applies
+// strictly alternate on one goroutine and no pipeline counter moves.
+func TestNoPrefetchIsSequential(t *testing.T) {
+	g := gen.TinySocial()
+	e := buildTestEngine(t, g, 8, Options{CacheShards: 1, NoPrefetch: true})
+	var applying int32
+	e.onApplyBegin = func(int) { atomic.StoreInt32(&applying, 1) }
+	e.onApplyEnd = func(int) { atomic.StoreInt32(&applying, 0) }
+	e.onLoadBegin = func(si int) {
+		if atomic.LoadInt32(&applying) != 0 {
+			t.Errorf("shard %d loaded while an apply was in progress with NoPrefetch", si)
+		}
+	}
+	e.EdgeMap(frontier.All(g), passOp(), api.DirAuto)
+	st := e.Stats()
+	if st.PrefetchLoads != 0 || st.PrefetchHits != 0 || st.OverlappedLoads != 0 {
+		t.Fatalf("pipeline counters moved with NoPrefetch: %+v", st)
+	}
+	if st.ShardLoads == 0 {
+		t.Fatal("no loads recorded")
+	}
+}
+
+// TestPrefetchServesFromCache: when the LRU covers the store, later
+// sweeps stage every shard from the cache and the prefetcher reads no
+// files.
+func TestPrefetchServesFromCache(t *testing.T) {
+	g := gen.TinySocial()
+	const p = 6
+	e := buildTestEngine(t, g, p, Options{CacheShards: p})
+	for i := 0; i < 3; i++ {
+		e.EdgeMap(frontier.All(g), passOp(), api.DirAuto)
+	}
+	st := e.Stats()
+	if st.PrefetchLoads > int64(p) {
+		t.Fatalf("%d prefetch loads across 3 sweeps, want at most %d", st.PrefetchLoads, p)
+	}
+	if st.PrefetchHits == 0 {
+		t.Fatal("no staged shard was promoted from the LRU across repeat sweeps")
+	}
+}
+
+// TestPrefetchTeardownLeaksNoGoroutines is the hand-rolled goleak check:
+// after full sweeps, a panicking mid-sweep load, and a panicking
+// operator, the goroutine count settles back to the baseline — no
+// staging goroutine outlives its EdgeMap.
+func TestPrefetchTeardownLeaksNoGoroutines(t *testing.T) {
+	baseline := settledGoroutines()
+
+	g := gen.TinySocial()
+	dir := t.TempDir()
+	e, err := Build(dir, g, 12, Options{Threads: 1, CacheShards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Healthy sweeps, dense and (after the first) cache-assisted.
+	for i := 0; i < 3; i++ {
+		e.EdgeMap(frontier.All(g), passOp(), api.DirAuto)
+	}
+
+	// A panicking operator unwinds the sweep mid-plan; the deferred
+	// prefetcher stop must still reap the staging goroutine. Threads=1
+	// keeps the apply inline on the sweep goroutine so the panic is
+	// recoverable here.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panicking operator did not propagate")
+			}
+		}()
+		e.EdgeMap(frontier.All(g), api.EdgeOp{
+			Update:       func(u, v graph.VID) bool { panic("operator boom") },
+			UpdateAtomic: func(u, v graph.VID) bool { panic("operator boom") },
+		}, api.DirAuto)
+	}()
+
+	// A mid-sweep load failure: delete a shard file, defeat the cache,
+	// and sweep again. The staging goroutine delivers the error, the
+	// sweep re-panics it, and teardown still reaps everything.
+	if err := os.Remove(filepath.Join(dir, "shard-0005.bin")); err != nil {
+		t.Fatal(err)
+	}
+	e.cache = newLRUCache(1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("mid-sweep load failure did not panic")
+			}
+		}()
+		e.EdgeMap(frontier.All(g), passOp(), api.DirAuto)
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for settledGoroutines() > baseline && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if now := settledGoroutines(); now > baseline {
+		buf := make([]byte, 1<<16)
+		t.Fatalf("goroutines grew from %d to %d after teardown:\n%s",
+			baseline, now, buf[:runtime.Stack(buf, true)])
+	}
+}
+
+// settledGoroutines samples the goroutine count after a GC pass, which
+// retires already-finished goroutines' bookkeeping.
+func settledGoroutines() int {
+	runtime.GC()
+	return runtime.NumGoroutine()
+}
+
+// TestPrefetchOnOffBitIdentical is the engine-level determinism core of
+// the cross-engine differential suite's OOC-prefetch variant: an
+// iterative CAS traversal — the most schedule-sensitive workload —
+// produces identical frontier sequences and identical parents with the
+// pipeline on and off, under full parallelism.
+func TestPrefetchOnOffBitIdentical(t *testing.T) {
+	g := gen.TinySocial()
+	run := func(noPrefetch bool) ([]int64, []int32) {
+		e := buildTestEngine(t, g, 10, Options{CacheShards: 2, NoPrefetch: noPrefetch})
+		parents := make([]int32, g.NumVertices())
+		for i := range parents {
+			parents[i] = -1
+		}
+		src := graph.VID(0)
+		parents[src] = int32(src)
+		var sizes []int64
+		f := frontier.FromVertex(g, src)
+		for !f.IsEmpty() {
+			f = e.EdgeMap(f, bfsOp(parents), api.DirAuto)
+			sizes = append(sizes, f.Count())
+		}
+		return sizes, parents
+	}
+	onSizes, onParents := run(false)
+	offSizes, offParents := run(true)
+	if len(onSizes) != len(offSizes) {
+		t.Fatalf("prefetch on ran %d rounds, off ran %d", len(onSizes), len(offSizes))
+	}
+	for r := range onSizes {
+		if onSizes[r] != offSizes[r] {
+			t.Fatalf("round %d: frontier %d with prefetch vs %d without", r, onSizes[r], offSizes[r])
+		}
+	}
+	for v := range onParents {
+		if onParents[v] != offParents[v] {
+			t.Fatalf("parent[%d] = %d with prefetch vs %d without", v, onParents[v], offParents[v])
+		}
+	}
+}

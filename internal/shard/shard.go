@@ -7,17 +7,36 @@
 // The package has two layers. Store is the storage substrate: a graph's
 // partitioned COO is written to one file per shard, and iteration
 // streams shards from disk so resident edge data is bounded by a single
-// shard regardless of |E|. Engine builds a full api.System on top of the
-// Store, so every algorithm written against the engine-neutral API runs
-// unmodified out of core: EdgeMap is a frontier-aware shard sweep that
-// skips shards with no active sources, applies each resident shard in
-// parallel over destination sub-ranges (partition-exclusive, so updates
-// need no atomics), and keeps recently used shards in an LRU cache so
-// iterative algorithms do not re-read cold files every sweep.
+// shard regardless of |E|. Decoding is defensive end to end — manifests
+// and shard files are validated structurally (magic, bounds, alignment,
+// edge-count/file-size agreement) before anything is allocated or
+// trusted, so corrupt or hostile directories surface as errors, never
+// panics.
+//
+// Engine builds a full api.System on top of the Store, so every
+// algorithm written against the engine-neutral API runs unmodified out
+// of core. Each EdgeMap is a pipelined sweep in four stages:
+//
+//	plan     — pick the shard sequence: exact (walk only the active
+//	           vertices' out-lists) for sparse frontiers, source-range
+//	           summary pruning for dense ones;
+//	prefetch — a dedicated staging goroutine loads shard i+1 from disk,
+//	           or promotes it from the LRU cache, while shard i is being
+//	           applied (a strict double buffer: at most one shard staged
+//	           ahead, at most one uncached load in flight);
+//	apply    — the resident shard is applied in parallel over 64-aligned
+//	           destination sub-ranges by the workers of the modelled
+//	           NUMA domain that owns the shard's destination range
+//	           (round-robin shard→domain placement, Polymer-style), so
+//	           updates are partition-exclusive and need no atomics;
+//	publish  — the next frontier and its statistics are assembled once,
+//	           after the last shard.
 //
 // The same partitioning invariant as in-memory processing holds: a
 // shard holds all in-edges of its vertex range, so updates from a shard
-// sweep are confined to that range.
+// sweep are confined to that range — which is also why the per-domain
+// placement makes every next-array update domain-local by construction
+// (locality.MeasureNUMATraffic quantifies this).
 package shard
 
 import (
@@ -235,6 +254,9 @@ func writeShardFile(path string, c *graph.COO) error {
 	return binary.Write(f, binary.LittleEndian, c.Dst)
 }
 
+// vidBytes is the on-disk size of one vertex ID (graph.VID = uint32).
+const vidBytes = 4
+
 func readShardFile(path string, n int, lo, hi graph.VID, wantEdges int64) (*graph.COO, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -247,6 +269,20 @@ func readShardFile(path string, n int, lo, hi graph.VID, wantEdges int64) (*grap
 	}
 	if count != wantEdges || count < 0 {
 		return nil, fmt.Errorf("shard: %s: edge count %d, manifest says %d", path, count, wantEdges)
+	}
+	// Validate the edge count against the file's actual size before
+	// allocating anything sized by it: a corrupt (or hostile) manifest
+	// could otherwise declare an absurd count and turn LoadShard into an
+	// allocation of arbitrary size. The arithmetic cannot overflow —
+	// counts above MaxInt64/(2*vidBytes) are rejected first.
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("shard: %s: %v", path, err)
+	}
+	const maxCount = (1<<63 - 1 - 8) / (2 * vidBytes)
+	if count > maxCount || fi.Size() != 8+2*vidBytes*count {
+		return nil, fmt.Errorf("shard: %s: file is %d bytes, want %d for %d edges",
+			path, fi.Size(), 8+2*vidBytes*count, count)
 	}
 	c := &graph.COO{N: n, Src: make([]graph.VID, count), Dst: make([]graph.VID, count)}
 	if err := binary.Read(f, binary.LittleEndian, c.Src); err != nil {
