@@ -52,6 +52,7 @@ func run() int {
 		cacheSh    = flag.Int("cacheshards", 0, "OOC LRU budget in resident shards (0 = default)")
 		noPrefetch = flag.Bool("noprefetch", false, "OOC: disable the sweep pipeline (load and apply alternate)")
 		domains    = flag.Int("domains", 0, "OOC modelled NUMA domain count (0 = the paper's 4)")
+		window     = flag.Int("window", 0, "OOC staging window depth k: shards staged ahead while up to D domains apply concurrently (0 = domain count, 1 = double buffer; clamped to the LRU budget)")
 	)
 	flag.Parse()
 
@@ -124,6 +125,7 @@ func run() int {
 			Threads:     *threads,
 			CacheShards: *cacheSh,
 			NoPrefetch:  *noPrefetch,
+			Window:      *window,
 			Topology:    sched.Topology{Domains: *domains},
 		}
 		fmt.Printf("sharding to %s (%d partitions)...\n", dir, p)
@@ -132,9 +134,9 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "ggrind: %v\n", err)
 			return 1
 		}
-		fmt.Printf("engine: OOC shards=%d cache=%d threads=%d prefetch=%v domains=%d\n",
+		fmt.Printf("engine: OOC shards=%d cache=%d threads=%d prefetch=%v domains=%d window=%d\n",
 			eng.Store().NumShards(), eng.Options().CacheShards, eng.Threads(),
-			!eng.Options().NoPrefetch, eng.Topology().Domains)
+			!eng.Options().NoPrefetch, eng.Topology().Domains, eng.Options().Window)
 		sys = eng
 		if spec.NeedsReverse {
 			reng, err := shard.Build(filepath.Join(dir, "rev"), g.Reverse(), p, oopts)
@@ -177,6 +179,12 @@ func run() int {
 			st.PrefetchLoads, st.OverlappedLoads, st.PrefetchHits)
 		fmt.Printf("ooc numa: %d domains, shards applied per domain %v, edges per domain %v\n",
 			eng.Topology().Domains, st.DomainShards, st.DomainEdges)
+		// The window/stager only exists on the pipelined path; with
+		// -noprefetch its depth and histograms would be meaningless.
+		if !eng.Options().NoPrefetch {
+			fmt.Printf("ooc window: depth k=%d, peak %d concurrent applies, apply levels %v, hand-off depths %v\n",
+				eng.Options().Window, st.ConcurrentApplyPeak, st.ApplyLevels, st.WindowDepths)
+		}
 	}
 	if rec != nil {
 		f, err := os.Create(*traceOut)

@@ -2,12 +2,13 @@
 // the paper's partitioning-by-destination comes from) and run the
 // ordinary algorithm suite on shard.Engine — the same PageRank and BFS
 // code that runs on the in-memory engines, but with edge data streaming
-// from disk through the pipelined sweep (plan → prefetch → apply →
+// from disk through the concurrent sweep (plan → stage → apply →
 // publish): the planner picks the shard order, a staging goroutine
-// loads the next shard while the current one is applied by the workers
-// of its modelled NUMA domain, and the LRU cache keeps hot shards
-// resident across iterations. See README.md for the pipeline and
-// placement model in detail.
+// keeps up to k shards resident ahead (one uncached load in flight),
+// up to D staged shards are applied simultaneously — one per modelled
+// NUMA domain, each by that domain's workers — and the LRU cache keeps
+// hot shards resident across iterations. See README.md for the window
+// and placement model in detail.
 package main
 
 import (
@@ -31,9 +32,11 @@ func main() {
 	defer os.RemoveAll(dir)
 
 	const shards = 24
-	// A 2-shard LRU budget: resident edge data is bounded by ~2/24 of
-	// the graph however many iterations run.
-	ooc, err := shard.Build(dir, g, shards, shard.Options{CacheShards: 2})
+	// A 4-shard LRU budget: resident edge data stays bounded by ~4/24
+	// of the graph however many iterations run, and the budget is wide
+	// enough for the default 4-deep staging window to keep all four
+	// modelled NUMA domains applying at once.
+	ooc, err := shard.Build(dir, g, shards, shard.Options{CacheShards: 4})
 	if err != nil {
 		panic(err)
 	}
@@ -44,8 +47,8 @@ func main() {
 			bytes += info.Size()
 		}
 	}
-	fmt.Printf("sharded to %s: %d shards, %.1f MiB on disk, LRU budget 2 shards\n",
-		dir, ooc.Store().NumShards(), float64(bytes)/(1<<20))
+	fmt.Printf("sharded to %s: %d shards, %.1f MiB on disk, LRU budget 4 shards, window k=%d\n",
+		dir, ooc.Store().NumShards(), float64(bytes)/(1<<20), ooc.Options().Window)
 
 	// 1. The generic algorithm layer runs unmodified out of core;
 	// PageRank matches the in-memory engine exactly.
@@ -62,6 +65,8 @@ func main() {
 		maxDiff, st.ShardLoads)
 	fmt.Printf("  pipeline: %d prefetch loads, %d overlapped an apply; NUMA domain shards %v\n",
 		st.PrefetchLoads, st.OverlappedLoads, st.DomainShards)
+	fmt.Printf("  occupancy: peak %d concurrent shard applies, apply levels %v, window hand-off depths %v\n",
+		st.ConcurrentApplyPeak, st.ApplyLevels, st.WindowDepths)
 	if maxDiff > 1e-9 {
 		panic("results diverge")
 	}

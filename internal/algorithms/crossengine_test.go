@@ -11,6 +11,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/ligra"
 	"repro/internal/polymer"
+	"repro/internal/sched"
 	"repro/internal/shard"
 )
 
@@ -46,12 +47,29 @@ func oocEngine(t *testing.T, g *graph.Graph) *shard.Engine {
 }
 
 // oocNoPrefetchEngine is the OOC-prefetch differential variant's
-// counterpart: the same engine with the pipeline disabled, so every
-// oracle-agreement property doubles as a prefetch-on/off equivalence
-// check.
+// counterpart: the same engine with the pipeline disabled — the strict
+// sequential sweep — so every oracle-agreement property doubles as a
+// pipeline-on/off equivalence check.
 func oocNoPrefetchEngine(t *testing.T, g *graph.Graph) *shard.Engine {
 	t.Helper()
 	e, err := shard.Build(t.TempDir(), g, 4, shard.Options{CacheShards: 2, NoPrefetch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// oocWindowEngine is the concurrent-apply differential variant: a
+// k-deep staging window over a multi-domain topology, so up to D
+// shards are applied simultaneously by their domains' worker views.
+// Every oracle-agreement property therefore also pins the concurrent
+// sweep to the sequential semantics.
+func oocWindowEngine(t *testing.T, g *graph.Graph, window int) *shard.Engine {
+	t.Helper()
+	e, err := shard.Build(t.TempDir(), g, 4, shard.Options{
+		Threads: 4, CacheShards: 4, Window: window,
+		Topology: sched.Topology{Domains: 4},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,6 +85,7 @@ func enginesFor(t *testing.T, g *graph.Graph) []api.System {
 		polymer.New(g, polymer.GGv1(), 0),
 		oocEngine(t, g),
 		oocNoPrefetchEngine(t, g),
+		oocWindowEngine(t, g, 4),
 	}
 }
 

@@ -27,6 +27,7 @@ func extendedSystems(t *testing.T, g *graph.Graph) map[string]api.System {
 		"ligra":    ligra.New(g, 0),
 		"ooc":      oocEngine(t, g),
 		"ooc-nopf": oocNoPrefetchEngine(t, g),
+		"ooc-win":  oocWindowEngine(t, g, 4),
 	}
 }
 

@@ -9,20 +9,42 @@ import (
 	"repro/internal/graph"
 )
 
-// The OOC-prefetch equivalence suite: every algorithm in the repository
-// — the eight Table II applications plus the five beyond-Table-II ones —
-// must produce bit-identical results on the out-of-core engine with the
-// sweep pipeline on and off. This is the strongest form of the pipeline
-// correctness claim: prefetching may only change *when* a shard becomes
-// resident, never what is computed, so even the float64 accumulations
-// (whose results depend on application order) must match exactly, not
-// just within tolerance.
+// The OOC pipeline equivalence suite: every algorithm in the repository
+// — the eight Table II applications plus the five beyond-Table-II ones
+// — must produce bit-identical results on the out-of-core engine across
+// the whole concurrency ladder:
+//
+//   - the strict sequential sweep (NoPrefetch: loads and applies
+//     alternate on one goroutine) — the reference;
+//   - the k=1 window (the original double buffer's staging depth) with
+//     cross-domain concurrent apply;
+//   - the k=D window, where up to all four modelled NUMA domains apply
+//     shards simultaneously while the stager runs D shards ahead.
+//
+// This is the strongest form of the concurrency correctness claim:
+// neither staging depth nor cross-domain interleaving may change *what*
+// is computed, only *when* a shard becomes resident and which domain's
+// workers are busy — so even the float64 accumulations (whose results
+// depend on per-destination application order) must match exactly, not
+// just within tolerance. Run under -race in CI, this doubles as the
+// schedule-interleaving sweep for the concurrent apply path.
 
 func TestOOCPipelineBitIdenticalAcrossAllAlgorithms(t *testing.T) {
 	directed := gen.TinySocial()
 	symmetric := gen.Symmetrise(gen.PowerLaw(1<<9, 1<<12, 2.3, 5))
 	src := SourceVertex(directed)
 	symSrc := SourceVertex(symmetric)
+
+	// The concurrency ladder, sequential reference first.
+	variants := []struct {
+		name string
+		mk   func(t *testing.T, g *graph.Graph) api.System
+	}{
+		{"sequential", func(t *testing.T, g *graph.Graph) api.System { return oocNoPrefetchEngine(t, g) }},
+		{"prefetch", func(t *testing.T, g *graph.Graph) api.System { return oocEngine(t, g) }},
+		{"window-1", func(t *testing.T, g *graph.Graph) api.System { return oocWindowEngine(t, g, 1) }},
+		{"window-D", func(t *testing.T, g *graph.Graph) api.System { return oocWindowEngine(t, g, 4) }},
+	}
 
 	// Each entry runs one algorithm to completion through api.System and
 	// returns its full result struct for deep comparison. rsys is the
@@ -51,16 +73,21 @@ func TestOOCPipelineBitIdenticalAcrossAllAlgorithms(t *testing.T) {
 	}
 	for _, r := range runs {
 		t.Run(r.name, func(t *testing.T) {
-			var rsysOn, rsysOff api.System
-			if r.needReverse {
-				rg := r.g.Reverse()
-				rsysOn, rsysOff = oocEngine(t, rg), oocNoPrefetchEngine(t, rg)
-			}
-			withPrefetch := r.run(oocEngine(t, r.g), rsysOn)
-			withoutPrefetch := r.run(oocNoPrefetchEngine(t, r.g), rsysOff)
-			if !reflect.DeepEqual(withPrefetch, withoutPrefetch) {
-				t.Fatalf("%s results differ between prefetch on and off:\non:  %+v\noff: %+v",
-					r.name, withPrefetch, withoutPrefetch)
+			var want interface{}
+			for _, v := range variants {
+				var rsys api.System
+				if r.needReverse {
+					rsys = v.mk(t, r.g.Reverse())
+				}
+				got := r.run(v.mk(t, r.g), rsys)
+				if v.name == "sequential" {
+					want = got
+					continue
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s results differ between the sequential sweep and %s:\nsequential: %+v\n%s: %+v",
+						r.name, v.name, want, v.name, got)
+				}
 			}
 		})
 	}

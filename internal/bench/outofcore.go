@@ -22,7 +22,7 @@ type OutOfCoreResult struct {
 // PrefetchResult is the pipeline ablation: the same cold-cache
 // multi-iteration PageRank run with the sweep pipeline on and off. A
 // one-shard LRU defeats caching across sweeps, so every iteration
-// re-reads (nearly) the whole store and the double buffer's load/apply
+// re-reads (nearly) the whole store and the pipeline's load/apply
 // overlap is the only difference between the two columns.
 type PrefetchResult struct {
 	On      float64 // seconds, prefetch pipeline enabled
@@ -30,14 +30,32 @@ type PrefetchResult struct {
 	Speedup float64 // Off / On: >1 means the pipeline won
 }
 
+// WindowResult is the staging-window occupancy ablation: the same
+// multi-iteration PageRank with a 1-deep window (the original double
+// buffer's staging depth) and a D-deep window, both with cross-domain
+// concurrent apply over the default topology. The peaks report how many
+// shards the engine actually had mid-apply simultaneously — the
+// Polymer-style all-domains-at-once execution the deeper window is
+// meant to feed.
+type WindowResult struct {
+	K1      float64 // seconds, window depth 1
+	KD      float64 // seconds, window depth = Domains
+	Speedup float64 // K1 / KD: >1 means the deeper window won
+	PeakK1  int64   // max simultaneous applies, k=1 run
+	PeakKD  int64   // max simultaneous applies, k=D run
+	Domains int     // modelled NUMA domains (= the deep window's k)
+}
+
 // OutOfCore runs a representative algorithm slate on the in-memory
 // GG-v2 engine and on the shard.Engine over the same graph, reporting
 // the streaming overhead the LRU cache and frontier-aware sweeps are
-// meant to bound, plus the prefetch-pipeline ablation on a cold-cache
-// PageRank. dir receives the shard files; shards and threads 0 select
-// defaults. The returned figure has one X index per algorithm (the note
-// lines give the mapping) and one series per engine.
-func OutOfCore(g *graph.Graph, dir string, shards, threads, reps int) (*Figure, []OutOfCoreResult, PrefetchResult, error) {
+// meant to bound, plus two ablations on multi-iteration PageRank: the
+// prefetch pipeline on/off (cold cache) and the staging window k=1 vs
+// k=D with concurrent domain apply. dir receives the shard files;
+// shards and threads 0 select defaults. The returned figure has one X
+// index per algorithm (the note lines give the mapping) and one series
+// per engine.
+func OutOfCore(g *graph.Graph, dir string, shards, threads, reps int) (*Figure, []OutOfCoreResult, PrefetchResult, WindowResult, error) {
 	if shards <= 0 {
 		shards = 16
 	}
@@ -45,10 +63,10 @@ func OutOfCore(g *graph.Graph, dir string, shards, threads, reps int) (*Figure, 
 	// Domains: 1 keeps the headline Slowdown column measuring streaming
 	// overhead alone, comparable with pre-placement numbers — the
 	// default 4-domain topology would confine each apply to a quarter
-	// of the pool. The pipeline ablation below runs the shipped default.
+	// of the pool. The ablations below run the shipped default.
 	ooc, err := shard.Build(dir, g, shards, shard.Options{Threads: threads, Topology: sched.Topology{Domains: 1}})
 	if err != nil {
-		return nil, nil, PrefetchResult{}, err
+		return nil, nil, PrefetchResult{}, WindowResult{}, err
 	}
 	runs := []struct {
 		alg string
@@ -93,11 +111,11 @@ func OutOfCore(g *graph.Graph, dir string, shards, threads, reps int) (*Figure, 
 	// both under the engine's default (4-domain) placement.
 	pfOn, err := shard.NewEngine(ooc.Store(), g, shard.Options{Threads: threads, CacheShards: 1})
 	if err != nil {
-		return nil, nil, PrefetchResult{}, err
+		return nil, nil, PrefetchResult{}, WindowResult{}, err
 	}
 	pfOff, err := shard.NewEngine(ooc.Store(), g, shard.Options{Threads: threads, CacheShards: 1, NoPrefetch: true})
 	if err != nil {
-		return nil, nil, PrefetchResult{}, err
+		return nil, nil, PrefetchResult{}, WindowResult{}, err
 	}
 	on := MedianTime(reps, func() { algorithms.PR(pfOn, 10) })
 	off := MedianTime(reps, func() { algorithms.PR(pfOff, 10) })
@@ -108,5 +126,34 @@ func OutOfCore(g *graph.Graph, dir string, shards, threads, reps int) (*Figure, 
 	fig.Notes = append(fig.Notes, fmt.Sprintf(
 		"OOC pipeline: %d prefetch loads (%d overlapped an apply), %d prefetch cache promotions, domain shards %v",
 		ast.PrefetchLoads, ast.OverlappedLoads, ast.PrefetchHits, ast.DomainShards))
-	return fig, results, pf, nil
+
+	// Occupancy ablation: the same 10-iteration PageRank with a 1-deep
+	// vs a D-deep staging window, both with concurrent domain apply and
+	// a D-shard LRU (big enough to let the deep window actually fill,
+	// small enough against the store to keep the sweep streaming).
+	d := sched.DefaultTopology().Domains
+	wOne, err := shard.NewEngine(ooc.Store(), g, shard.Options{Threads: threads, CacheShards: d, Window: 1})
+	if err != nil {
+		return nil, nil, PrefetchResult{}, WindowResult{}, err
+	}
+	wDeep, err := shard.NewEngine(ooc.Store(), g, shard.Options{Threads: threads, CacheShards: d, Window: d})
+	if err != nil {
+		return nil, nil, PrefetchResult{}, WindowResult{}, err
+	}
+	k1 := MedianTime(reps, func() { algorithms.PR(wOne, 10) })
+	kD := MedianTime(reps, func() { algorithms.PR(wDeep, 10) })
+	win := WindowResult{
+		K1: Seconds(k1), KD: Seconds(kD), Speedup: Speedup(k1, kD),
+		PeakK1:  wOne.Stats().ConcurrentApplyPeak,
+		PeakKD:  wDeep.Stats().ConcurrentApplyPeak,
+		Domains: d,
+	}
+	fig.Notes = append(fig.Notes, fmt.Sprintf(
+		"occupancy ablation: window k=1 %.3fs (peak %d concurrent applies) vs k=%d %.3fs (peak %d), %.2fx",
+		win.K1, win.PeakK1, win.Domains, win.KD, win.PeakKD, win.Speedup))
+	wst := wDeep.Stats()
+	fig.Notes = append(fig.Notes, fmt.Sprintf(
+		"OOC window k=%d: apply levels %v, hand-off depth histogram %v",
+		win.Domains, wst.ApplyLevels, wst.WindowDepths))
+	return fig, results, pf, win, nil
 }

@@ -11,7 +11,7 @@ import (
 
 func TestOutOfCoreComparisonRuns(t *testing.T) {
 	g := gen.TinySocial()
-	fig, results, pf, err := OutOfCore(g, t.TempDir(), 8, 0, 1)
+	fig, results, pf, win, err := OutOfCore(g, t.TempDir(), 8, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -23,14 +23,23 @@ func TestOutOfCoreComparisonRuns(t *testing.T) {
 			t.Fatalf("%s: non-positive timing %+v", r.Alg, r)
 		}
 	}
-	// The pipeline ablation must produce real timings for both columns;
-	// which side wins on a micro graph under the OS page cache is not a
+	// The ablations must produce real timings for every column; which
+	// side wins on a micro graph under the OS page cache is not a
 	// stable property, so only the shape is asserted here.
 	if pf.On <= 0 || pf.Off <= 0 || pf.Speedup <= 0 {
 		t.Fatalf("prefetch ablation has non-positive entries: %+v", pf)
 	}
+	if win.K1 <= 0 || win.KD <= 0 || win.Speedup <= 0 {
+		t.Fatalf("window ablation has non-positive timings: %+v", win)
+	}
+	if win.PeakK1 < 1 || win.PeakKD < 1 {
+		t.Fatalf("window ablation recorded no applies: %+v", win)
+	}
+	if win.Domains < 2 {
+		t.Fatalf("window ablation ran with %d domains; the occupancy comparison needs several", win.Domains)
+	}
 	text := fig.Render()
-	for _, want := range []string{"GG-v2", "OOC", "cache hits", "prefetch", "cold-cache PR ablation", "domain shards"} {
+	for _, want := range []string{"GG-v2", "OOC", "cache hits", "prefetch", "cold-cache PR ablation", "domain shards", "occupancy ablation", "apply levels"} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("rendered figure missing %q:\n%s", want, text)
 		}

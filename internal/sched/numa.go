@@ -59,9 +59,17 @@ func (t Topology) DomainLoads(partLoads []int64) []int64 {
 // OS threads to sockets, so the view preserves the *scheduling*
 // discipline instead: a task set run through a DomainView executes on at
 // most Threads() concurrent goroutines, and every callback carries the
-// pool-global worker ID of a worker the domain owns, so per-worker
-// accumulators indexed by [0, Pool.Threads()) stay exclusive across
-// domains.
+// pool-global worker ID of a worker the domain owns.
+//
+// Views are stateless and safe for concurrent use: distinct domains'
+// ParallelTasks may run simultaneously (the Polymer all-sockets-at-once
+// execution the concurrent shard apply models). When the pool has at
+// least as many workers as the topology has domains, Split hands every
+// domain a disjoint worker-ID set, so per-worker accumulators indexed by
+// [0, Pool.Threads()) stay exclusive even across concurrently running
+// domains; with fewer workers than domains, borrowed IDs repeat across
+// views and concurrent callers must shard accumulators per domain
+// instead (shard.Engine does).
 type DomainView struct {
 	workers []int // pool-global worker IDs owned by this domain
 }
@@ -71,8 +79,9 @@ type DomainView struct {
 // DomainOf. Every domain gets at least one worker: when the pool has
 // fewer workers than the topology has domains, domain d borrows worker
 // d mod Threads() — the model of a machine whose cores are shared
-// between domains, which degrades gracefully because a shard sweep
-// applies one shard at a time.
+// between domains. Borrowed IDs repeat across views, so callers that
+// run domains concurrently must not index shared per-worker state by
+// the pool-global ID alone; stripe it per domain (see DomainView).
 func (t Topology) Split(p *Pool) []*DomainView {
 	d := t.Domains
 	if d <= 0 {

@@ -162,6 +162,16 @@ func (p *Pool) ParallelTasks(k int, fn func(task, worker int)) {
 // and DomainView.ParallelTasks: k tasks self-scheduled over at most
 // len(ids) goroutines, each callback carrying the worker ID it runs as.
 // One goroutine (or k <= 1) executes inline.
+//
+// A panicking task does not crash the process: the first panic value is
+// captured, the remaining workers stop claiming tasks, and the panic is
+// re-raised on the calling goroutine once every worker has exited — the
+// same surfacing an inline (single-worker) run gets for free. Callers
+// that recover therefore observe no leaked worker goroutines. Tasks
+// already running when the panic fires still complete. The value is
+// re-raised verbatim so recover sites can inspect it, at the price of
+// the worker's original stack trace; a task that needs the faulting
+// frames preserved should capture them itself before panicking.
 func runTasks(ids []int, k int, fn func(task, worker int)) {
 	if k <= 0 {
 		return
@@ -177,12 +187,25 @@ func runTasks(ids []int, k int, fn func(task, worker int)) {
 		return
 	}
 	var next int64
+	var stop int32
+	var panicMu sync.Mutex
+	var panicVal any
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go func(w int) {
 			defer wg.Done()
-			for {
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicVal == nil {
+						panicVal = r
+					}
+					panicMu.Unlock()
+					atomic.StoreInt32(&stop, 1)
+				}
+			}()
+			for atomic.LoadInt32(&stop) == 0 {
 				t := int(atomic.AddInt64(&next, 1)) - 1
 				if t >= k {
 					return
@@ -192,6 +215,9 @@ func runTasks(ids []int, k int, fn func(task, worker int)) {
 		}(ids[i])
 	}
 	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
 }
 
 // DefaultChunk is the grain for vertex-indexed parallel-for loops; 1024

@@ -1,8 +1,11 @@
 package sched
 
 import (
+	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestParallelForCoversAll(t *testing.T) {
@@ -223,4 +226,116 @@ func TestDomainViewParallelTasks(t *testing.T) {
 			t.Fatalf("domain %d: %d callbacks carried foreign worker IDs", d, badWorker)
 		}
 	}
+}
+
+// TestParallelTasksPanicPropagates: a panicking task surfaces on the
+// calling goroutine — recoverable — and leaves no worker goroutines
+// behind, for both the inline single-worker path and the multi-worker
+// path. This is what lets the out-of-core engine tear a concurrent
+// sweep down cleanly when an operator panics mid-apply.
+func TestParallelTasksPanicPropagates(t *testing.T) {
+	for _, threads := range []int{1, 2, 8} {
+		p := NewPool(threads)
+		baseline := runtime.NumGoroutine()
+		var ran int32
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("threads=%d: panic did not propagate", threads)
+				}
+				if s, ok := r.(string); !ok || s != "task boom" {
+					t.Fatalf("threads=%d: recovered %v, want the original panic value", threads, r)
+				}
+			}()
+			p.ParallelTasks(64, func(task, worker int) {
+				atomic.AddInt32(&ran, 1)
+				if task == 3 {
+					panic("task boom")
+				}
+			})
+		}()
+		if atomic.LoadInt32(&ran) == 0 {
+			t.Fatalf("threads=%d: no task ran before the panic", threads)
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if now := runtime.NumGoroutine(); now > baseline {
+			t.Fatalf("threads=%d: goroutines grew from %d to %d after a panicking task set",
+				threads, baseline, now)
+		}
+	}
+}
+
+// TestDomainViewPanicPropagates: the same guarantee through a domain
+// view, which is the path the concurrent shard apply actually uses.
+func TestDomainViewPanicPropagates(t *testing.T) {
+	views := Topology{Domains: 2}.Split(NewPool(4))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic did not propagate through DomainView.ParallelTasks")
+		}
+	}()
+	views[0].ParallelTasks(16, func(task, worker int) {
+		if task == 2 {
+			panic("domain boom")
+		}
+	})
+}
+
+// TestDomainViewsRunConcurrently: distinct domains' views can execute
+// task sets simultaneously — the modelled all-sockets-at-once execution
+// the concurrent shard apply relies on — and, with enough pool workers,
+// every callback still carries a worker ID the domain exclusively owns,
+// so Domains×Threads accumulator blocks stay race-free.
+func TestDomainViewsRunConcurrently(t *testing.T) {
+	const domains = 4
+	pool := NewPool(8)
+	views := Topology{Domains: domains}.Split(pool)
+	owned := make([]map[int]bool, domains)
+	for d, v := range views {
+		owned[d] = map[int]bool{}
+		for _, w := range v.Workers() {
+			owned[d][w] = true
+		}
+		for o := 0; o < d; o++ {
+			for w := range owned[d] {
+				if owned[o][w] {
+					t.Fatalf("domains %d and %d share worker %d with %d workers over %d domains",
+						o, d, w, pool.Threads(), domains)
+				}
+			}
+		}
+	}
+
+	// Every domain blocks its first task until all domains have one
+	// running; with any cross-view serialisation this deadlocks, and the
+	// timeout converts that into a failure.
+	var started int32
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	for d := 0; d < domains; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			views[d].ParallelTasks(3, func(task, worker int) {
+				if !owned[d][worker] {
+					t.Errorf("domain %d ran on worker %d it does not own", d, worker)
+				}
+				if task == 0 {
+					if atomic.AddInt32(&started, 1) == domains {
+						close(release)
+					}
+					select {
+					case <-release:
+					case <-time.After(10 * time.Second):
+						t.Error("domains never ran concurrently")
+					}
+				}
+			})
+		}(d)
+	}
+	wg.Wait()
 }

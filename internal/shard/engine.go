@@ -27,9 +27,22 @@ type Options struct {
 	SparseDiv int64
 	// NoPrefetch disables the sweep pipeline: shards are loaded and
 	// applied strictly alternately on the sweep goroutine, the pre-
-	// pipeline behaviour. The zero value — prefetch on — stages shard
-	// i+1 on a dedicated goroutine while shard i is applied.
+	// pipeline behaviour and the sequential reference the differential
+	// suites compare against. The zero value — prefetch on — runs the
+	// windowed, cross-domain concurrent pipeline.
 	NoPrefetch bool
+	// Window is the staging window depth k: how many shards the
+	// pipeline may hold staged ahead of the applies (loaded from disk
+	// or promoted from the LRU, not yet begun applying). The original
+	// double buffer is k = 1; deeper windows keep the single staging
+	// goroutine running ahead — still exactly one uncached load in
+	// flight, a modelled io_uring submission queue of depth k — so the
+	// concurrent per-domain applies never starve. At any moment the
+	// depth is additionally bounded by max(1, min(k, CacheShards −
+	// in-flight applies)), keeping staged shards inside the LRU budget.
+	// 0 selects the topology's domain count; values above CacheShards
+	// are clamped to it. Ignored when NoPrefetch is set.
+	Window int
 	// Topology is the modelled NUMA topology shards are placed on;
 	// the zero value selects sched.DefaultTopology (4 domains, the
 	// paper's machine). Shard i's destination range lives on domain
@@ -57,6 +70,12 @@ func (o Options) withDefaults() Options {
 	if o.Topology.Domains <= 0 {
 		o.Topology = sched.DefaultTopology()
 	}
+	if o.Window <= 0 {
+		o.Window = o.Topology.Domains
+	}
+	if o.Window > o.CacheShards {
+		o.Window = o.CacheShards
+	}
 	return o
 }
 
@@ -70,8 +89,22 @@ type Stats struct {
 
 	// Pipeline counters (zero when NoPrefetch).
 	PrefetchHits    int64 // staged shards promoted from the LRU cache
-	PrefetchLoads   int64 // staged shards decoded from disk by the prefetcher
-	OverlappedLoads int64 // prefetch loads that overlapped an in-progress apply
+	PrefetchLoads   int64 // staged shards decoded from disk by the stager
+	OverlappedLoads int64 // stager loads that overlapped an in-progress apply
+
+	// Concurrent-apply occupancy. ApplyLevels[l] counts shard applies
+	// that began with l+1 shards mid-apply engine-wide (ApplyLevels[0]
+	// is a lone apply, ApplyLevels[Domains-1] full occupancy);
+	// ConcurrentApplyPeak is the maximum simultaneous applies observed.
+	// The unpipelined path only ever records level 0.
+	ApplyLevels         []int64
+	ConcurrentApplyPeak int64
+
+	// WindowDepths[d] counts staging hand-offs that completed with d
+	// shards resident in the window (loaded or loading, not yet begun
+	// applying); index 0 is unused. The depth never exceeds
+	// max(1, min(Options.Window, CacheShards − in-flight applies)).
+	WindowDepths []int64
 
 	// Modelled NUMA placement: per-domain shard applications and edges
 	// applied, indexed by domain. Placement is round-robin by shard
@@ -101,14 +134,19 @@ type Stats struct {
 // non-atomic EdgeOp.Update path is always used — the out-of-core
 // counterpart of the paper's "COO + na" configuration.
 //
-// Sweeps are pipelined (plan → prefetch → apply → publish): once the
-// planner fixes the shard order, a staging goroutine loads shard i+1 —
-// or promotes it from the LRU — while shard i is applied, and each
-// shard is applied by the workers of the modelled NUMA domain that owns
-// its destination range (round-robin by shard index, the placement
-// Polymer uses for in-memory partitions). Results are bit-identical
-// with the pipeline on or off: application order is the plan order
-// either way, and per-destination edge order never depends on timing.
+// Sweeps are pipelined (plan → stage → apply → publish): once the
+// planner fixes the shard order, a staging goroutine keeps up to
+// Options.Window shards resident ahead — loaded from disk or promoted
+// from the LRU, with exactly one uncached load in flight — and up to
+// min(Domains, Threads) staged shards are applied simultaneously, one
+// per modelled NUMA domain, each by the workers of the domain that
+// owns its destination range (round-robin by shard index, the
+// placement Polymer uses for in-memory partitions, here also run with
+// Polymer's all-sockets-at-once concurrency). Results are bit-identical with the
+// pipeline on or off and at any window depth: shards own disjoint
+// destination ranges and operators write destination state only, so
+// each destination's updates happen in shard-file order regardless of
+// cross-domain timing.
 //
 // EdgeMap cannot return an error through the api.System interface, so a
 // shard that fails to load mid-sweep panics with the underlying error.
@@ -130,8 +168,10 @@ type Engine struct {
 	domainOf []int32
 	domains  []*sched.DomainView
 
-	// applying is 1 while the sweep goroutine is applying a shard; the
-	// prefetcher samples it to count loads that overlapped an apply.
+	// applying counts shards currently mid-apply (up to one per domain
+	// on the pipelined path); the stager samples it to count loads that
+	// overlapped an apply, and applyShard derives the occupancy stats
+	// from it.
 	applying int32
 
 	stats Stats
@@ -139,9 +179,13 @@ type Engine struct {
 	// Test hooks (nil outside tests): onLoadBegin fires before a shard
 	// file is read (on the staging goroutine when prefetch is on),
 	// onLoadEnd after it is resident; onApplyBegin/onApplyEnd bracket
-	// one shard's parallel application on the sweep goroutine.
+	// one shard's parallel application (on its domain's apply goroutine
+	// when the pipeline is on, on the sweep goroutine otherwise);
+	// onStage fires when a staged shard enters the window, carrying the
+	// observed window depth and in-flight apply count.
 	onLoadBegin, onLoadEnd   func(shard int)
 	onApplyBegin, onApplyEnd func(shard int)
+	onStage                  func(shard, depth, applying int)
 }
 
 var _ api.System = (*Engine)(nil)
@@ -185,6 +229,8 @@ func NewEngine(st *Store, g *graph.Graph, opts Options) (*Engine, error) {
 		stats: Stats{
 			DomainShards: make([]int64, opts.Topology.Domains),
 			DomainEdges:  make([]int64, opts.Topology.Domains),
+			ApplyLevels:  make([]int64, opts.Topology.Domains),
+			WindowDepths: make([]int64, opts.Window+1),
 		},
 	}, nil
 }
@@ -215,23 +261,36 @@ func (e *Engine) Store() *Store { return e.st }
 func (e *Engine) Options() Options { return e.opts }
 
 // Stats returns a snapshot of the engine's sweep, pipeline and I/O
-// counters.
+// counters. Every counter is maintained atomically (the slice-valued
+// ones element-wise), so Stats is safe to call from any goroutine at
+// any time — including while a concurrent multi-domain sweep is
+// mutating the counters. The snapshot is per-field consistent, not a
+// single linearised point across fields.
 func (e *Engine) Stats() Stats {
 	s := Stats{
-		DenseSweeps:     atomic.LoadInt64(&e.stats.DenseSweeps),
-		SparseSweeps:    atomic.LoadInt64(&e.stats.SparseSweeps),
-		ShardLoads:      atomic.LoadInt64(&e.stats.ShardLoads),
-		CacheHits:       atomic.LoadInt64(&e.stats.CacheHits),
-		ShardsSkipped:   atomic.LoadInt64(&e.stats.ShardsSkipped),
-		PrefetchHits:    atomic.LoadInt64(&e.stats.PrefetchHits),
-		PrefetchLoads:   atomic.LoadInt64(&e.stats.PrefetchLoads),
-		OverlappedLoads: atomic.LoadInt64(&e.stats.OverlappedLoads),
-		DomainShards:    make([]int64, len(e.stats.DomainShards)),
-		DomainEdges:     make([]int64, len(e.stats.DomainEdges)),
+		DenseSweeps:         atomic.LoadInt64(&e.stats.DenseSweeps),
+		SparseSweeps:        atomic.LoadInt64(&e.stats.SparseSweeps),
+		ShardLoads:          atomic.LoadInt64(&e.stats.ShardLoads),
+		CacheHits:           atomic.LoadInt64(&e.stats.CacheHits),
+		ShardsSkipped:       atomic.LoadInt64(&e.stats.ShardsSkipped),
+		PrefetchHits:        atomic.LoadInt64(&e.stats.PrefetchHits),
+		PrefetchLoads:       atomic.LoadInt64(&e.stats.PrefetchLoads),
+		OverlappedLoads:     atomic.LoadInt64(&e.stats.OverlappedLoads),
+		ConcurrentApplyPeak: atomic.LoadInt64(&e.stats.ConcurrentApplyPeak),
+		DomainShards:        make([]int64, len(e.stats.DomainShards)),
+		DomainEdges:         make([]int64, len(e.stats.DomainEdges)),
+		ApplyLevels:         make([]int64, len(e.stats.ApplyLevels)),
+		WindowDepths:        make([]int64, len(e.stats.WindowDepths)),
 	}
 	for d := range s.DomainShards {
 		s.DomainShards[d] = atomic.LoadInt64(&e.stats.DomainShards[d])
 		s.DomainEdges[d] = atomic.LoadInt64(&e.stats.DomainEdges[d])
+	}
+	for l := range s.ApplyLevels {
+		s.ApplyLevels[l] = atomic.LoadInt64(&e.stats.ApplyLevels[l])
+	}
+	for d := range s.WindowDepths {
+		s.WindowDepths[d] = atomic.LoadInt64(&e.stats.WindowDepths[d])
 	}
 	return s
 }
@@ -256,14 +315,22 @@ func (e *Engine) VertexFilter(f *frontier.Frontier, pred func(graph.VID) bool) *
 }
 
 // EdgeMap applies op over the active edges of f with a frontier-aware,
-// pipelined shard sweep: plan → prefetch → apply → publish. The planner
+// concurrent shard sweep: plan → stage → apply → publish. The planner
 // picks the shard sequence (exact for sparse frontiers, summary-pruned
-// for dense ones); a staging goroutine prefetches shard i+1 while shard
-// i is applied by the workers of its modelled NUMA domain; the next
-// frontier is published once with aggregated statistics. The direction
-// hint is ignored: every traversal is a destination-grouped sweep,
-// which is the only order an out-of-core layout supports without a
-// second edge copy on disk.
+// for dense ones); a staging goroutine keeps up to Options.Window
+// shards resident ahead (one uncached load in flight); up to
+// min(Domains, Threads) staged shards are applied simultaneously, one
+// per modelled NUMA domain, each by its own domain's workers; the next
+// frontier is published
+// once, after the barrier, with aggregated statistics. Results are
+// bit-identical to the sequential NoPrefetch sweep at any window depth
+// and domain count: shards own disjoint 64-aligned destination ranges,
+// operators write destination state only, and all in-edges of a
+// destination live in one shard, so neither staging depth nor
+// cross-domain interleaving can reorder any destination's updates. The
+// direction hint is ignored: every traversal is a destination-grouped
+// sweep, which is the only order an out-of-core layout supports
+// without a second edge copy on disk.
 func (e *Engine) EdgeMap(f *frontier.Frontier, op api.EdgeOp, _ api.Direction) *frontier.Frontier {
 	n := e.g.NumVertices()
 	if f.Count() == 0 {
@@ -284,21 +351,26 @@ func (e *Engine) EdgeMap(f *frontier.Frontier, op api.EdgeOp, _ api.Direction) *
 	cur := f.Bitmap()
 	cond := op.CondOf()
 	next := frontier.NewBitmap(n)
-	accs := make([]sweepAccum, e.pool.Threads())
+	// One accumulator stripe per domain: concurrent applies on distinct
+	// domains never share an entry even when Split had to deal the same
+	// pool-global worker ID to several domains (Threads < Domains).
+	accs := make([]sweepAccum, len(e.domains)*e.pool.Threads())
 	if e.opts.NoPrefetch {
-		// Unpipelined: load and apply alternate on the sweep goroutine.
+		// Unpipelined: load and apply alternate on the sweep goroutine —
+		// the sequential reference the concurrent pipeline must match
+		// bit for bit.
 		for _, si := range plan {
 			e.applyShard(si, e.load(si), cur, cond, op, next, accs)
 		}
 	} else {
-		pf := e.prefetch(plan)
-		// stop is the teardown barrier: it runs even when a load error
-		// or an operator panic unwinds the sweep, so no staging
-		// goroutine outlives its EdgeMap.
-		defer pf.stop()
-		for _, si := range plan {
-			e.applyShard(si, pf.next(), cur, cond, op, next, accs)
-		}
+		w := e.startSweep(plan, func(sh *resident) {
+			e.applyShard(sh.idx, sh, cur, cond, op, next, accs)
+		})
+		// stop is the teardown barrier: it runs even when wait re-raises
+		// a load error or an operator panic, so no pipeline goroutine
+		// outlives its EdgeMap.
+		defer w.stop()
+		w.wait()
 	}
 	var count, outDeg int64
 	for i := range accs {
@@ -368,7 +440,7 @@ func (e *Engine) planDense(f *frontier.Frontier) []int {
 // loads happen one at a time on the sweep goroutine, so at most one
 // uncached shard is in flight (the pipelined path keeps the same
 // invariant by doing all loads on the single staging goroutine; see
-// prefetch.go). A load failure panics — EdgeMap cannot return an error.
+// window.go). A load failure panics — EdgeMap cannot return an error.
 func (e *Engine) load(si int) *resident {
 	sh, err := e.fetch(si, false)
 	if err != nil {
@@ -484,21 +556,36 @@ type sweepAccum struct {
 // workers of the shard's modelled NUMA domain: one task per destination
 // sub-range, so every destination (and every next-frontier bitmap word)
 // is written by exactly one worker and the non-atomic Update path is
-// safe. Worker IDs are pool-global, so accs stays exclusively indexed.
+// safe. Distinct shards may be applied concurrently (one per domain);
+// their destination ranges — and hence their bitmap words and operator
+// writes — are disjoint. accs is the full Domains×Threads accumulator
+// block; each call writes only its own domain's stripe, indexed by the
+// pool-global worker ID within it.
 func (e *Engine) applyShard(si int, sh *resident, cur *frontier.Bitmap, cond func(graph.VID) bool, op api.EdgeOp, next *frontier.Bitmap, accs []sweepAccum) {
 	dom := e.domainOf[si]
 	atomic.AddInt64(&e.stats.DomainShards[dom], 1)
 	atomic.AddInt64(&e.stats.DomainEdges[dom], int64(len(sh.src)))
-	atomic.StoreInt32(&e.applying, 1)
+	level := atomic.AddInt32(&e.applying, 1)
 	// Deferred, not inline at the end: a panicking operator must not
-	// leave the flag stuck, or every later load on this engine would
-	// count as overlapped.
-	defer atomic.StoreInt32(&e.applying, 0)
+	// leave the count stuck, or every later load on this engine would
+	// count as overlapped and the window bound would over-shrink.
+	defer atomic.AddInt32(&e.applying, -1)
+	if l := int(level) - 1; l >= 0 && l < len(e.stats.ApplyLevels) {
+		atomic.AddInt64(&e.stats.ApplyLevels[l], 1)
+	}
+	for {
+		peak := atomic.LoadInt64(&e.stats.ConcurrentApplyPeak)
+		if int64(level) <= peak ||
+			atomic.CompareAndSwapInt64(&e.stats.ConcurrentApplyPeak, peak, int64(level)) {
+			break
+		}
+	}
 	if e.onApplyBegin != nil {
 		e.onApplyBegin(si)
 	}
+	mine := accs[int(dom)*e.pool.Threads() : (int(dom)+1)*e.pool.Threads()]
 	e.domains[dom].ParallelTasks(len(sh.off)-1, func(task, worker int) {
-		a := &accs[worker]
+		a := &mine[worker]
 		src := sh.src[sh.off[task]:sh.off[task+1]]
 		dst := sh.dst[sh.off[task]:sh.off[task+1]]
 		for i := range src {

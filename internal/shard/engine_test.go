@@ -10,6 +10,7 @@ import (
 	"repro/internal/frontier"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/sched"
 )
 
 func buildTestEngine(t *testing.T, g *graph.Graph, p int, opts Options) *Engine {
@@ -29,15 +30,21 @@ func TestEngineConformance(t *testing.T) {
 		"star":   gen.Star(130),
 	}
 	// The multi-threaded entries are deliberate -race fodder: under CI's
-	// race detector they exercise the pipelined sweep (prefetch staging
-	// goroutine + parallel apply) and the unpipelined fallback with >1
-	// worker, which is where an exclusivity bug would surface.
+	// race detector they exercise the windowed concurrent sweep (staging
+	// goroutine + up-to-D simultaneous domain applies) and the
+	// unpipelined fallback with >1 worker, which is where an exclusivity
+	// bug would surface. "starved-domains" runs more domains than
+	// workers, the configuration where Split hands the same worker ID to
+	// several concurrently-applying domains.
 	configs := map[string]Options{
-		"default":        {},
-		"serial-tiny":    {Threads: 1, CacheShards: 1},
-		"aggressive-lru": {Threads: 4, CacheShards: 2},
-		"pipelined-mt":   {Threads: 8, CacheShards: 2},
-		"no-prefetch-mt": {Threads: 8, CacheShards: 2, NoPrefetch: true},
+		"default":         {},
+		"serial-tiny":     {Threads: 1, CacheShards: 1},
+		"aggressive-lru":  {Threads: 4, CacheShards: 2},
+		"pipelined-mt":    {Threads: 8, CacheShards: 2},
+		"no-prefetch-mt":  {Threads: 8, CacheShards: 2, NoPrefetch: true},
+		"windowed-mt":     {Threads: 8, CacheShards: 4, Window: 4},
+		"window-one":      {Threads: 4, CacheShards: 2, Window: 1},
+		"starved-domains": {Threads: 2, CacheShards: 4, Window: 4, Topology: sched.Topology{Domains: 6}},
 	}
 	for gname, g := range graphs {
 		for cname, opts := range configs {

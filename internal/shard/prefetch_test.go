@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -147,9 +148,11 @@ func TestPrefetchTeardownLeaksNoGoroutines(t *testing.T) {
 	}
 
 	// A panicking operator unwinds the sweep mid-plan; the deferred
-	// prefetcher stop must still reap the staging goroutine. Threads=1
-	// keeps the apply inline on the sweep goroutine so the panic is
-	// recoverable here.
+	// pipeline stop must still reap the staging and apply goroutines.
+	// (sched.runTasks re-raises worker panics on its caller and the
+	// apply loop forwards them to the sweep goroutine, so this is
+	// recoverable at any thread count; Threads=1 here just keeps the
+	// fixture minimal.)
 	func() {
 		defer func() {
 			if recover() == nil {
@@ -233,5 +236,134 @@ func TestPrefetchOnOffBitIdentical(t *testing.T) {
 		if onParents[v] != offParents[v] {
 			t.Fatalf("parent[%d] = %d with prefetch vs %d without", v, onParents[v], offParents[v])
 		}
+	}
+}
+
+// TestConcurrentTeardownOnOperatorPanic is the k > 1 fault-path check:
+// a multi-threaded, multi-domain sweep with several shards staged ahead
+// is torn down cleanly when the operator panics mid-apply — the panic
+// propagates to the EdgeMap caller (recoverable), no pipeline goroutine
+// leaks, the LRU stays inside its budget, and the engine remains fully
+// serviceable: a subsequent healthy sweep produces correct counts.
+func TestConcurrentTeardownOnOperatorPanic(t *testing.T) {
+	baseline := settledGoroutines()
+
+	g := gen.TinySocial()
+	const budget = 4
+	e := buildTestEngine(t, g, 12, Options{Threads: 8, CacheShards: budget, Window: 4})
+	boom := api.EdgeOp{
+		Update:       func(u, v graph.VID) bool { panic("operator boom") },
+		UpdateAtomic: func(u, v graph.VID) bool { panic("operator boom") },
+	}
+	// Several rounds so teardown is exercised against different cache
+	// temperatures (cold, then partially warm).
+	for i := 0; i < 3; i++ {
+		func() {
+			defer func() {
+				if r := recover(); r == nil {
+					t.Error("operator panic did not propagate from the concurrent sweep")
+				} else if s, ok := r.(string); !ok || s != "operator boom" {
+					t.Errorf("recovered %v, want the original operator panic value", r)
+				}
+			}()
+			e.EdgeMap(frontier.All(g), boom, api.DirAuto)
+		}()
+		if n := e.cache.len(); n > budget {
+			t.Fatalf("round %d: LRU holds %d shards after the panic, budget is %d", i, n, budget)
+		}
+	}
+
+	// The engine must still work: count in-edges and check them against
+	// the graph (concurrent domains write disjoint destination ranges,
+	// so the plain increment is exact).
+	counts := make([]int64, g.NumVertices())
+	e.EdgeMap(frontier.All(g), api.EdgeOp{
+		Update:       func(u, v graph.VID) bool { counts[v]++; return true },
+		UpdateAtomic: func(u, v graph.VID) bool { atomic.AddInt64(&counts[v], 1); return true },
+	}, api.DirAuto)
+	indeg := make([]int64, g.NumVertices())
+	for _, ed := range g.Edges() {
+		indeg[ed.Dst]++
+	}
+	for v := range counts {
+		if counts[v] != indeg[v] {
+			t.Fatalf("post-panic sweep counted %d in-edges for vertex %d, want %d", counts[v], v, indeg[v])
+		}
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for settledGoroutines() > baseline && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if now := settledGoroutines(); now > baseline {
+		buf := make([]byte, 1<<16)
+		t.Fatalf("goroutines grew from %d to %d after concurrent teardown:\n%s",
+			baseline, now, buf[:runtime.Stack(buf, true)])
+	}
+}
+
+// TestConcurrentTeardownOnLoadError: a shard-read error with k > 1
+// shards staged ahead aborts the whole pipeline — the error surfaces as
+// the engine's sweep panic, the apply goroutines drain without applying
+// stale work twice, no goroutine leaks, and the LRU budget is intact.
+func TestConcurrentTeardownOnLoadError(t *testing.T) {
+	baseline := settledGoroutines()
+
+	g := gen.TinySocial()
+	dir := t.TempDir()
+	const budget = 2
+	e, err := Build(dir, g, 12, Options{Threads: 4, CacheShards: budget, Window: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shard 5 is mid-plan for this graph (shards 0..6 carry edges), so
+	// the failure strikes with earlier shards already staged and
+	// applying.
+	if err := os.Remove(filepath.Join(dir, "shard-0005.bin")); err != nil {
+		t.Fatal(err)
+	}
+	applied := make(map[int]int)
+	var mu sync.Mutex
+	e.onApplyBegin = func(si int) {
+		mu.Lock()
+		applied[si]++
+		mu.Unlock()
+	}
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Error("mid-sweep load failure did not panic")
+				return
+			}
+			if s, ok := r.(string); !ok || !strings.Contains(s, "shard: engine sweep:") {
+				t.Errorf("recovered %v, want the engine's sweep panic prefix", r)
+			}
+		}()
+		e.EdgeMap(frontier.All(g), passOp(), api.DirAuto)
+	}()
+
+	mu.Lock()
+	for si, n := range applied {
+		if n != 1 {
+			t.Errorf("shard %d applied %d times during the aborted sweep", si, n)
+		}
+		if si == 5 {
+			t.Error("the unreadable shard was applied")
+		}
+	}
+	mu.Unlock()
+	if n := e.cache.len(); n > budget {
+		t.Fatalf("LRU holds %d shards after the failed sweep, budget is %d", n, budget)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for settledGoroutines() > baseline && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if now := settledGoroutines(); now > baseline {
+		buf := make([]byte, 1<<16)
+		t.Fatalf("goroutines grew from %d to %d after load-error teardown:\n%s",
+			baseline, now, buf[:runtime.Stack(buf, true)])
 	}
 }
