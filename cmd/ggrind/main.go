@@ -8,6 +8,7 @@
 //	ggrind -graph usaroad-sm -alg BF -system Ligra
 //	ggrind -graph livejournal-sm -alg BFS -layout COO -reps 5
 //	ggrind -graph yahoo-sm -alg PR -system OOC -partitions 24
+//	ggrind -graph twitter-sm -alg PR -system OOC -shardformat v1
 package main
 
 import (
@@ -53,6 +54,7 @@ func run() int {
 		noPrefetch = flag.Bool("noprefetch", false, "OOC: disable the sweep pipeline (load and apply alternate)")
 		domains    = flag.Int("domains", 0, "OOC modelled NUMA domain count (0 = the paper's 4)")
 		window     = flag.Int("window", 0, "OOC staging window depth k: shards staged ahead while up to D domains apply concurrently (0 = domain count, 1 = double buffer; clamped to the LRU budget)")
+		shardFmt   = flag.String("shardformat", shard.DefaultFormat.String(), "OOC shard-file encoding: v1 (raw uint32 pairs) or v2 (delta+uvarint compressed)")
 	)
 	flag.Parse()
 
@@ -121,18 +123,28 @@ func run() int {
 		if p <= 0 {
 			p = 24
 		}
+		format, err := shard.ParseFormat(*shardFmt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ggrind: %v\n", err)
+			return 2
+		}
 		oopts := shard.Options{
 			Threads:     *threads,
 			CacheShards: *cacheSh,
 			NoPrefetch:  *noPrefetch,
 			Window:      *window,
 			Topology:    sched.Topology{Domains: *domains},
+			Format:      format,
 		}
-		fmt.Printf("sharding to %s (%d partitions)...\n", dir, p)
+		fmt.Printf("sharding to %s (%d partitions, %v files)...\n", dir, p, format)
 		eng, err := shard.Build(filepath.Join(dir, "fwd"), g, p, oopts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ggrind: %v\n", err)
 			return 1
+		}
+		if disk, err := eng.Store().DiskBytes(); err == nil && g.NumEdges() > 0 {
+			fmt.Printf("store: %v format, %.1f KiB on disk (%.2f bytes/edge; raw v1 is 8)\n",
+				eng.Store().Format(), float64(disk)/1024, float64(disk)/float64(g.NumEdges()))
 		}
 		fmt.Printf("engine: OOC shards=%d cache=%d threads=%d prefetch=%v domains=%d window=%d\n",
 			eng.Store().NumShards(), eng.Options().CacheShards, eng.Threads(),
@@ -175,6 +187,11 @@ func run() int {
 		st := eng.Stats()
 		fmt.Printf("ooc: %d dense + %d sparse sweeps, %d disk loads, %d cache hits, %d shard visits skipped\n",
 			st.DenseSweeps, st.SparseSweeps, st.ShardLoads, st.CacheHits, st.ShardsSkipped)
+		if st.BytesRead > 0 {
+			fmt.Printf("ooc io: %.1f KiB read from disk (%.1f KiB at raw v1 pricing, %.2fx compression)\n",
+				float64(st.BytesRead)/1024, float64(st.BytesLogical)/1024,
+				float64(st.BytesLogical)/float64(st.BytesRead))
+		}
 		fmt.Printf("ooc pipeline: %d prefetch loads (%d overlapped an apply), %d prefetch cache promotions\n",
 			st.PrefetchLoads, st.OverlappedLoads, st.PrefetchHits)
 		fmt.Printf("ooc numa: %d domains, shards applied per domain %v, edges per domain %v\n",

@@ -76,6 +76,21 @@ func oocWindowEngine(t *testing.T, g *graph.Graph, window int) *shard.Engine {
 	return e
 }
 
+// oocV1StoreEngine is the on-disk format differential variant: the same
+// pipelined engine over a store written in the legacy raw (v1) shard
+// encoding instead of the default compressed (v2) one. Decoded shards
+// must be per-destination identical across formats, so every
+// oracle-agreement property and the full pipeline ladder also pin
+// v1-store and v2-store execution to bit-identical results.
+func oocV1StoreEngine(t *testing.T, g *graph.Graph) *shard.Engine {
+	t.Helper()
+	e, err := shard.Build(t.TempDir(), g, 4, shard.Options{CacheShards: 2, Format: shard.FormatV1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
 func enginesFor(t *testing.T, g *graph.Graph) []api.System {
 	return []api.System{
 		core.NewEngine(g, core.Options{}),
@@ -86,6 +101,7 @@ func enginesFor(t *testing.T, g *graph.Graph) []api.System {
 		oocEngine(t, g),
 		oocNoPrefetchEngine(t, g),
 		oocWindowEngine(t, g, 4),
+		oocV1StoreEngine(t, g),
 	}
 }
 

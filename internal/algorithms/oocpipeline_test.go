@@ -19,7 +19,11 @@ import (
 //   - the k=1 window (the original double buffer's staging depth) with
 //     cross-domain concurrent apply;
 //   - the k=D window, where up to all four modelled NUMA domains apply
-//     shards simultaneously while the stager runs D shards ahead.
+//     shards simultaneously while the stager runs D shards ahead;
+//   - the same engine over a store written in the legacy raw (v1)
+//     shard-file encoding, so the on-disk format joins the ladder: the
+//     compressed (v2) default and the raw layout must decode to
+//     per-destination-identical shards, and therefore identical results.
 //
 // This is the strongest form of the concurrency correctness claim:
 // neither staging depth nor cross-domain interleaving may change *what*
@@ -44,6 +48,9 @@ func TestOOCPipelineBitIdenticalAcrossAllAlgorithms(t *testing.T) {
 		{"prefetch", func(t *testing.T, g *graph.Graph) api.System { return oocEngine(t, g) }},
 		{"window-1", func(t *testing.T, g *graph.Graph) api.System { return oocWindowEngine(t, g, 1) }},
 		{"window-D", func(t *testing.T, g *graph.Graph) api.System { return oocWindowEngine(t, g, 4) }},
+		// The same ladder endpoint over a raw (v1) store: the on-disk
+		// format must change bytes, never results.
+		{"v1-store", func(t *testing.T, g *graph.Graph) api.System { return oocV1StoreEngine(t, g) }},
 	}
 
 	// Each entry runs one algorithm to completion through api.System and

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"path/filepath"
 
 	"repro/internal/algorithms"
 	"repro/internal/api"
@@ -46,18 +47,46 @@ type WindowResult struct {
 	Domains int     // modelled NUMA domains (= the deep window's k)
 }
 
+// FormatResult is the shard-format ablation: the same graph written as
+// a v1 (raw uint32 pairs, 8 bytes/edge) and a v2 (delta+uvarint
+// compressed) store, each swept by a cold-cache multi-iteration
+// PageRank. Bytes are the engines' Stats.BytesRead — the on-disk size
+// of every shard file decoded over the measured runs — so Ratio is the
+// live answer to the question the ablation asks: how many fewer bytes
+// does each dense sweep pull from disk once the store is compressed?
+type FormatResult struct {
+	V1Time  float64 // seconds, cold-cache PR over the v1 store
+	V2Time  float64 // seconds, cold-cache PR over the v2 store
+	Speedup float64 // V1Time / V2Time: >1 means compression won time too
+
+	V1Bytes int64   // bytes decoded from disk across the v1 runs
+	V2Bytes int64   // bytes decoded from disk across the v2 runs
+	Ratio   float64 // V1Bytes / V2Bytes: the compression ratio
+
+	V1Disk int64 // v1 store size on disk (shard files only)
+	V2Disk int64 // v2 store size on disk (shard files only)
+
+	V1BytesPerEdge float64 // V1Disk / |E|
+	V2BytesPerEdge float64 // V2Disk / |E|
+}
+
 // OutOfCore runs a representative algorithm slate on the in-memory
 // GG-v2 engine and on the shard.Engine over the same graph, reporting
 // the streaming overhead the LRU cache and frontier-aware sweeps are
 // meant to bound, plus two ablations on multi-iteration PageRank: the
 // prefetch pipeline on/off (cold cache) and the staging window k=1 vs
-// k=D with concurrent domain apply. dir receives the shard files;
-// shards and threads 0 select defaults. The returned figure has one X
-// index per algorithm (the note lines give the mapping) and one series
-// per engine.
-func OutOfCore(g *graph.Graph, dir string, shards, threads, reps int) (*Figure, []OutOfCoreResult, PrefetchResult, WindowResult, error) {
+// k=D with concurrent domain apply, and the on-disk format ablation:
+// the same store written v1 (raw) vs v2 (delta+uvarint), bytes and time
+// per cold-cache sweep. dir receives the shard files; shards and
+// threads 0 select defaults. The returned figure has one X index per
+// algorithm (the note lines give the mapping) and one series per
+// engine.
+func OutOfCore(g *graph.Graph, dir string, shards, threads, reps int) (*Figure, []OutOfCoreResult, PrefetchResult, WindowResult, FormatResult, error) {
 	if shards <= 0 {
 		shards = 16
+	}
+	fail := func(err error) (*Figure, []OutOfCoreResult, PrefetchResult, WindowResult, FormatResult, error) {
+		return nil, nil, PrefetchResult{}, WindowResult{}, FormatResult{}, err
 	}
 	inMem := core.NewEngine(g, core.Options{Threads: threads})
 	// Domains: 1 keeps the headline Slowdown column measuring streaming
@@ -66,7 +95,7 @@ func OutOfCore(g *graph.Graph, dir string, shards, threads, reps int) (*Figure, 
 	// of the pool. The ablations below run the shipped default.
 	ooc, err := shard.Build(dir, g, shards, shard.Options{Threads: threads, Topology: sched.Topology{Domains: 1}})
 	if err != nil {
-		return nil, nil, PrefetchResult{}, WindowResult{}, err
+		return fail(err)
 	}
 	runs := []struct {
 		alg string
@@ -111,11 +140,11 @@ func OutOfCore(g *graph.Graph, dir string, shards, threads, reps int) (*Figure, 
 	// both under the engine's default (4-domain) placement.
 	pfOn, err := shard.NewEngine(ooc.Store(), g, shard.Options{Threads: threads, CacheShards: 1})
 	if err != nil {
-		return nil, nil, PrefetchResult{}, WindowResult{}, err
+		return fail(err)
 	}
 	pfOff, err := shard.NewEngine(ooc.Store(), g, shard.Options{Threads: threads, CacheShards: 1, NoPrefetch: true})
 	if err != nil {
-		return nil, nil, PrefetchResult{}, WindowResult{}, err
+		return fail(err)
 	}
 	on := MedianTime(reps, func() { algorithms.PR(pfOn, 10) })
 	off := MedianTime(reps, func() { algorithms.PR(pfOff, 10) })
@@ -134,11 +163,11 @@ func OutOfCore(g *graph.Graph, dir string, shards, threads, reps int) (*Figure, 
 	d := sched.DefaultTopology().Domains
 	wOne, err := shard.NewEngine(ooc.Store(), g, shard.Options{Threads: threads, CacheShards: d, Window: 1})
 	if err != nil {
-		return nil, nil, PrefetchResult{}, WindowResult{}, err
+		return fail(err)
 	}
 	wDeep, err := shard.NewEngine(ooc.Store(), g, shard.Options{Threads: threads, CacheShards: d, Window: d})
 	if err != nil {
-		return nil, nil, PrefetchResult{}, WindowResult{}, err
+		return fail(err)
 	}
 	k1 := MedianTime(reps, func() { algorithms.PR(wOne, 10) })
 	kD := MedianTime(reps, func() { algorithms.PR(wDeep, 10) })
@@ -155,5 +184,58 @@ func OutOfCore(g *graph.Graph, dir string, shards, threads, reps int) (*Figure, 
 	fig.Notes = append(fig.Notes, fmt.Sprintf(
 		"OOC window k=%d: apply levels %v, hand-off depth histogram %v",
 		win.Domains, wst.ApplyLevels, wst.WindowDepths))
-	return fig, results, pf, win, nil
+
+	// Format ablation: the same graph written as a v1 (raw) and a v2
+	// (compressed) store, each swept by the cold-cache 10-iteration
+	// PageRank. A one-shard LRU makes every iteration re-decode (nearly)
+	// the whole store, so BytesRead is ~10× the store size per run and
+	// the bytes ratio is exactly the per-sweep disk traffic saved.
+	fr, err := formatAblation(g, dir, shards, threads, reps)
+	if err != nil {
+		return fail(err)
+	}
+	fig.Notes = append(fig.Notes, fmt.Sprintf(
+		"format ablation: v1 %.2f B/edge on disk vs v2 %.2f B/edge; cold-cache PR read %.2fx fewer bytes (v1 %.3fs, v2 %.3fs, %.2fx)",
+		fr.V1BytesPerEdge, fr.V2BytesPerEdge, fr.Ratio, fr.V1Time, fr.V2Time, fr.Speedup))
+	return fig, results, pf, win, fr, nil
+}
+
+// formatAblation writes g in both shard-file formats under dir and
+// times a cold-cache PageRank over each, collecting the byte counters.
+func formatAblation(g *graph.Graph, dir string, shards, threads, reps int) (FormatResult, error) {
+	var fr FormatResult
+	type column struct {
+		format shard.Format
+		time   *float64
+		bytes  *int64
+		disk   *int64
+		bpe    *float64
+	}
+	cols := []column{
+		{shard.FormatV1, &fr.V1Time, &fr.V1Bytes, &fr.V1Disk, &fr.V1BytesPerEdge},
+		{shard.FormatV2, &fr.V2Time, &fr.V2Bytes, &fr.V2Disk, &fr.V2BytesPerEdge},
+	}
+	for _, col := range cols {
+		st, err := shard.WriteFormat(filepath.Join(dir, "fmt-"+col.format.String()), g, shards, col.format)
+		if err != nil {
+			return FormatResult{}, err
+		}
+		eng, err := shard.NewEngine(st, g, shard.Options{Threads: threads, CacheShards: 1})
+		if err != nil {
+			return FormatResult{}, err
+		}
+		*col.time = Seconds(MedianTime(reps, func() { algorithms.PR(eng, 10) }))
+		*col.bytes = eng.Stats().BytesRead
+		if *col.disk, err = st.DiskBytes(); err != nil {
+			return FormatResult{}, err
+		}
+		if e := g.NumEdges(); e > 0 {
+			*col.bpe = float64(*col.disk) / float64(e)
+		}
+	}
+	fr.Speedup = fr.V1Time / fr.V2Time
+	if fr.V2Bytes > 0 {
+		fr.Ratio = float64(fr.V1Bytes) / float64(fr.V2Bytes)
+	}
+	return fr, nil
 }

@@ -52,6 +52,12 @@ type Options struct {
 	// back in local bandwidth; the model only keeps the books).
 	// Domains: 1 restores full-pool applies.
 	Topology sched.Topology
+	// Format is the shard-file encoding Build writes; 0 selects
+	// DefaultFormat (v2, delta+uvarint compressed). Engines over
+	// already-written stores read whatever the manifest declares, and
+	// the resolved Options always report that actual store format —
+	// NewEngine overwrites this field from the store.
+	Format Format
 }
 
 // DefaultCacheShards is the default LRU budget. It is deliberately small
@@ -86,6 +92,15 @@ type Stats struct {
 	ShardLoads    int64 // shard files decoded from disk (by either path)
 	CacheHits     int64 // shard applications served from the LRU cache
 	ShardsSkipped int64 // shard visits avoided by frontier-awareness
+
+	// I/O volume. BytesRead is the on-disk size of every shard file
+	// decoded; BytesLogical prices the same loads at the raw v1
+	// encoding (8-byte header + 8 bytes/edge), so BytesLogical /
+	// BytesRead is the live compression ratio of the store being swept
+	// (1.0 on v1 stores). Like the occupancy counters, both are atomic
+	// and safe to sample mid-sweep.
+	BytesRead    int64
+	BytesLogical int64
 
 	// Pipeline counters (zero when NoPrefetch).
 	PrefetchHits    int64 // staged shards promoted from the LRU cache
@@ -200,6 +215,10 @@ func NewEngine(st *Store, g *graph.Graph, opts Options) (*Engine, error) {
 			st.NumVertices(), st.NumEdges(), g.NumVertices(), g.NumEdges())
 	}
 	opts = opts.withDefaults()
+	// The resolved options describe the engine as it runs: whatever
+	// format was requested for writing, this engine decodes the opened
+	// store's actual encoding.
+	opts.Format = st.format
 	feeds, err := st.SourceSummary()
 	if err != nil {
 		return nil, err
@@ -238,7 +257,11 @@ func NewEngine(st *Store, g *graph.Graph, opts Options) (*Engine, error) {
 // Build shards g into dir with p partitions and returns an engine over
 // the new store — the one-call construction examples and tests use.
 func Build(dir string, g *graph.Graph, p int, opts Options) (*Engine, error) {
-	st, err := Write(dir, g, p)
+	format := opts.Format
+	if format == 0 {
+		format = DefaultFormat
+	}
+	st, err := WriteFormat(dir, g, p, format)
 	if err != nil {
 		return nil, err
 	}
@@ -273,6 +296,8 @@ func (e *Engine) Stats() Stats {
 		ShardLoads:          atomic.LoadInt64(&e.stats.ShardLoads),
 		CacheHits:           atomic.LoadInt64(&e.stats.CacheHits),
 		ShardsSkipped:       atomic.LoadInt64(&e.stats.ShardsSkipped),
+		BytesRead:           atomic.LoadInt64(&e.stats.BytesRead),
+		BytesLogical:        atomic.LoadInt64(&e.stats.BytesLogical),
 		PrefetchHits:        atomic.LoadInt64(&e.stats.PrefetchHits),
 		PrefetchLoads:       atomic.LoadInt64(&e.stats.PrefetchLoads),
 		OverlappedLoads:     atomic.LoadInt64(&e.stats.OverlappedLoads),
@@ -466,10 +491,12 @@ func (e *Engine) fetch(si int, prefetching bool) (*resident, error) {
 		e.onLoadBegin(si)
 	}
 	overlapped := prefetching && atomic.LoadInt32(&e.applying) != 0
-	coo, err := e.st.LoadShard(si)
+	coo, diskBytes, err := e.st.loadShard(si)
 	if err != nil {
 		return nil, err
 	}
+	atomic.AddInt64(&e.stats.BytesRead, diskBytes)
+	atomic.AddInt64(&e.stats.BytesLogical, v1EncodedBytes(int64(len(coo.Src))))
 	sh := e.bucket(si, coo)
 	if prefetching && atomic.LoadInt32(&e.applying) != 0 {
 		overlapped = true

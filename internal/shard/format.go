@@ -1,0 +1,342 @@
+package shard
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Format selects the on-disk encoding of the per-shard edge files.
+//
+// FormatV1 is the original raw layout: an int64 edge count followed by
+// the source and destination arrays as little-endian uint32s — fixed
+// 8 bytes per edge, in the partitioner's CSR (source-major) order.
+//
+// FormatV2 is the compressed layout: within each shard the edges are
+// sorted by (destination, source), both streams are delta-encoded and
+// written as uvarints. Destination deltas are almost always zero (runs
+// of in-edges) or tiny, and source deltas within a run are gaps between
+// sorted neighbour IDs, so a typical shard costs 2–4 bytes per edge —
+// the bandwidth lever for an engine whose dense sweeps re-read the
+// whole edge set from disk every iteration. The re-sorting is
+// semantics-preserving: per-destination source order is ascending in
+// both formats (v1 inherits it from the CSR walk), and the engine's
+// apply only depends on per-destination order, so results are
+// bit-identical across formats.
+type Format int
+
+const (
+	// FormatV1 is the raw uint32-pairs layout of ggrind-shards-v1 stores.
+	FormatV1 Format = 1
+	// FormatV2 is the (dst,src)-sorted delta+uvarint layout of
+	// ggrind-shards-v2 stores — the default Write format.
+	FormatV2 Format = 2
+)
+
+// DefaultFormat is the format Write uses when none is specified.
+const DefaultFormat = FormatV2
+
+// String returns the flag-friendly name ("v1", "v2").
+func (f Format) String() string {
+	switch f {
+	case FormatV1:
+		return "v1"
+	case FormatV2:
+		return "v2"
+	}
+	return fmt.Sprintf("Format(%d)", int(f))
+}
+
+// ParseFormat converts a -shardformat flag value into a Format.
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "v1", "1":
+		return FormatV1, nil
+	case "v2", "2":
+		return FormatV2, nil
+	}
+	return 0, fmt.Errorf("shard: unknown format %q (want v1 or v2)", s)
+}
+
+func (f Format) valid() bool { return f == FormatV1 || f == FormatV2 }
+
+// manifestMagic returns the manifest magic string for stores of this
+// format.
+func (f Format) manifestMagic() string {
+	if f == FormatV2 {
+		return manifestMagicV2
+	}
+	return manifestMagicV1
+}
+
+// VIDRangeError reports a decoded vertex ID outside its permitted
+// half-open range [Lo, Hi) — a source at or beyond the vertex count, or
+// a destination outside its shard's destination range. Both decoders
+// return it (wrapped in the usual path context) instead of silently
+// producing edges the engine's partition-exclusive apply would turn
+// into out-of-bounds writes or cross-shard corruption.
+type VIDRangeError struct {
+	Path  string // shard file
+	Edge  int64  // index of the offending edge within the file
+	Field string // "source" or "destination"
+	VID   uint64 // decoded value (pre-truncation, hence 64-bit)
+	Lo    graph.VID
+	Hi    graph.VID
+}
+
+func (e *VIDRangeError) Error() string {
+	return fmt.Sprintf("shard: %s: %s %d outside [%d,%d) at edge %d",
+		e.Path, e.Field, e.VID, e.Lo, e.Hi, e.Edge)
+}
+
+// vidBytes is the on-disk size of one vertex ID in FormatV1
+// (graph.VID = uint32).
+const vidBytes = 4
+
+// v1EncodedBytes is the FormatV1 (raw) size of a shard with the given
+// edge count — the logical byte volume Stats.BytesLogical accounts
+// loads at, so BytesLogical/BytesRead is the live compression ratio.
+func v1EncodedBytes(edges int64) int64 { return 8 + 2*vidBytes*edges }
+
+// shardMagicV2 opens every FormatV2 shard file; v1 files have no magic
+// (they begin with the raw edge count), so the two layouts cannot be
+// confused without the mismatch surfacing as a structural error.
+var shardMagicV2 = [4]byte{'G', 'G', 'S', '2'}
+
+// writeShardFile encodes one shard's COO in the given format. c is not
+// modified: the v2 path sorts a copy.
+func writeShardFile(path string, c *graph.COO, format Format) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case FormatV1:
+		err = writeShardV1(f, c)
+	case FormatV2:
+		err = writeShardV2(f, c)
+	default:
+		err = fmt.Errorf("shard: cannot write format %v", format)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func writeShardV1(f *os.File, c *graph.COO) error {
+	if err := binary.Write(f, binary.LittleEndian, int64(len(c.Src))); err != nil {
+		return err
+	}
+	if err := binary.Write(f, binary.LittleEndian, c.Src); err != nil {
+		return err
+	}
+	return binary.Write(f, binary.LittleEndian, c.Dst)
+}
+
+func writeShardV2(f *os.File, c *graph.COO) error {
+	src := append([]graph.VID(nil), c.Src...)
+	dst := append([]graph.VID(nil), c.Dst...)
+	sort.Sort(&dstSrcOrder{src: src, dst: dst})
+	w := bufio.NewWriter(f)
+	if _, err := w.Write(shardMagicV2[:]); err != nil {
+		return err
+	}
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(x uint64) error {
+		k := binary.PutUvarint(tmp[:], x)
+		_, err := w.Write(tmp[:k])
+		return err
+	}
+	if err := put(uint64(len(src))); err != nil {
+		return err
+	}
+	var prevDst, prevSrc graph.VID
+	for i := range src {
+		d, s := dst[i], src[i]
+		// Destination stream: delta against the previous destination
+		// (the first edge's is absolute — prevDst starts at 0).
+		if err := put(uint64(d - prevDst)); err != nil {
+			return err
+		}
+		// Source stream: absolute at the start of each destination run,
+		// delta against the previous source inside a run (non-negative
+		// by the sort).
+		if i == 0 || d != prevDst {
+			if err := put(uint64(s)); err != nil {
+				return err
+			}
+		} else {
+			if err := put(uint64(s - prevSrc)); err != nil {
+				return err
+			}
+		}
+		prevDst, prevSrc = d, s
+	}
+	return w.Flush()
+}
+
+// dstSrcOrder sorts parallel src/dst slices by (dst, src) — the v2
+// on-disk order. Equal pairs (parallel edges) are interchangeable, so
+// the unstable sort is still deterministic in output.
+type dstSrcOrder struct {
+	src, dst []graph.VID
+}
+
+func (o *dstSrcOrder) Len() int { return len(o.src) }
+func (o *dstSrcOrder) Less(i, j int) bool {
+	if o.dst[i] != o.dst[j] {
+		return o.dst[i] < o.dst[j]
+	}
+	return o.src[i] < o.src[j]
+}
+func (o *dstSrcOrder) Swap(i, j int) {
+	o.src[i], o.src[j] = o.src[j], o.src[i]
+	o.dst[i], o.dst[j] = o.dst[j], o.dst[i]
+}
+
+// readShardFile decodes one shard file in the given format, returning
+// the COO and the on-disk bytes consumed (the file size). Every decoded
+// source must be a vertex and every destination must fall inside the
+// shard's [lo,hi) range — violations surface as *VIDRangeError, never
+// as silently corrupt edges — and no allocation is sized by untrusted
+// input before it is validated against the file's actual size.
+func readShardFile(path string, format Format, n int, lo, hi graph.VID, wantEdges int64) (*graph.COO, int64, error) {
+	switch format {
+	case FormatV1:
+		return readShardV1(path, n, lo, hi, wantEdges)
+	case FormatV2:
+		return readShardV2(path, n, lo, hi, wantEdges)
+	}
+	return nil, 0, fmt.Errorf("shard: cannot read format %v", format)
+}
+
+func readShardV1(path string, n int, lo, hi graph.VID, wantEdges int64) (*graph.COO, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	var count int64
+	if err := binary.Read(f, binary.LittleEndian, &count); err != nil {
+		return nil, 0, fmt.Errorf("shard: %s: %v", path, err)
+	}
+	if count != wantEdges || count < 0 {
+		return nil, 0, fmt.Errorf("shard: %s: edge count %d, manifest says %d", path, count, wantEdges)
+	}
+	// Validate the edge count against the file's actual size before
+	// allocating anything sized by it: a corrupt (or hostile) manifest
+	// could otherwise declare an absurd count and turn LoadShard into an
+	// allocation of arbitrary size. The arithmetic cannot overflow —
+	// counts above MaxInt64/(2*vidBytes) are rejected first.
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, 0, fmt.Errorf("shard: %s: %v", path, err)
+	}
+	const maxCount = (1<<63 - 1 - 8) / (2 * vidBytes)
+	if count > maxCount || fi.Size() != v1EncodedBytes(count) {
+		return nil, 0, fmt.Errorf("shard: %s: file is %d bytes, want %d for %d edges",
+			path, fi.Size(), v1EncodedBytes(count), count)
+	}
+	c := &graph.COO{N: n, Src: make([]graph.VID, count), Dst: make([]graph.VID, count)}
+	if err := binary.Read(f, binary.LittleEndian, c.Src); err != nil {
+		return nil, 0, fmt.Errorf("shard: %s: sources: %v", path, err)
+	}
+	if err := binary.Read(f, binary.LittleEndian, c.Dst); err != nil {
+		return nil, 0, fmt.Errorf("shard: %s: destinations: %v", path, err)
+	}
+	for i := range c.Src {
+		if int(c.Src[i]) >= n {
+			return nil, 0, &VIDRangeError{Path: path, Edge: int64(i), Field: "source", VID: uint64(c.Src[i]), Lo: 0, Hi: graph.VID(n)}
+		}
+		if c.Dst[i] < lo || c.Dst[i] >= hi {
+			return nil, 0, &VIDRangeError{Path: path, Edge: int64(i), Field: "destination", VID: uint64(c.Dst[i]), Lo: lo, Hi: hi}
+		}
+	}
+	return c, fi.Size(), nil
+}
+
+// uvarintLen returns the encoded size of x in bytes.
+func uvarintLen(x uint64) int64 {
+	var tmp [binary.MaxVarintLen64]byte
+	return int64(binary.PutUvarint(tmp[:], x))
+}
+
+func readShardV2(path string, n int, lo, hi graph.VID, wantEdges int64) (*graph.COO, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, 0, fmt.Errorf("shard: %s: %v", path, err)
+	}
+	br := bufio.NewReader(f)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, 0, fmt.Errorf("shard: %s: v2 magic: %v", path, err)
+	}
+	if magic != shardMagicV2 {
+		return nil, 0, fmt.Errorf("shard: %s: not a v2 shard file (magic %q)", path, magic[:])
+	}
+	count64, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, 0, fmt.Errorf("shard: %s: edge count varint: %v", path, err)
+	}
+	// Bound the count before any arithmetic on it: beyond maxCount the
+	// minimum-size computation below would overflow int64 and a hostile
+	// count could slip past it into the allocation — the v2 counterpart
+	// of readShardV1's maxCount guard.
+	const maxCount = (1<<63 - 1 - 4 - binary.MaxVarintLen64) / 2
+	if count64 > maxCount || int64(count64) != wantEdges {
+		return nil, 0, fmt.Errorf("shard: %s: edge count %d, manifest says %d", path, count64, wantEdges)
+	}
+	count := int64(count64)
+	// Every edge costs at least two varint bytes, so the smallest file
+	// that can hold the declared count is known before any allocation —
+	// the v2 counterpart of the v1 exact-size check (varint streams are
+	// variable-width, so a lower bound is the strongest prior check; the
+	// trailing-bytes check below makes the size agreement exact).
+	if minSize := 4 + uvarintLen(count64) + 2*count; fi.Size() < minSize {
+		return nil, 0, fmt.Errorf("shard: %s: file is %d bytes, need at least %d for %d edges",
+			path, fi.Size(), minSize, count)
+	}
+	c := &graph.COO{N: n, Src: make([]graph.VID, count), Dst: make([]graph.VID, count)}
+	var prevDst, prevSrc uint64
+	for i := int64(0); i < count; i++ {
+		dDelta, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, 0, fmt.Errorf("shard: %s: destination delta at edge %d: %v", path, i, err)
+		}
+		d := prevDst + dDelta
+		if d < prevDst || d < uint64(lo) || d >= uint64(hi) {
+			return nil, 0, &VIDRangeError{Path: path, Edge: i, Field: "destination", VID: d, Lo: lo, Hi: hi}
+		}
+		sv, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, 0, fmt.Errorf("shard: %s: source varint at edge %d: %v", path, i, err)
+		}
+		s := sv
+		if i > 0 && d == prevDst {
+			s = prevSrc + sv
+		}
+		if s < sv || s >= uint64(n) {
+			return nil, 0, &VIDRangeError{Path: path, Edge: i, Field: "source", VID: s, Lo: 0, Hi: graph.VID(n)}
+		}
+		c.Dst[i], c.Src[i] = graph.VID(d), graph.VID(s)
+		prevDst, prevSrc = d, s
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		if err != nil {
+			return nil, 0, fmt.Errorf("shard: %s: after %d edges: %v", path, count, err)
+		}
+		return nil, 0, fmt.Errorf("shard: %s: trailing bytes after %d edges", path, count)
+	}
+	return c, fi.Size(), nil
+}

@@ -1,9 +1,11 @@
 package shard
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -13,12 +15,13 @@ import (
 	"repro/internal/graph"
 )
 
-// Native fuzz targets for the two decoding surfaces a shard directory
-// exposes: the JSON manifest and the binary shard files. The contract
-// under fuzz is the one TestStoreFailurePaths pins with fixed fixtures —
-// arbitrary bytes must produce an error or a valid store, never a panic
-// and never an allocation sized by untrusted input. The corrupt-input
-// table tests seeded the committed corpora under testdata/fuzz (see
+// Native fuzz targets for the decoding surfaces a shard directory
+// exposes: the JSON manifest and the binary shard files in both on-disk
+// formats (raw v1, delta+uvarint v2). The contract under fuzz is the
+// one TestStoreFailurePaths pins with fixed fixtures — arbitrary bytes
+// must produce an error or a valid store, never a panic and never an
+// allocation sized by untrusted input. The corrupt-input table tests
+// seeded the committed corpora under testdata/fuzz (see
 // TestRegenFuzzCorpus).
 
 // FuzzManifest feeds arbitrary bytes to Open as manifest.json. When Open
@@ -37,6 +40,9 @@ func FuzzManifest(f *testing.F) {
 		if err != nil {
 			return
 		}
+		if !st.Format().valid() {
+			t.Fatalf("Open accepted a manifest with invalid format %v", st.Format())
+		}
 		for i := 0; i < st.NumShards(); i++ {
 			lo, hi := st.Range(i)
 			if lo > hi || int(hi) > st.NumVertices() {
@@ -49,12 +55,12 @@ func FuzzManifest(f *testing.F) {
 	})
 }
 
-// FuzzShardFile feeds arbitrary bytes to the shard-file decoder. The
-// declared edge count is read from the fuzzed header itself and passed
-// as the manifest's expectation — modelling a hostile directory whose
-// manifest and shard header agree — so the decoder's only defence is
-// validating the declared count against the file's actual size before
-// allocating.
+// FuzzShardFile feeds arbitrary bytes to the v1 (raw uint32-pairs)
+// shard-file decoder. The declared edge count is read from the fuzzed
+// header itself and passed as the manifest's expectation — modelling a
+// hostile directory whose manifest and shard header agree — so the
+// decoder's only defence is validating the declared count against the
+// file's actual size before allocating.
 func FuzzShardFile(f *testing.F) {
 	for _, seed := range shardFileSeeds() {
 		f.Add(seed)
@@ -69,28 +75,72 @@ func FuzzShardFile(f *testing.F) {
 			want = int64(binary.LittleEndian.Uint64(data[:8]))
 		}
 		const n, lo, hi = 256, 64, 128
-		c, err := readShardFile(path, n, lo, hi, want)
+		c, _, err := readShardFile(path, FormatV1, n, lo, hi, want)
 		if err != nil {
 			return
 		}
-		// Acceptance means every decoded edge satisfies the invariants
-		// the engine's partition-exclusive apply assumes.
-		if int64(len(c.Src)) != want || int64(len(c.Dst)) != want {
-			t.Fatalf("decoded %d/%d edges, header says %d", len(c.Src), len(c.Dst), want)
+		checkDecodedInvariants(t, c, want, n, lo, hi)
+	})
+}
+
+// FuzzShardFileV2 feeds arbitrary bytes to the v2 (delta+uvarint)
+// streaming decoder. As in the v1 target, the manifest's edge-count
+// expectation is read from the fuzzed header when it parses, so the
+// decoder is exercised on inputs whose header and manifest agree —
+// truncated varints, overflowing deltas and trailing garbage must all
+// surface as errors, and anything accepted must decode to in-range,
+// (dst,src)-sorted edges.
+func FuzzShardFileV2(f *testing.F) {
+	for _, seed := range shardFileV2Seeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "shard-0000.bin")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
 		}
-		for i := range c.Src {
-			if int(c.Src[i]) >= n {
-				t.Fatalf("accepted source %d >= %d vertices", c.Src[i], n)
+		want := int64(-1) // mismatches any parsed count unless the header declares one
+		if len(data) > 4 && bytes.Equal(data[:4], shardMagicV2[:]) {
+			if c, k := binary.Uvarint(data[4:]); k > 0 && c <= math.MaxInt64 {
+				want = int64(c)
 			}
-			if c.Dst[i] < lo || c.Dst[i] >= hi {
-				t.Fatalf("accepted destination %d outside [%d,%d)", c.Dst[i], lo, hi)
+		}
+		const n, lo, hi = 256, 64, 128
+		c, _, err := readShardFile(path, FormatV2, n, lo, hi, want)
+		if err != nil {
+			return
+		}
+		checkDecodedInvariants(t, c, want, n, lo, hi)
+		for i := 1; i < len(c.Dst); i++ {
+			if c.Dst[i] < c.Dst[i-1] ||
+				(c.Dst[i] == c.Dst[i-1] && c.Src[i] < c.Src[i-1]) {
+				t.Fatalf("accepted v2 stream not sorted by (dst,src) at edge %d: (%d,%d) after (%d,%d)",
+					i, c.Src[i], c.Dst[i], c.Src[i-1], c.Dst[i-1])
 			}
 		}
 	})
 }
 
-// manifestSeeds returns the corpus: one valid manifest plus the corrupt
-// shapes TestStoreFailurePaths enumerates, serialised to bytes.
+// checkDecodedInvariants asserts what acceptance by either decoder
+// means: the declared edge count was honoured and every edge satisfies
+// the invariants the engine's partition-exclusive apply assumes.
+func checkDecodedInvariants(t *testing.T, c *graph.COO, want int64, n int, lo, hi graph.VID) {
+	t.Helper()
+	if int64(len(c.Src)) != want || int64(len(c.Dst)) != want {
+		t.Fatalf("decoded %d/%d edges, header says %d", len(c.Src), len(c.Dst), want)
+	}
+	for i := range c.Src {
+		if int(c.Src[i]) >= n {
+			t.Fatalf("accepted source %d >= %d vertices", c.Src[i], n)
+		}
+		if c.Dst[i] < lo || c.Dst[i] >= hi {
+			t.Fatalf("accepted destination %d outside [%d,%d)", c.Dst[i], lo, hi)
+		}
+	}
+}
+
+// manifestSeeds returns the corpus: valid v1 and v2 manifests plus the
+// corrupt shapes TestStoreFailurePaths enumerates, serialised to bytes.
 func manifestSeeds() [][]byte {
 	valid := validManifest()
 	mutate := func(edit func(*manifest)) []byte {
@@ -108,10 +158,15 @@ func manifestSeeds() [][]byte {
 	}
 	return [][]byte{
 		mutate(func(*manifest) {}),
+		// The same store declared in the other format — the structural
+		// fields are format-independent, so both magics must open.
+		mutate(func(m *manifest) { m.Magic = manifestMagicV1 }),
 		[]byte("{"),
 		[]byte("null"),
 		[]byte(`{"magic":"ggrind-shards-v1"}`),
+		[]byte(`{"magic":"ggrind-shards-v2"}`),
 		mutate(func(m *manifest) { m.Magic = "not-a-shard-store" }),
+		mutate(func(m *manifest) { m.Magic = "ggrind-shards-v3" }),
 		mutate(func(m *manifest) { m.EdgeCounts = m.EdgeCounts[:1] }),
 		mutate(func(m *manifest) { m.Bounds = m.Bounds[:2] }),
 		mutate(func(m *manifest) { m.SrcSummary = m.SrcSummary[:1] }),
@@ -124,7 +179,8 @@ func manifestSeeds() [][]byte {
 	}
 }
 
-// validManifest writes a real 4-shard store and returns its manifest.
+// validManifest writes a real 4-shard store (default v2 format) and
+// returns its manifest.
 func validManifest() manifest {
 	dir, err := os.MkdirTemp("", "shard-fuzz-seed-*")
 	if err != nil {
@@ -138,31 +194,81 @@ func validManifest() manifest {
 	return st.m
 }
 
-// shardFileSeeds returns the corpus: a real shard file plus the header
-// and payload corruptions from the fixed-fixture tests.
-func shardFileSeeds() [][]byte {
+// rawShardFile writes Chain(256) as a 4-shard store in the given format
+// and returns shard 1's bytes — the shard owning destinations [64,128),
+// the range both fuzz targets decode against.
+func rawShardFile(format Format) []byte {
 	dir, err := os.MkdirTemp("", "shard-fuzz-seed-*")
 	if err != nil {
 		panic(err)
 	}
 	defer os.RemoveAll(dir)
-	g := gen.Chain(256)
-	if _, err := Write(dir, g, 4); err != nil {
+	if _, err := WriteFormat(dir, gen.Chain(256), 4, format); err != nil {
 		panic(err)
 	}
-	// Shard 1 of Chain(256) owns destinations [64,128) — the range the
-	// fuzz target decodes against.
-	valid, err := os.ReadFile(filepath.Join(dir, "shard-0001.bin"))
+	data, err := os.ReadFile(filepath.Join(dir, "shard-0001.bin"))
 	if err != nil {
 		panic(err)
 	}
+	return data
+}
+
+// shardFileSeeds returns the v1 corpus: a real shard file plus the
+// header and payload corruptions from the fixed-fixture tests.
+func shardFileSeeds() [][]byte {
+	valid := rawShardFile(FormatV1)
 	truncated := append([]byte(nil), valid[:len(valid)/2]...)
 	hugeCount := append([]byte(nil), valid...)
 	binary.LittleEndian.PutUint64(hugeCount[:8], 1<<60)
 	badDst := append([]byte(nil), valid...)
 	binary.LittleEndian.PutUint32(badDst[len(badDst)-4:], 200)
-	empty := make([]byte, 8) // zero edges, consistent size
-	return [][]byte{valid, truncated, hugeCount, badDst, empty, {1, 2, 3}}
+	empty := make([]byte, 8)          // zero edges, consistent size
+	v2Bytes := rawShardFile(FormatV2) // mixed-format: a v2 file fed to the v1 decoder
+	return [][]byte{valid, truncated, hugeCount, badDst, empty, {1, 2, 3}, v2Bytes}
+}
+
+// shardFileV2Seeds returns the v2 corpus: a real compressed shard plus
+// the varint-level corruptions the streaming decoder must reject —
+// truncated varints, deltas that overflow the destination range or the
+// vertex count, trailing bytes, counts that outrun the file, and a raw
+// v1 file (the mixed-format manifest case).
+func shardFileV2Seeds() [][]byte {
+	valid := rawShardFile(FormatV2)
+	truncMidVarint := append([]byte(nil), valid[:len(valid)-1]...)
+	trailing := append(append([]byte(nil), valid...), 0)
+	badMagic := append([]byte(nil), valid...)
+	badMagic[0] = 'X'
+	// Hand-built streams over the fuzz target's fixed geometry
+	// (n=256, destinations [64,128)).
+	build := func(count uint64, vals ...uint64) []byte {
+		var buf bytes.Buffer
+		buf.Write(shardMagicV2[:])
+		var tmp [binary.MaxVarintLen64]byte
+		buf.Write(tmp[:binary.PutUvarint(tmp[:], count)])
+		for _, v := range vals {
+			buf.Write(tmp[:binary.PutUvarint(tmp[:], v)])
+		}
+		return buf.Bytes()
+	}
+	return [][]byte{
+		valid,
+		truncMidVarint,
+		trailing,
+		badMagic,
+		build(0),                           // empty shard, exact size
+		build(1, 64, 3),                    // single in-range edge (3 -> 64)
+		build(1, 63, 3),                    // destination below the range
+		build(1, 128, 3),                   // destination at the range's end
+		build(2, 64, 3, 1<<40, 0),          // destination delta overflows the range
+		build(1, 64, 300),                  // source beyond the vertex count
+		build(2, 64, 3, 0, 1<<40),          // source delta overflows the vertex count
+		build(2, 64, 3, 0, math.MaxUint64), // source delta wraps uint64
+		build(1<<40, 64, 3),                // declared count outruns the file
+		build(1<<63-1, 64, 3),              // count so large the min-size bound would overflow
+		shardMagicV2[:],                    // magic only, count truncated
+		build(1, 64),                       // source varint missing
+		rawShardFile(FormatV1),             // mixed-format: raw v1 bytes
+	}
 }
 
 // TestRegenFuzzCorpus rewrites the committed seed corpora under
@@ -175,6 +281,9 @@ func TestRegenFuzzCorpus(t *testing.T) {
 	}
 	write := func(target string, seeds [][]byte) {
 		dir := filepath.Join("testdata", "fuzz", target)
+		if err := os.RemoveAll(dir); err != nil {
+			t.Fatal(err)
+		}
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			t.Fatal(err)
 		}
@@ -188,4 +297,5 @@ func TestRegenFuzzCorpus(t *testing.T) {
 	}
 	write("FuzzManifest", manifestSeeds())
 	write("FuzzShardFile", shardFileSeeds())
+	write("FuzzShardFileV2", shardFileV2Seeds())
 }

@@ -7,11 +7,14 @@
 // The package has two layers. Store is the storage substrate: a graph's
 // partitioned COO is written to one file per shard, and iteration
 // streams shards from disk so resident edge data is bounded by a single
-// shard regardless of |E|. Decoding is defensive end to end — manifests
-// and shard files are validated structurally (magic, bounds, alignment,
-// edge-count/file-size agreement) before anything is allocated or
-// trusted, so corrupt or hostile directories surface as errors, never
-// panics.
+// shard regardless of |E|. Two on-disk encodings coexist (see Format):
+// the legacy raw uint32 pairs (v1) and the default delta+uvarint
+// compressed layout (v2), which cuts the bytes every dense sweep
+// re-reads from disk to a fraction of the raw size. Decoding is
+// defensive end to end — manifests and shard files are validated
+// structurally (magic, bounds, alignment, edge-count/file-size
+// agreement, varint ranges) before anything is allocated or trusted, so
+// corrupt or hostile directories surface as errors, never panics.
 //
 // Engine builds a full api.System on top of the Store, so every
 // algorithm written against the engine-neutral API runs unmodified out
@@ -40,7 +43,6 @@
 package shard
 
 import (
-	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -66,24 +68,44 @@ type manifest struct {
 	SrcSummary [][]uint64 `json:"src_summary,omitempty"`
 }
 
-const manifestMagic = "ggrind-shards-v1"
+// The manifest magic doubles as the store's format declaration: v1
+// stores hold raw uint32-pair shard files, v2 stores hold the
+// (dst,src)-sorted delta+uvarint files (see Format).
+const (
+	manifestMagicV1 = "ggrind-shards-v1"
+	manifestMagicV2 = "ggrind-shards-v2"
+)
 
 // Store is an opened sharded graph directory.
 type Store struct {
-	dir string
-	m   manifest
+	dir    string
+	format Format
+	m      manifest
 }
 
 // Write shards g into dir (created if needed) with p partitions by
-// destination and returns the opened store.
+// destination and returns the opened store, in the default (v2,
+// compressed) shard format. WriteFormat selects the format explicitly.
 func Write(dir string, g *graph.Graph, p int) (*Store, error) {
+	return WriteFormat(dir, g, p, DefaultFormat)
+}
+
+// WriteFormat is Write with an explicit shard-file format: FormatV1
+// writes the legacy raw layout (what pre-v2 readers expect), FormatV2
+// the delta+uvarint compressed one. Both encode the same edge multiset
+// and decode to per-destination-identical COOs, so engines over either
+// store produce bit-identical results.
+func WriteFormat(dir string, g *graph.Graph, p int, format Format) (*Store, error) {
+	if !format.valid() {
+		return nil, fmt.Errorf("shard: cannot write format %v", format)
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	pt := partition.ByDestination(g, p, partition.BalanceEdges)
 	pcoo := partition.NewPCOO(g, pt)
 	m := manifest{
-		Magic:    manifestMagic,
+		Magic:    format.manifestMagic(),
 		Vertices: g.NumVertices(),
 		Edges:    g.NumEdges(),
 		Shards:   pt.P,
@@ -97,7 +119,7 @@ func Write(dir string, g *graph.Graph, p int) (*Store, error) {
 			summary[j/64] |= 1 << (j % 64)
 		}
 		m.SrcSummary = append(m.SrcSummary, summary)
-		if err := writeShardFile(shardPath(dir, i), part); err != nil {
+		if err := writeShardFile(shardPath(dir, i), part, format); err != nil {
 			return nil, err
 		}
 	}
@@ -108,7 +130,7 @@ func Write(dir string, g *graph.Graph, p int) (*Store, error) {
 	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), data, 0o644); err != nil {
 		return nil, err
 	}
-	return &Store{dir: dir, m: m}, nil
+	return &Store{dir: dir, format: format, m: m}, nil
 }
 
 // Open loads an existing sharded graph directory.
@@ -121,7 +143,13 @@ func Open(dir string) (*Store, error) {
 	if err := json.Unmarshal(data, &m); err != nil {
 		return nil, fmt.Errorf("shard: bad manifest: %v", err)
 	}
-	if m.Magic != manifestMagic {
+	var format Format
+	switch m.Magic {
+	case manifestMagicV1:
+		format = FormatV1
+	case manifestMagicV2:
+		format = FormatV2
+	default:
 		return nil, fmt.Errorf("shard: bad magic %q", m.Magic)
 	}
 	if m.Shards != len(m.EdgeCounts) || len(m.Bounds) != m.Shards+1 {
@@ -163,7 +191,26 @@ func Open(dir string) (*Store, error) {
 			}
 		}
 	}
-	return &Store{dir: dir, m: m}, nil
+	return &Store{dir: dir, format: format, m: m}, nil
+}
+
+// Format returns the store's shard-file encoding (declared by the
+// manifest magic).
+func (s *Store) Format() Format { return s.format }
+
+// DiskBytes returns the total on-disk size of the store's shard files
+// (the manifest excluded, so the figure divides by |E| into a clean
+// bytes-per-edge).
+func (s *Store) DiskBytes() (int64, error) {
+	var total int64
+	for i := 0; i < s.m.Shards; i++ {
+		fi, err := os.Stat(shardPath(s.dir, i))
+		if err != nil {
+			return 0, err
+		}
+		total += fi.Size()
+	}
+	return total, nil
 }
 
 // NumVertices returns |V|.
@@ -212,12 +259,20 @@ func (s *Store) SourceSummary() ([][]uint64, error) {
 
 // LoadShard reads shard i's edges from disk, validating that every
 // source is a vertex and every destination falls inside the shard's
-// range (the invariant the engine's partition-exclusive apply assumes).
+// range (the invariant the engine's partition-exclusive apply assumes);
+// out-of-range IDs surface as *VIDRangeError.
 func (s *Store) LoadShard(i int) (*graph.COO, error) {
+	c, _, err := s.loadShard(i)
+	return c, err
+}
+
+// loadShard is LoadShard plus the on-disk byte count of the decoded
+// file — the engine's BytesRead accounting.
+func (s *Store) loadShard(i int) (*graph.COO, int64, error) {
 	if i < 0 || i >= s.m.Shards {
-		return nil, fmt.Errorf("shard: index %d out of range", i)
+		return nil, 0, fmt.Errorf("shard: index %d out of range", i)
 	}
-	return readShardFile(shardPath(s.dir, i), s.m.Vertices, s.m.Bounds[i], s.m.Bounds[i+1], s.m.EdgeCounts[i])
+	return readShardFile(shardPath(s.dir, i), s.format, s.m.Vertices, s.m.Bounds[i], s.m.Bounds[i+1], s.m.EdgeCounts[i])
 }
 
 // Sweep streams every shard once, in order, calling fn for each edge.
@@ -237,70 +292,6 @@ func (s *Store) Sweep(fn func(u, v graph.VID)) error {
 
 func shardPath(dir string, i int) string {
 	return filepath.Join(dir, fmt.Sprintf("shard-%04d.bin", i))
-}
-
-func writeShardFile(path string, c *graph.COO) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := binary.Write(f, binary.LittleEndian, int64(len(c.Src))); err != nil {
-		return err
-	}
-	if err := binary.Write(f, binary.LittleEndian, c.Src); err != nil {
-		return err
-	}
-	return binary.Write(f, binary.LittleEndian, c.Dst)
-}
-
-// vidBytes is the on-disk size of one vertex ID (graph.VID = uint32).
-const vidBytes = 4
-
-func readShardFile(path string, n int, lo, hi graph.VID, wantEdges int64) (*graph.COO, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	var count int64
-	if err := binary.Read(f, binary.LittleEndian, &count); err != nil {
-		return nil, fmt.Errorf("shard: %s: %v", path, err)
-	}
-	if count != wantEdges || count < 0 {
-		return nil, fmt.Errorf("shard: %s: edge count %d, manifest says %d", path, count, wantEdges)
-	}
-	// Validate the edge count against the file's actual size before
-	// allocating anything sized by it: a corrupt (or hostile) manifest
-	// could otherwise declare an absurd count and turn LoadShard into an
-	// allocation of arbitrary size. The arithmetic cannot overflow —
-	// counts above MaxInt64/(2*vidBytes) are rejected first.
-	fi, err := f.Stat()
-	if err != nil {
-		return nil, fmt.Errorf("shard: %s: %v", path, err)
-	}
-	const maxCount = (1<<63 - 1 - 8) / (2 * vidBytes)
-	if count > maxCount || fi.Size() != 8+2*vidBytes*count {
-		return nil, fmt.Errorf("shard: %s: file is %d bytes, want %d for %d edges",
-			path, fi.Size(), 8+2*vidBytes*count, count)
-	}
-	c := &graph.COO{N: n, Src: make([]graph.VID, count), Dst: make([]graph.VID, count)}
-	if err := binary.Read(f, binary.LittleEndian, c.Src); err != nil {
-		return nil, fmt.Errorf("shard: %s: sources: %v", path, err)
-	}
-	if err := binary.Read(f, binary.LittleEndian, c.Dst); err != nil {
-		return nil, fmt.Errorf("shard: %s: destinations: %v", path, err)
-	}
-	for i := range c.Src {
-		if int(c.Src[i]) >= n {
-			return nil, fmt.Errorf("shard: %s: source out of range at %d", path, i)
-		}
-		if c.Dst[i] < lo || c.Dst[i] >= hi {
-			return nil, fmt.Errorf("shard: %s: destination %d outside shard range [%d,%d) at %d",
-				path, c.Dst[i], lo, hi, i)
-		}
-	}
-	return c, nil
 }
 
 // OutDegrees extracts the per-vertex out-degree from the shards in one

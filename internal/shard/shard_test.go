@@ -3,6 +3,7 @@ package shard
 import (
 	"encoding/binary"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -150,11 +151,15 @@ func TestOutDegreesMatchGraph(t *testing.T) {
 }
 
 // TestStoreFailurePaths: every way a shard directory can be wrong must
-// surface as an error — never a panic, never silently wrong data.
+// surface as an error — never a panic, never silently wrong data. The
+// format-agnostic cases run against stores written in both on-disk
+// formats; byte-level shard corruptions are format-specific.
 func TestStoreFailurePaths(t *testing.T) {
 	manifestOf := func(dir string) string { return filepath.Join(dir, "manifest.json") }
 	cases := []struct {
 		name string
+		// formats to write the store in before corrupting; nil = both.
+		formats []Format
 		// corrupt mutates a freshly written 4-shard store directory.
 		corrupt func(t *testing.T, dir string)
 		// openFails: Open(dir) must error. Otherwise Open must succeed
@@ -256,11 +261,12 @@ func TestStoreFailurePaths(t *testing.T) {
 			openFails: true,
 		},
 		{
-			name: "shard destination outside its range",
+			name:    "shard destination outside its range",
+			formats: []Format{FormatV1},
 			corrupt: func(t *testing.T, dir string) {
 				// Shard 0 of Chain(256) owns destinations [0,64); point
 				// its last destination at a valid vertex outside that
-				// range (format: int64 count, count src, count dst).
+				// range (v1 layout: int64 count, count src, count dst).
 				path := filepath.Join(dir, "shard-0000.bin")
 				data, err := os.ReadFile(path)
 				if err != nil {
@@ -294,7 +300,8 @@ func TestStoreFailurePaths(t *testing.T) {
 			},
 		},
 		{
-			name: "shard header disagrees with manifest edge count",
+			name:    "shard header disagrees with manifest edge count",
+			formats: []Format{FormatV1},
 			corrupt: func(t *testing.T, dir string) {
 				path := filepath.Join(dir, "shard-0000.bin")
 				data, err := os.ReadFile(path)
@@ -307,29 +314,96 @@ func TestStoreFailurePaths(t *testing.T) {
 				}
 			},
 		},
+		{
+			name:    "v2 header disagrees with manifest edge count",
+			formats: []Format{FormatV2},
+			corrupt: func(t *testing.T, dir string) {
+				// Shard 0 of Chain(256) holds 63 edges, so its count
+				// varint is the single byte after the 4-byte magic.
+				path := filepath.Join(dir, "shard-0000.bin")
+				data, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if data[4] >= 0x80 {
+					t.Fatalf("test assumes a single-byte count varint, got 0x%x", data[4])
+				}
+				data[4]++
+				if err := os.WriteFile(path, data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
+		{
+			name:    "v2 shard file has trailing bytes",
+			formats: []Format{FormatV2},
+			corrupt: func(t *testing.T, dir string) {
+				path := filepath.Join(dir, "shard-0000.bin")
+				data, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, append(data, 0), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
+		{
+			// A mixed-format directory: the manifest declares one
+			// encoding, the shard file holds the other. Both pairings
+			// must fail structurally, not decode garbage.
+			name: "shard file in the other format",
+			corrupt: func(t *testing.T, dir string) {
+				st, err := Open(dir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				other := FormatV1
+				if st.Format() == FormatV1 {
+					other = FormatV2
+				}
+				otherDir := t.TempDir()
+				if _, err := WriteFormat(otherDir, gen.Chain(256), 4, other); err != nil {
+					t.Fatal(err)
+				}
+				data, err := os.ReadFile(filepath.Join(otherDir, "shard-0000.bin"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(filepath.Join(dir, "shard-0000.bin"), data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
 	}
 	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			g := gen.Chain(256)
-			dir := t.TempDir()
-			if _, err := Write(dir, g, 4); err != nil {
-				t.Fatal(err)
-			}
-			tc.corrupt(t, dir)
-			st, err := Open(dir)
-			if tc.openFails {
-				if err == nil {
-					t.Fatal("Open accepted a corrupt store")
+		formats := tc.formats
+		if formats == nil {
+			formats = []Format{FormatV1, FormatV2}
+		}
+		for _, format := range formats {
+			t.Run(fmt.Sprintf("%s/%v", tc.name, format), func(t *testing.T) {
+				g := gen.Chain(256)
+				dir := t.TempDir()
+				if _, err := WriteFormat(dir, g, 4, format); err != nil {
+					t.Fatal(err)
 				}
-				return
-			}
-			if err != nil {
-				t.Fatalf("Open: %v", err)
-			}
-			if _, err := st.LoadShard(0); err == nil {
-				t.Fatal("LoadShard accepted a corrupt shard file")
-			}
-		})
+				tc.corrupt(t, dir)
+				st, err := Open(dir)
+				if tc.openFails {
+					if err == nil {
+						t.Fatal("Open accepted a corrupt store")
+					}
+					return
+				}
+				if err != nil {
+					t.Fatalf("Open: %v", err)
+				}
+				if _, err := st.LoadShard(0); err == nil {
+					t.Fatal("LoadShard accepted a corrupt shard file")
+				}
+			})
+		}
 	}
 }
 

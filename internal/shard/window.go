@@ -46,8 +46,8 @@ type sweepWindow struct {
 
 	mu       sync.Mutex
 	cond     *sync.Cond
-	staged   int  // shards holding a window credit: loading or loaded, not yet begun applying
-	applying int  // shards mid-apply across all domains
+	staged   int // shards holding a window credit: loading or loaded, not yet begun applying
+	applying int // shards mid-apply across all domains
 	aborted  bool
 	cause    any // first failure: a loadFailure or an operator panic value
 
