@@ -9,6 +9,7 @@
 //	ggrind -graph livejournal-sm -alg BFS -layout COO -reps 5
 //	ggrind -graph yahoo-sm -alg PR -system OOC -partitions 24
 //	ggrind -graph twitter-sm -alg PR -system OOC -shardformat v1
+//	ggrind -graph livejournal-sm -alg PR -system OOC -cacheshards 12 -order zigzag
 package main
 
 import (
@@ -55,6 +56,7 @@ func run() int {
 		domains    = flag.Int("domains", 0, "OOC modelled NUMA domain count (0 = the paper's 4)")
 		window     = flag.Int("window", 0, "OOC staging window depth k: shards staged ahead while up to D domains apply concurrently (0 = domain count, 1 = double buffer; clamped to the LRU budget)")
 		shardFmt   = flag.String("shardformat", shard.DefaultFormat.String(), "OOC shard-file encoding: v1 (raw uint32 pairs) or v2 (delta+uvarint compressed)")
+		orderName  = flag.String("order", shard.OrderAscending.String(), "OOC sweep-order policy: ascending, zigzag (boustrophedon across sweeps) or residency-first (cached shards first, then Hilbert order)")
 	)
 	flag.Parse()
 
@@ -128,6 +130,11 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "ggrind: %v\n", err)
 			return 2
 		}
+		order, err := shard.ParseOrder(*orderName)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ggrind: %v\n", err)
+			return 2
+		}
 		oopts := shard.Options{
 			Threads:     *threads,
 			CacheShards: *cacheSh,
@@ -135,6 +142,7 @@ func run() int {
 			Window:      *window,
 			Topology:    sched.Topology{Domains: *domains},
 			Format:      format,
+			Order:       order,
 		}
 		fmt.Printf("sharding to %s (%d partitions, %v files)...\n", dir, p, format)
 		eng, err := shard.Build(filepath.Join(dir, "fwd"), g, p, oopts)
@@ -146,9 +154,10 @@ func run() int {
 			fmt.Printf("store: %v format, %.1f KiB on disk (%.2f bytes/edge; raw v1 is 8)\n",
 				eng.Store().Format(), float64(disk)/1024, float64(disk)/float64(g.NumEdges()))
 		}
-		fmt.Printf("engine: OOC shards=%d cache=%d threads=%d prefetch=%v domains=%d window=%d\n",
+		fmt.Printf("engine: OOC shards=%d cache=%d threads=%d prefetch=%v domains=%d window=%d order=%v\n",
 			eng.Store().NumShards(), eng.Options().CacheShards, eng.Threads(),
-			!eng.Options().NoPrefetch, eng.Topology().Domains, eng.Options().Window)
+			!eng.Options().NoPrefetch, eng.Topology().Domains, eng.Options().Window,
+			eng.Options().Order)
 		sys = eng
 		if spec.NeedsReverse {
 			reng, err := shard.Build(filepath.Join(dir, "rev"), g.Reverse(), p, oopts)
@@ -192,6 +201,8 @@ func run() int {
 				float64(st.BytesRead)/1024, float64(st.BytesLogical)/1024,
 				float64(st.BytesLogical)/float64(st.BytesRead))
 		}
+		fmt.Printf("ooc order: %v policy, %d planned cache hits, %d reloads avoided vs ascending\n",
+			eng.Options().Order, st.PlannedCacheHits, st.ReloadsAvoided)
 		fmt.Printf("ooc pipeline: %d prefetch loads (%d overlapped an apply), %d prefetch cache promotions\n",
 			st.PrefetchLoads, st.OverlappedLoads, st.PrefetchHits)
 		fmt.Printf("ooc numa: %d domains, shards applied per domain %v, edges per domain %v\n",

@@ -20,6 +20,7 @@ import (
 	"repro"
 	"repro/internal/algorithms"
 	"repro/internal/graph"
+	"repro/internal/locality"
 	"repro/internal/shard"
 )
 
@@ -119,6 +120,57 @@ func main() {
 	cst := cached.Stats()
 	fmt.Printf("PageRank with a %d-shard LRU: %d disk loads, %d cache hits\n",
 		shards, cst.ShardLoads, cst.CacheHits)
+
+	// 4. In between those extremes — the LRU at half the store — the
+	// sweep *order* decides how much of the budget survives from one
+	// dense sweep into the next. Ascending index is the pathological
+	// case: a cyclic pattern over 24 shards against a 12-shard LRU hits
+	// never, because each sweep evicts its own tail just before the next
+	// sweep wants it. The planner's zigzag (boustrophedon) and
+	// residency-first policies reorder the identical shard set — results
+	// are bit-identical, only the disk traffic changes.
+	fmt.Printf("sweep-order ablation: 10-sweep dense PageRank, %d shards, %d-shard LRU\n",
+		shards, shards/2)
+	var ranks0 []float64
+	for _, order := range shard.Orders() {
+		eng, err := shard.NewEngine(ooc.Store(), g, shard.Options{CacheShards: shards / 2, Order: order})
+		if err != nil {
+			panic(err)
+		}
+		ranks := algorithms.PR(eng, 10).Ranks
+		if ranks0 == nil {
+			ranks0 = ranks
+		}
+		for v := range ranks0 {
+			if ranks[v] != ranks0[v] {
+				panic("sweep order changed results")
+			}
+		}
+		ost := eng.Stats()
+		fmt.Printf("  %-16s %3d loads (%4.1f/sweep), %3d cache hits, %4.1f MiB read, %3d reloads avoided\n",
+			order.String()+":", ost.ShardLoads, float64(ost.ShardLoads)/10,
+			ost.CacheHits, float64(ost.BytesRead)/(1<<20), ost.ReloadsAvoided)
+	}
+
+	// The offline scorer tells the same story from the schedule alone
+	// (it derives the ascending baseline itself): reuse distances of the
+	// boustrophedon sequence fold under the LRU budget where the
+	// ascending cycle's never do.
+	zig := make([][]int, 10)
+	for s := range zig {
+		zig[s] = make([]int, shards)
+		for i := range zig[s] {
+			if s%2 == 1 {
+				zig[s][i] = shards - 1 - i
+			} else {
+				zig[s][i] = i
+			}
+		}
+	}
+	cmp := locality.MeasureSweepOrder(zig, shards/2)
+	fmt.Printf("  scorer: ascending mean reuse distance %.1f (max %d) -> %d loads; zigzag %.1f (max %d) -> %d loads, %d avoided\n",
+		cmp.Ascending.MeanReuse, cmp.Ascending.MaxReuse, cmp.Ascending.Loads,
+		cmp.Planned.MeanReuse, cmp.Planned.MaxReuse, cmp.Planned.Loads, cmp.ReloadsAvoided)
 
 	fmt.Println("out-of-core engine matches the in-memory engine ✓")
 }

@@ -91,6 +91,21 @@ func oocV1StoreEngine(t *testing.T, g *graph.Graph) *shard.Engine {
 	return e
 }
 
+// oocOrderEngine is the sweep-order differential variant: the pipelined
+// engine with the given non-default order policy over a deliberately
+// tight LRU, so the planner actually permutes plans mid-algorithm (a
+// multi-round traversal alternates zigzag parity and keeps shifting the
+// resident set residency-first fronts). Ordering may change only when a
+// shard is read — every oracle-agreement property pins that.
+func oocOrderEngine(t *testing.T, g *graph.Graph, order shard.Order) *shard.Engine {
+	t.Helper()
+	e, err := shard.Build(t.TempDir(), g, 4, shard.Options{CacheShards: 2, Order: order})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
 func enginesFor(t *testing.T, g *graph.Graph) []api.System {
 	return []api.System{
 		core.NewEngine(g, core.Options{}),
@@ -102,6 +117,8 @@ func enginesFor(t *testing.T, g *graph.Graph) []api.System {
 		oocNoPrefetchEngine(t, g),
 		oocWindowEngine(t, g, 4),
 		oocV1StoreEngine(t, g),
+		oocOrderEngine(t, g, shard.OrderZigzag),
+		oocOrderEngine(t, g, shard.OrderResidencyFirst),
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/shard"
 )
 
 // The OOC pipeline equivalence suite: every algorithm in the repository
@@ -23,7 +24,11 @@ import (
 //   - the same engine over a store written in the legacy raw (v1)
 //     shard-file encoding, so the on-disk format joins the ladder: the
 //     compressed (v2) default and the raw layout must decode to
-//     per-destination-identical shards, and therefore identical results.
+//     per-destination-identical shards, and therefore identical results;
+//   - the zigzag and residency-first sweep-order policies over a
+//     deliberately tight LRU, so the sweep planner permutes shard plans
+//     mid-algorithm: plan order may change only when a shard is read,
+//     never what is computed.
 //
 // This is the strongest form of the concurrency correctness claim:
 // neither staging depth nor cross-domain interleaving may change *what*
@@ -51,6 +56,14 @@ func TestOOCPipelineBitIdenticalAcrossAllAlgorithms(t *testing.T) {
 		// The same ladder endpoint over a raw (v1) store: the on-disk
 		// format must change bytes, never results.
 		{"v1-store", func(t *testing.T, g *graph.Graph) api.System { return oocV1StoreEngine(t, g) }},
+		// Sweep-order rungs: the planner reorders what the stager walks,
+		// so these double as interleaving fodder for the concurrent sweep.
+		{"order-zigzag", func(t *testing.T, g *graph.Graph) api.System {
+			return oocOrderEngine(t, g, shard.OrderZigzag)
+		}},
+		{"order-residency-first", func(t *testing.T, g *graph.Graph) api.System {
+			return oocOrderEngine(t, g, shard.OrderResidencyFirst)
+		}},
 	}
 
 	// Each entry runs one algorithm to completion through api.System and

@@ -70,23 +70,48 @@ type FormatResult struct {
 	V2BytesPerEdge float64 // V2Disk / |E|
 }
 
+// OrderColumn is one sweep-order policy's column in the order ablation:
+// a cold-start multi-iteration dense PageRank over the shared store with
+// a half-store LRU, the regime where ascending order's cyclic evictions
+// hit hardest.
+type OrderColumn struct {
+	Order          shard.Order
+	Time           float64 // seconds
+	Loads          int64   // Stats.ShardLoads across the measured runs
+	CacheHits      int64   // Stats.CacheHits across the measured runs
+	BytesRead      int64   // Stats.BytesRead across the measured runs
+	ReloadsAvoided int64   // Stats.ReloadsAvoided: loads saved vs the whole-run ascending baseline
+}
+
+// OrderResult is the sweep-order ablation: the same 10-iteration dense
+// PageRank once per Options.Order policy, all over the same store and
+// LRU budget, bit-identical by construction — only the disk traffic may
+// differ. Columns follows shard.Orders() order: ascending (the
+// baseline), zigzag, residency-first.
+type OrderResult struct {
+	CacheShards int // the LRU budget all columns ran with (NumShards/2)
+	Columns     []OrderColumn
+}
+
 // OutOfCore runs a representative algorithm slate on the in-memory
 // GG-v2 engine and on the shard.Engine over the same graph, reporting
 // the streaming overhead the LRU cache and frontier-aware sweeps are
 // meant to bound, plus two ablations on multi-iteration PageRank: the
 // prefetch pipeline on/off (cold cache) and the staging window k=1 vs
-// k=D with concurrent domain apply, and the on-disk format ablation:
+// k=D with concurrent domain apply, the on-disk format ablation:
 // the same store written v1 (raw) vs v2 (delta+uvarint), bytes and time
-// per cold-cache sweep. dir receives the shard files; shards and
+// per cold-cache sweep, and the sweep-order ablation: ascending vs
+// zigzag vs residency-first over a half-store LRU, loads and bytes per
+// policy. dir receives the shard files; shards and
 // threads 0 select defaults. The returned figure has one X index per
 // algorithm (the note lines give the mapping) and one series per
 // engine.
-func OutOfCore(g *graph.Graph, dir string, shards, threads, reps int) (*Figure, []OutOfCoreResult, PrefetchResult, WindowResult, FormatResult, error) {
+func OutOfCore(g *graph.Graph, dir string, shards, threads, reps int) (*Figure, []OutOfCoreResult, PrefetchResult, WindowResult, FormatResult, OrderResult, error) {
 	if shards <= 0 {
 		shards = 16
 	}
-	fail := func(err error) (*Figure, []OutOfCoreResult, PrefetchResult, WindowResult, FormatResult, error) {
-		return nil, nil, PrefetchResult{}, WindowResult{}, FormatResult{}, err
+	fail := func(err error) (*Figure, []OutOfCoreResult, PrefetchResult, WindowResult, FormatResult, OrderResult, error) {
+		return nil, nil, PrefetchResult{}, WindowResult{}, FormatResult{}, OrderResult{}, err
 	}
 	inMem := core.NewEngine(g, core.Options{Threads: threads})
 	// Domains: 1 keeps the headline Slowdown column measuring streaming
@@ -197,7 +222,50 @@ func OutOfCore(g *graph.Graph, dir string, shards, threads, reps int) (*Figure, 
 	fig.Notes = append(fig.Notes, fmt.Sprintf(
 		"format ablation: v1 %.2f B/edge on disk vs v2 %.2f B/edge; cold-cache PR read %.2fx fewer bytes (v1 %.3fs, v2 %.3fs, %.2fx)",
 		fr.V1BytesPerEdge, fr.V2BytesPerEdge, fr.Ratio, fr.V1Time, fr.V2Time, fr.Speedup))
-	return fig, results, pf, win, fr, nil
+
+	// Sweep-order ablation: the same 10-iteration dense PageRank over
+	// the shared store under each Options.Order policy, with the LRU at
+	// half the shard count — the paper-motivated regime where ascending
+	// order evicts the tail of sweep i exactly before sweep i+1 needs it
+	// while zigzag and residency-first start each sweep on what is still
+	// resident. Results are bit-identical across policies (plan order
+	// changes when a shard is read, never what is computed); loads and
+	// BytesRead are the whole point.
+	or, err := orderAblation(ooc.Store(), g, threads, reps)
+	if err != nil {
+		return fail(err)
+	}
+	for _, col := range or.Columns {
+		fig.Notes = append(fig.Notes, fmt.Sprintf(
+			"order ablation (%d-shard LRU): %s %.3fs, %d loads, %d cache hits, %.1f KiB read, %d reloads avoided",
+			or.CacheShards, col.Order, col.Time, col.Loads, col.CacheHits,
+			float64(col.BytesRead)/1024, col.ReloadsAvoided))
+	}
+	return fig, results, pf, win, fr, or, nil
+}
+
+// orderAblation runs the cold-start order columns over an
+// already-written store with a half-store LRU budget.
+func orderAblation(st *shard.Store, g *graph.Graph, threads, reps int) (OrderResult, error) {
+	or := OrderResult{CacheShards: st.NumShards() / 2}
+	if or.CacheShards < 1 {
+		or.CacheShards = 1
+	}
+	for _, order := range shard.Orders() {
+		eng, err := shard.NewEngine(st, g, shard.Options{
+			Threads: threads, CacheShards: or.CacheShards, Order: order,
+		})
+		if err != nil {
+			return OrderResult{}, err
+		}
+		t := Seconds(MedianTime(reps, func() { algorithms.PR(eng, 10) }))
+		s := eng.Stats()
+		or.Columns = append(or.Columns, OrderColumn{
+			Order: order, Time: t, Loads: s.ShardLoads, CacheHits: s.CacheHits,
+			BytesRead: s.BytesRead, ReloadsAvoided: s.ReloadsAvoided,
+		})
+	}
+	return or, nil
 }
 
 // formatAblation writes g in both shard-file formats under dir and

@@ -11,7 +11,7 @@ import (
 
 func TestOutOfCoreComparisonRuns(t *testing.T) {
 	g := gen.TinySocial()
-	fig, results, pf, win, fr, err := OutOfCore(g, t.TempDir(), 8, 0, 1)
+	fig, results, pf, win, fr, or, err := OutOfCore(g, t.TempDir(), 8, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,8 +58,40 @@ func TestOutOfCoreComparisonRuns(t *testing.T) {
 	if fr.V1BytesPerEdge <= fr.V2BytesPerEdge || fr.V2BytesPerEdge <= 0 {
 		t.Fatalf("bytes/edge not improved: v1 %.2f, v2 %.2f", fr.V1BytesPerEdge, fr.V2BytesPerEdge)
 	}
+	// The order ablation's claims are categorical on the deterministic
+	// fixture: same store, same LRU budget, only the plan order differs,
+	// so the locality-aware policies must never load more shards — or
+	// read more bytes — than the ascending baseline, and with the LRU at
+	// half the shard count zigzag's boustrophedon must strictly win.
+	if len(or.Columns) != 3 {
+		t.Fatalf("order ablation has %d columns, want 3: %+v", len(or.Columns), or)
+	}
+	asc, zig, res := or.Columns[0], or.Columns[1], or.Columns[2]
+	if asc.Order != shard.OrderAscending || zig.Order != shard.OrderZigzag || res.Order != shard.OrderResidencyFirst {
+		t.Fatalf("order ablation columns out of order: %+v", or.Columns)
+	}
+	for _, col := range or.Columns {
+		if col.Time <= 0 || col.Loads <= 0 {
+			t.Fatalf("order ablation column %s has non-positive entries: %+v", col.Order, col)
+		}
+	}
+	if asc.ReloadsAvoided != 0 {
+		t.Fatalf("ascending baseline avoided %d reloads, want 0 by definition", asc.ReloadsAvoided)
+	}
+	if res.Loads > asc.Loads || res.BytesRead > asc.BytesRead {
+		t.Fatalf("residency-first must never load more than ascending: %+v vs %+v", res, asc)
+	}
+	if zig.Loads > asc.Loads || zig.BytesRead > asc.BytesRead {
+		t.Fatalf("zigzag must never load more than ascending: %+v vs %+v", zig, asc)
+	}
+	if zig.Loads >= asc.Loads || zig.ReloadsAvoided <= 0 {
+		t.Fatalf("zigzag should strictly beat ascending with a half-store LRU: %+v vs %+v", zig, asc)
+	}
+	if res.Loads >= asc.Loads || res.ReloadsAvoided <= 0 {
+		t.Fatalf("residency-first should strictly beat ascending with a half-store LRU: %+v vs %+v", res, asc)
+	}
 	text := fig.Render()
-	for _, want := range []string{"GG-v2", "OOC", "cache hits", "prefetch", "cold-cache PR ablation", "domain shards", "occupancy ablation", "apply levels", "format ablation"} {
+	for _, want := range []string{"GG-v2", "OOC", "cache hits", "prefetch", "cold-cache PR ablation", "domain shards", "occupancy ablation", "apply levels", "format ablation", "order ablation"} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("rendered figure missing %q:\n%s", want, text)
 		}

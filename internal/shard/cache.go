@@ -68,6 +68,19 @@ func (c *lruCache) put(sh *resident) {
 	}
 }
 
+// snapshot returns the resident shard indices, most recently used
+// first, without promoting anything — the sweep-order planner's view of
+// the cache.
+func (c *lruCache) snapshot() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]int, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*resident).idx)
+	}
+	return out
+}
+
 // len returns the number of resident shards.
 func (c *lruCache) len() int {
 	c.mu.Lock()

@@ -52,6 +52,15 @@ type Options struct {
 	// back in local bandwidth; the model only keeps the books).
 	// Domains: 1 restores full-pool applies.
 	Topology sched.Topology
+	// Order is the sweep-order policy: how the planner permutes each
+	// EdgeMap's shard plan before the staging goroutine walks it. The
+	// zero value — OrderAscending — is the historical ascending-index
+	// stream and the differential baseline; OrderZigzag and
+	// OrderResidencyFirst reorder the same shard set to keep the LRU
+	// tail of one sweep alive into the next (see plan.go). Every policy
+	// is bit-identical: shards own disjoint destination ranges, so plan
+	// order can change only when a shard is read, never what is computed.
+	Order Order
 	// Format is the shard-file encoding Build writes; 0 selects
 	// DefaultFormat (v2, delta+uvarint compressed). Engines over
 	// already-written stores read whatever the manifest declares, and
@@ -101,6 +110,22 @@ type Stats struct {
 	// and safe to sample mid-sweep.
 	BytesRead    int64
 	BytesLogical int64
+
+	// Sweep-order planner counters. PlannedCacheHits is the number of
+	// plan entries the planner predicted the LRU would serve as the
+	// cache stood at plan time — an exact simulation of the sweep's own
+	// fetch sequence, so over a fault-free run it equals the CacheHits
+	// those sweeps then collect. ReloadsAvoided is the number of disk
+	// loads a whole-run ascending baseline would have issued minus the
+	// loads the chosen order actually needs, accumulated sweep by sweep
+	// against a persistent shadow of the baseline's cache (reordering
+	// one sweep also changes what the next sweep finds resident, so the
+	// saving compounds); identically 0 under OrderAscending. Both count
+	// completed sweeps only: a sweep aborted by an operator panic or a
+	// load failure charges nothing (its partial fetches still show in
+	// CacheHits/ShardLoads, which track what actually happened).
+	PlannedCacheHits int64
+	ReloadsAvoided   int64
 
 	// Pipeline counters (zero when NoPrefetch).
 	PrefetchHits    int64 // staged shards promoted from the LRU cache
@@ -183,6 +208,21 @@ type Engine struct {
 	domainOf []int32
 	domains  []*sched.DomainView
 
+	// Sweep-order planner state: hilbertKey[si] is shard si's position
+	// on the Hilbert curve over (shard, source-range centroid), the tail
+	// order OrderResidencyFirst schedules uncached shards in; sweepSeq
+	// numbers the planned sweeps so OrderZigzag can alternate direction;
+	// shadow models the cache a whole-run ascending baseline would hold,
+	// the counterfactual ReloadsAvoided is charged against; pending is
+	// the current sweep's staged accounting, published by commitPlan
+	// only when the sweep completes. All of these are touched only by
+	// orderPlan/commitPlan on the sweep goroutine — EdgeMap calls are
+	// serial per engine, like every api.System.
+	hilbertKey []uint64
+	sweepSeq   int64
+	shadow     *shadowLRU
+	pending    *plannedStats
+
 	// applying counts shards currently mid-apply (up to one per domain
 	// on the pipelined path); the stager samples it to count loads that
 	// overlapped an apply, and applyShard derives the occupancy stats
@@ -215,6 +255,9 @@ func NewEngine(st *Store, g *graph.Graph, opts Options) (*Engine, error) {
 			st.NumVertices(), st.NumEdges(), g.NumVertices(), g.NumEdges())
 	}
 	opts = opts.withDefaults()
+	if !opts.Order.valid() {
+		return nil, fmt.Errorf("shard: unknown sweep order %v", opts.Order)
+	}
 	// The resolved options describe the engine as it runs: whatever
 	// format was requested for writing, this engine decodes the opened
 	// store's actual encoding.
@@ -236,15 +279,17 @@ func NewEngine(st *Store, g *graph.Graph, opts Options) (*Engine, error) {
 		domainOf[i] = int32(opts.Topology.DomainOf(i))
 	}
 	return &Engine{
-		st:       st,
-		g:        g,
-		pool:     pool,
-		opts:     opts,
-		home:     home,
-		feeds:    feeds,
-		cache:    newLRUCache(opts.CacheShards),
-		domainOf: domainOf,
-		domains:  opts.Topology.Split(pool),
+		st:         st,
+		g:          g,
+		pool:       pool,
+		opts:       opts,
+		home:       home,
+		feeds:      feeds,
+		cache:      newLRUCache(opts.CacheShards),
+		domainOf:   domainOf,
+		domains:    opts.Topology.Split(pool),
+		hilbertKey: hilbertKeys(feeds, st.NumShards()),
+		shadow:     newShadowLRU(opts.CacheShards),
 		stats: Stats{
 			DomainShards: make([]int64, opts.Topology.Domains),
 			DomainEdges:  make([]int64, opts.Topology.Domains),
@@ -298,6 +343,8 @@ func (e *Engine) Stats() Stats {
 		ShardsSkipped:       atomic.LoadInt64(&e.stats.ShardsSkipped),
 		BytesRead:           atomic.LoadInt64(&e.stats.BytesRead),
 		BytesLogical:        atomic.LoadInt64(&e.stats.BytesLogical),
+		PlannedCacheHits:    atomic.LoadInt64(&e.stats.PlannedCacheHits),
+		ReloadsAvoided:      atomic.LoadInt64(&e.stats.ReloadsAvoided),
 		PrefetchHits:        atomic.LoadInt64(&e.stats.PrefetchHits),
 		PrefetchLoads:       atomic.LoadInt64(&e.stats.PrefetchLoads),
 		OverlappedLoads:     atomic.LoadInt64(&e.stats.OverlappedLoads),
@@ -372,6 +419,11 @@ func (e *Engine) EdgeMap(f *frontier.Frontier, op api.EdgeOp, _ api.Direction) *
 		plan = e.planDense(f)
 	}
 	atomic.AddInt64(&e.stats.ShardsSkipped, int64(e.st.NumShards()-len(plan)))
+	// The sweep-order planner sits between plan and stage: it permutes
+	// the baseline plan (never its membership) per Options.Order, so the
+	// window and per-domain apply below see an ordered plan exactly as
+	// they would an ascending one.
+	plan = e.orderPlan(plan)
 
 	cur := f.Bitmap()
 	cond := op.CondOf()
@@ -397,6 +449,10 @@ func (e *Engine) EdgeMap(f *frontier.Frontier, op api.EdgeOp, _ api.Direction) *
 		defer w.stop()
 		w.wait()
 	}
+	// The sweep completed (an aborted one panics out above): publish the
+	// planner accounting staged at plan time, so stats never describe
+	// fetches a failed sweep did not perform.
+	e.commitPlan()
 	var count, outDeg int64
 	for i := range accs {
 		count += accs[i].count

@@ -20,9 +20,12 @@
 // algorithm written against the engine-neutral API runs unmodified out
 // of core. Each EdgeMap is a pipelined sweep in four stages:
 //
-//	plan     — pick the shard sequence: exact (walk only the active
+//	plan     — pick the shard set: exact (walk only the active
 //	           vertices' out-lists) for sparse frontiers, source-range
-//	           summary pruning for dense ones;
+//	           summary pruning for dense ones; then order it by the
+//	           configured sweep-order policy (Options.Order — ascending,
+//	           zigzag or residency-first), which keeps the LRU tail of
+//	           one sweep alive into the next without changing results;
 //	prefetch — a dedicated staging goroutine loads shard i+1 from disk,
 //	           or promotes it from the LRU cache, while shard i is being
 //	           applied (a strict double buffer: at most one shard staged
