@@ -44,6 +44,10 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "gconvert: -shards must be >= 1, got %d\n", *shards)
+		os.Exit(2)
+	}
 	format, err := shard.ParseFormat(*shardFmt)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gconvert: %v\n", err)

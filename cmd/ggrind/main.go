@@ -10,9 +10,11 @@
 //	ggrind -graph yahoo-sm -alg PR -system OOC -partitions 24
 //	ggrind -graph twitter-sm -alg PR -system OOC -shardformat v1
 //	ggrind -graph livejournal-sm -alg PR -system OOC -cacheshards 12 -order zigzag
+//	ggrind -graph yahoo-sm -alg PR -system OOC -cacheshards 8 -iodepth 4
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -54,11 +56,32 @@ func run() int {
 		cacheSh    = flag.Int("cacheshards", 0, "OOC LRU budget in resident shards (0 = default)")
 		noPrefetch = flag.Bool("noprefetch", false, "OOC: disable the sweep pipeline (load and apply alternate)")
 		domains    = flag.Int("domains", 0, "OOC modelled NUMA domain count (0 = the paper's 4)")
-		window     = flag.Int("window", 0, "OOC staging window depth k: shards staged ahead while up to D domains apply concurrently (0 = domain count, 1 = double buffer; clamped to the LRU budget)")
+		window     = flag.Int("window", 0, "OOC staging window depth k: shards staged ahead while up to D domains apply concurrently (0 = max(domains, iodepth), 1 = double buffer; clamped to the LRU budget)")
+		ioDepth    = flag.Int("iodepth", 0, "OOC async-read queue depth: uncached shard reads kept in flight at once (0 = 1, the synchronous read path; must be <= the LRU budget)")
 		shardFmt   = flag.String("shardformat", shard.DefaultFormat.String(), "OOC shard-file encoding: v1 (raw uint32 pairs) or v2 (delta+uvarint compressed)")
 		orderName  = flag.String("order", shard.OrderAscending.String(), "OOC sweep-order policy: ascending, zigzag (boustrophedon across sweeps) or residency-first (cached shards first, then Hilbert order)")
 	)
 	flag.Parse()
+
+	// Reject nonsense knob values at parse time, before any graph is
+	// built or sharded: a usage error, not a mid-run surprise.
+	for _, f := range []struct {
+		name string
+		val  int
+	}{
+		{"partitions", *partitions}, {"threads", *threads},
+		{"cacheshards", *cacheSh}, {"domains", *domains},
+		{"window", *window}, {"iodepth", *ioDepth},
+	} {
+		if f.val < 0 {
+			fmt.Fprintf(os.Stderr, "ggrind: -%s must be >= 0 (0 selects the default), got %d\n", f.name, f.val)
+			return 2
+		}
+	}
+	if *reps < 1 {
+		fmt.Fprintf(os.Stderr, "ggrind: -reps must be >= 1, got %d\n", *reps)
+		return 2
+	}
 
 	spec, ok := algorithms.SpecByCode(*algCode)
 	if !ok {
@@ -140,6 +163,7 @@ func run() int {
 			CacheShards: *cacheSh,
 			NoPrefetch:  *noPrefetch,
 			Window:      *window,
+			IODepth:     *ioDepth,
 			Topology:    sched.Topology{Domains: *domains},
 			Format:      format,
 			Order:       order,
@@ -148,16 +172,22 @@ func run() int {
 		eng, err := shard.Build(filepath.Join(dir, "fwd"), g, p, oopts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ggrind: %v\n", err)
+			// A contradictory knob combination (say -iodepth above the
+			// LRU budget, or -window below it) is a usage error.
+			var oe *shard.OptionsError
+			if errors.As(err, &oe) {
+				return 2
+			}
 			return 1
 		}
 		if disk, err := eng.Store().DiskBytes(); err == nil && g.NumEdges() > 0 {
 			fmt.Printf("store: %v format, %.1f KiB on disk (%.2f bytes/edge; raw v1 is 8)\n",
 				eng.Store().Format(), float64(disk)/1024, float64(disk)/float64(g.NumEdges()))
 		}
-		fmt.Printf("engine: OOC shards=%d cache=%d threads=%d prefetch=%v domains=%d window=%d order=%v\n",
+		fmt.Printf("engine: OOC shards=%d cache=%d threads=%d prefetch=%v domains=%d window=%d iodepth=%d order=%v\n",
 			eng.Store().NumShards(), eng.Options().CacheShards, eng.Threads(),
 			!eng.Options().NoPrefetch, eng.Topology().Domains, eng.Options().Window,
-			eng.Options().Order)
+			eng.Options().IODepth, eng.Options().Order)
 		sys = eng
 		if spec.NeedsReverse {
 			reng, err := shard.Build(filepath.Join(dir, "rev"), g.Reverse(), p, oopts)
@@ -212,6 +242,8 @@ func run() int {
 		if !eng.Options().NoPrefetch {
 			fmt.Printf("ooc window: depth k=%d, peak %d concurrent applies, apply levels %v, hand-off depths %v\n",
 				eng.Options().Window, st.ConcurrentApplyPeak, st.ApplyLevels, st.WindowDepths)
+			fmt.Printf("ooc aio: iodepth=%d, peak %d reads in flight, read depth histogram %v\n",
+				eng.Options().IODepth, st.ReadsInFlightPeak, st.ReadDepths)
 		}
 	}
 	if rec != nil {

@@ -1,0 +1,15 @@
+//go:build !linux || !aio_direct
+
+package aio
+
+import "os"
+
+// Open opens a shard file for reading. The default build is a plain
+// os.Open: reads go through the page cache with kernel readahead, the
+// right behaviour for the tests' tiny stores and for any file that may
+// be re-read soon. Building with -tags aio_direct on Linux swaps in
+// the uncached fast path (see open_direct_linux.go) behind this same
+// signature, so the engine's read code is identical either way.
+func Open(path string) (*os.File, error) {
+	return os.Open(path)
+}

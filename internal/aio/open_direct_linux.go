@@ -1,0 +1,33 @@
+//go:build linux && aio_direct
+
+package aio
+
+import (
+	"os"
+	"syscall"
+)
+
+// posixFadvRandom is POSIX_FADV_RANDOM: tell the kernel the file will
+// be read in a non-sequential pattern, which disables readahead.
+const posixFadvRandom = 1
+
+// Open opens a shard file for the uncached fast path: cold shard
+// sweeps touch each byte exactly once, so kernel readahead beyond the
+// streaming decoder's own reads is wasted bandwidth that competes with
+// the other IODepth-1 reads in flight. Readahead is disabled with
+// posix_fadvise(POSIX_FADV_RANDOM); the advice is best-effort, so a
+// filesystem that rejects it (or a kernel without fadvise) silently
+// falls back to default readahead rather than failing the sweep.
+//
+// A full O_DIRECT path is the next step behind this same build tag:
+// it additionally requires logical-block-aligned buffers and offsets,
+// which the streaming v2 decoder does not guarantee yet, so for now
+// the fast path only drops readahead.
+func Open(path string) (*os.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	_, _, _ = syscall.Syscall6(syscall.SYS_FADVISE64, f.Fd(), 0, 0, posixFadvRandom, 0, 0)
+	return f, nil
+}

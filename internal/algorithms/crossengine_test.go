@@ -76,6 +76,24 @@ func oocWindowEngine(t *testing.T, g *graph.Graph, window int) *shard.Engine {
 	return e
 }
 
+// oocIODepthEngine is the async-read differential variant: the
+// windowed multi-domain engine with the aio reader issuing up to depth
+// uncached shard reads concurrently. Reads complete out of plan order
+// under load, but admission stays plan-ordered, so every
+// oracle-agreement property also pins the overlapped-read pipeline to
+// the sequential semantics.
+func oocIODepthEngine(t *testing.T, g *graph.Graph, depth int) *shard.Engine {
+	t.Helper()
+	e, err := shard.Build(t.TempDir(), g, 8, shard.Options{
+		Threads: 4, CacheShards: 4, Window: 4, IODepth: depth,
+		Topology: sched.Topology{Domains: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
 // oocV1StoreEngine is the on-disk format differential variant: the same
 // pipelined engine over a store written in the legacy raw (v1) shard
 // encoding instead of the default compressed (v2) one. Decoded shards
@@ -116,6 +134,8 @@ func enginesFor(t *testing.T, g *graph.Graph) []api.System {
 		oocEngine(t, g),
 		oocNoPrefetchEngine(t, g),
 		oocWindowEngine(t, g, 4),
+		oocIODepthEngine(t, g, 2),
+		oocIODepthEngine(t, g, 4),
 		oocV1StoreEngine(t, g),
 		oocOrderEngine(t, g, shard.OrderZigzag),
 		oocOrderEngine(t, g, shard.OrderResidencyFirst),

@@ -21,6 +21,9 @@ import (
 //     cross-domain concurrent apply;
 //   - the k=D window, where up to all four modelled NUMA domains apply
 //     shards simultaneously while the stager runs D shards ahead;
+//   - the async-read rungs (IODepth 2 and D): the aio reader keeps
+//     several uncached shard reads in flight at once, so reads complete
+//     out of plan order while admission stays plan-ordered;
 //   - the same engine over a store written in the legacy raw (v1)
 //     shard-file encoding, so the on-disk format joins the ladder: the
 //     compressed (v2) default and the raw layout must decode to
@@ -53,6 +56,10 @@ func TestOOCPipelineBitIdenticalAcrossAllAlgorithms(t *testing.T) {
 		{"prefetch", func(t *testing.T, g *graph.Graph) api.System { return oocEngine(t, g) }},
 		{"window-1", func(t *testing.T, g *graph.Graph) api.System { return oocWindowEngine(t, g, 1) }},
 		{"window-D", func(t *testing.T, g *graph.Graph) api.System { return oocWindowEngine(t, g, 4) }},
+		// Async-read rungs: several uncached reads in flight at once,
+		// completions reordering freely, admission still in plan order.
+		{"iodepth-2", func(t *testing.T, g *graph.Graph) api.System { return oocIODepthEngine(t, g, 2) }},
+		{"iodepth-D", func(t *testing.T, g *graph.Graph) api.System { return oocIODepthEngine(t, g, 4) }},
 		// The same ladder endpoint over a raw (v1) store: the on-disk
 		// format must change bytes, never results.
 		{"v1-store", func(t *testing.T, g *graph.Graph) api.System { return oocV1StoreEngine(t, g) }},

@@ -47,6 +47,25 @@ type WindowResult struct {
 	Domains int     // modelled NUMA domains (= the deep window's k)
 }
 
+// IODepthResult is the async-read ablation: the same cold-cache
+// multi-iteration PageRank with the aio reader capped at one in-flight
+// read (the synchronous pipeline's budget) and at IODepth = D. The LRU
+// sits at D shards against a larger store, so every sweep keeps
+// reading from disk and the read overlap is the only difference
+// between the columns. Admission is plan-ordered either way, so the
+// loads and bytes columns must match exactly — depth may change only
+// when a read happens, never what is read or computed.
+type IODepthResult struct {
+	D1      float64 // seconds, IODepth 1
+	DN      float64 // seconds, IODepth = Depth
+	Speedup float64 // D1 / DN: >1 means the deeper read queue won
+	Depth   int     // the deep column's IODepth (= modelled domains)
+	PeakD1  int64   // Stats.ReadsInFlightPeak, depth-1 run
+	PeakDN  int64   // Stats.ReadsInFlightPeak, depth-D run
+	LoadsD1 int64   // Stats.ShardLoads, depth-1 run
+	LoadsDN int64   // Stats.ShardLoads, depth-D run
+}
+
 // FormatResult is the shard-format ablation: the same graph written as
 // a v1 (raw uint32 pairs, 8 bytes/edge) and a v2 (delta+uvarint
 // compressed) store, each swept by a cold-cache multi-iteration
@@ -96,9 +115,10 @@ type OrderResult struct {
 // OutOfCore runs a representative algorithm slate on the in-memory
 // GG-v2 engine and on the shard.Engine over the same graph, reporting
 // the streaming overhead the LRU cache and frontier-aware sweeps are
-// meant to bound, plus two ablations on multi-iteration PageRank: the
-// prefetch pipeline on/off (cold cache) and the staging window k=1 vs
-// k=D with concurrent domain apply, the on-disk format ablation:
+// meant to bound, plus a stack of ablations on multi-iteration
+// PageRank: the prefetch pipeline on/off (cold cache), the staging
+// window k=1 vs k=D with concurrent domain apply, the async-read queue
+// at IODepth=1 vs IODepth=D, the on-disk format ablation:
 // the same store written v1 (raw) vs v2 (delta+uvarint), bytes and time
 // per cold-cache sweep, and the sweep-order ablation: ascending vs
 // zigzag vs residency-first over a half-store LRU, loads and bytes per
@@ -106,12 +126,12 @@ type OrderResult struct {
 // threads 0 select defaults. The returned figure has one X index per
 // algorithm (the note lines give the mapping) and one series per
 // engine.
-func OutOfCore(g *graph.Graph, dir string, shards, threads, reps int) (*Figure, []OutOfCoreResult, PrefetchResult, WindowResult, FormatResult, OrderResult, error) {
+func OutOfCore(g *graph.Graph, dir string, shards, threads, reps int) (*Figure, []OutOfCoreResult, PrefetchResult, WindowResult, IODepthResult, FormatResult, OrderResult, error) {
 	if shards <= 0 {
 		shards = 16
 	}
-	fail := func(err error) (*Figure, []OutOfCoreResult, PrefetchResult, WindowResult, FormatResult, OrderResult, error) {
-		return nil, nil, PrefetchResult{}, WindowResult{}, FormatResult{}, OrderResult{}, err
+	fail := func(err error) (*Figure, []OutOfCoreResult, PrefetchResult, WindowResult, IODepthResult, FormatResult, OrderResult, error) {
+		return nil, nil, PrefetchResult{}, WindowResult{}, IODepthResult{}, FormatResult{}, OrderResult{}, err
 	}
 	inMem := core.NewEngine(g, core.Options{Threads: threads})
 	// Domains: 1 keeps the headline Slowdown column measuring streaming
@@ -210,6 +230,33 @@ func OutOfCore(g *graph.Graph, dir string, shards, threads, reps int) (*Figure, 
 		"OOC window k=%d: apply levels %v, hand-off depth histogram %v",
 		win.Domains, wst.ApplyLevels, wst.WindowDepths))
 
+	// Async-read ablation: the same 10-iteration PageRank with one
+	// in-flight read (the synchronous budget) vs IODepth = D, both over
+	// the D-deep window with a D-shard LRU so the sweep keeps reading
+	// from disk. Plan-ordered admission makes the disk traffic columns
+	// byte-identical; only the overlap (and the peak) may differ.
+	io1, err := shard.NewEngine(ooc.Store(), g, shard.Options{Threads: threads, CacheShards: d, Window: d, IODepth: 1})
+	if err != nil {
+		return fail(err)
+	}
+	ioD, err := shard.NewEngine(ooc.Store(), g, shard.Options{Threads: threads, CacheShards: d, Window: d, IODepth: d})
+	if err != nil {
+		return fail(err)
+	}
+	d1 := MedianTime(reps, func() { algorithms.PR(io1, 10) })
+	dN := MedianTime(reps, func() { algorithms.PR(ioD, 10) })
+	iod := IODepthResult{
+		D1: Seconds(d1), DN: Seconds(dN), Speedup: Speedup(d1, dN),
+		Depth:   d,
+		PeakD1:  io1.Stats().ReadsInFlightPeak,
+		PeakDN:  ioD.Stats().ReadsInFlightPeak,
+		LoadsD1: io1.Stats().ShardLoads,
+		LoadsDN: ioD.Stats().ShardLoads,
+	}
+	fig.Notes = append(fig.Notes, fmt.Sprintf(
+		"async-read ablation: iodepth=1 %.3fs (peak %d reads in flight) vs iodepth=%d %.3fs (peak %d), %.2fx; read depth histogram %v",
+		iod.D1, iod.PeakD1, iod.Depth, iod.DN, iod.PeakDN, iod.Speedup, ioD.Stats().ReadDepths))
+
 	// Format ablation: the same graph written as a v1 (raw) and a v2
 	// (compressed) store, each swept by the cold-cache 10-iteration
 	// PageRank. A one-shard LRU makes every iteration re-decode (nearly)
@@ -241,7 +288,7 @@ func OutOfCore(g *graph.Graph, dir string, shards, threads, reps int) (*Figure, 
 			or.CacheShards, col.Order, col.Time, col.Loads, col.CacheHits,
 			float64(col.BytesRead)/1024, col.ReloadsAvoided))
 	}
-	return fig, results, pf, win, fr, or, nil
+	return fig, results, pf, win, iod, fr, or, nil
 }
 
 // orderAblation runs the cold-start order columns over an

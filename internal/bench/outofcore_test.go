@@ -11,7 +11,7 @@ import (
 
 func TestOutOfCoreComparisonRuns(t *testing.T) {
 	g := gen.TinySocial()
-	fig, results, pf, win, fr, or, err := OutOfCore(g, t.TempDir(), 8, 0, 1)
+	fig, results, pf, win, iod, fr, or, err := OutOfCore(g, t.TempDir(), 8, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,6 +37,34 @@ func TestOutOfCoreComparisonRuns(t *testing.T) {
 	}
 	if win.Domains < 2 {
 		t.Fatalf("window ablation ran with %d domains; the occupancy comparison needs several", win.Domains)
+	}
+	// The async-read ablation's traffic claims are categorical: the
+	// depth-1 column is the synchronous pipeline (never more than one
+	// read in flight), the deep column may not exceed its budget, and
+	// plan-ordered admission makes the disk traffic identical across
+	// depths. Wall-clock stays shape-only (a regression guard with
+	// generous slack — which depth wins on a micro graph under the OS
+	// page cache is not a stable property).
+	if iod.D1 <= 0 || iod.DN <= 0 || iod.Speedup <= 0 {
+		t.Fatalf("iodepth ablation has non-positive timings: %+v", iod)
+	}
+	if iod.Depth < 2 {
+		t.Fatalf("iodepth ablation ran at depth %d; the overlap comparison needs several", iod.Depth)
+	}
+	if iod.PeakD1 != 1 {
+		t.Fatalf("depth-1 run peaked at %d reads in flight, want exactly 1", iod.PeakD1)
+	}
+	if iod.PeakDN < 1 || iod.PeakDN > int64(iod.Depth) {
+		t.Fatalf("depth-%d run peaked at %d reads in flight, want within [1, %d]", iod.Depth, iod.PeakDN, iod.Depth)
+	}
+	if iod.LoadsD1 != iod.LoadsDN {
+		t.Fatalf("disk traffic differs across IO depths: %d loads at depth 1, %d at depth %d", iod.LoadsD1, iod.LoadsDN, iod.Depth)
+	}
+	if iod.LoadsD1 <= 0 {
+		t.Fatalf("iodepth ablation recorded no loads: %+v", iod)
+	}
+	if iod.DN > 2*iod.D1 {
+		t.Fatalf("deep read queue regressed cold-cache wall time beyond slack: depth 1 %.3fs, depth %d %.3fs", iod.D1, iod.Depth, iod.DN)
 	}
 	// The format ablation's claim is categorical, not statistical: on the
 	// standard micro graph the compressed store must be strictly smaller
@@ -91,7 +119,7 @@ func TestOutOfCoreComparisonRuns(t *testing.T) {
 		t.Fatalf("residency-first should strictly beat ascending with a half-store LRU: %+v vs %+v", res, asc)
 	}
 	text := fig.Render()
-	for _, want := range []string{"GG-v2", "OOC", "cache hits", "prefetch", "cold-cache PR ablation", "domain shards", "occupancy ablation", "apply levels", "format ablation", "order ablation"} {
+	for _, want := range []string{"GG-v2", "OOC", "cache hits", "prefetch", "cold-cache PR ablation", "domain shards", "occupancy ablation", "apply levels", "async-read ablation", "format ablation", "order ablation"} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("rendered figure missing %q:\n%s", want, text)
 		}

@@ -51,6 +51,18 @@ func (c *lruCache) get(i int) (*resident, bool) {
 	return el.Value.(*resident), true
 }
 
+// peek reports whether shard i is cached without promoting it — the
+// stager's issue-time residency prediction. It deliberately leaves the
+// LRU untouched: promotions happen only at reap time, in plan order,
+// so the cache sees the exact get/put sequence a synchronous sweep
+// would issue and the planner's simulation stays exact at any IODepth.
+func (c *lruCache) peek(i int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.idx[i]
+	return ok
+}
+
 // put inserts shard i, evicting from the cold end past capacity.
 func (c *lruCache) put(sh *resident) {
 	c.mu.Lock()

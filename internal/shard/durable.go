@@ -1,0 +1,52 @@
+package shard
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// writeFileAtomic writes data to path via a fsync'd temporary file and
+// an atomic rename — the manifest's durability discipline. A reader
+// racing the write (or surviving a crash during it) sees either the
+// old file or the new one, never a torn prefix; combined with the
+// shard files' own temp+rename writes and the final directory sync, a
+// conversion that dies at any point leaves the directory openable as
+// whatever complete store it last had, or failing with a typed
+// validation error — never silently corrupt.
+func writeFileAtomic(path string, data []byte, perm os.FileMode) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(data)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory, making the renames inside it durable:
+// without it a crash after a "successful" conversion can roll the
+// directory entries back to files that no longer exist.
+func syncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/aio"
 	"repro/internal/api"
 	"repro/internal/frontier"
 	"repro/internal/graph"
@@ -32,17 +33,33 @@ type Options struct {
 	// windowed, cross-domain concurrent pipeline.
 	NoPrefetch bool
 	// Window is the staging window depth k: how many shards the
-	// pipeline may hold staged ahead of the applies (loaded from disk
-	// or promoted from the LRU, not yet begun applying). The original
-	// double buffer is k = 1; deeper windows keep the single staging
-	// goroutine running ahead — still exactly one uncached load in
-	// flight, a modelled io_uring submission queue of depth k — so the
-	// concurrent per-domain applies never starve. At any moment the
-	// depth is additionally bounded by max(1, min(k, CacheShards −
+	// pipeline may hold staged ahead of the applies (loaded from disk,
+	// loading, or promoted from the LRU, not yet begun applying). The
+	// original double buffer is k = 1; deeper windows let the staging
+	// goroutine run ahead — an io_uring submission queue of depth k,
+	// with up to IODepth of its entries genuinely reading at once — so
+	// the concurrent per-domain applies never starve. At any moment the
+	// depth is additionally bounded by max(IODepth, min(k, CacheShards −
 	// in-flight applies)), keeping staged shards inside the LRU budget.
-	// 0 selects the topology's domain count; values above CacheShards
-	// are clamped to it. Ignored when NoPrefetch is set.
+	// 0 selects max(domain count, IODepth); values above CacheShards
+	// are clamped to it, and an explicit value below IODepth is
+	// rejected (the window must cover every in-flight read). Ignored
+	// when NoPrefetch is set.
 	Window int
+	// IODepth is the uncached-read budget: how many shard reads the
+	// staging pipeline may keep in flight simultaneously through the
+	// internal/aio reader. 1 — the default — is the historical "one
+	// uncached load in flight" engine; deeper budgets issue up to
+	// IODepth reads ahead of the reap point, each executed (read +
+	// streaming decode) on a worker of the NUMA domain that will apply
+	// the shard. Results are bit-identical at any depth: reads complete
+	// out of order, but shards are admitted to the LRU and handed to
+	// the applies strictly in plan order. Must fit the cache
+	// (IODepth ≤ CacheShards; the engine's footprint contract is
+	// CacheShards + IODepth decoded shards) and is contradictory with
+	// NoPrefetch — it disables the pipeline that would issue the reads;
+	// both combinations are rejected with *OptionsError.
+	IODepth int
 	// Topology is the modelled NUMA topology shards are placed on;
 	// the zero value selects sched.DefaultTopology (4 domains, the
 	// paper's machine). Shard i's destination range lives on domain
@@ -75,23 +92,77 @@ type Options struct {
 // hit the cache.
 const DefaultCacheShards = 8
 
-func (o Options) withDefaults() Options {
-	if o.CacheShards <= 0 {
+// OptionsError is the typed rejection normalize returns for a
+// nonsensical or contradictory Options value. Zero values still select
+// defaults (the long-standing construction idiom), and Window is still
+// clamped down to CacheShards (a documented, monotone adjustment); but
+// negative knobs and genuinely contradictory combinations — an IODepth
+// the cache cannot hold, a window narrower than the read budget it
+// must cover, NoPrefetch with a multi-read budget — are errors, never
+// silent rewrites that run something other than what was asked for.
+type OptionsError struct {
+	Field  string // the offending Options field
+	Value  int64  // the rejected value
+	Reason string
+}
+
+func (e *OptionsError) Error() string {
+	return fmt.Sprintf("shard: invalid Options.%s = %d: %s", e.Field, e.Value, e.Reason)
+}
+
+// normalize resolves zero values to defaults and validates the result.
+func (o Options) normalize() (Options, error) {
+	if o.Threads < 0 {
+		return o, &OptionsError{"Threads", int64(o.Threads), "must be >= 0 (0 selects GOMAXPROCS)"}
+	}
+	if o.CacheShards < 0 {
+		return o, &OptionsError{"CacheShards", int64(o.CacheShards), "must be >= 0 (0 selects DefaultCacheShards)"}
+	}
+	if o.SparseDiv < 0 {
+		return o, &OptionsError{"SparseDiv", o.SparseDiv, "must be >= 0 (0 selects the paper's 20)"}
+	}
+	if o.Window < 0 {
+		return o, &OptionsError{"Window", int64(o.Window), "must be >= 0 (0 selects max(Domains, IODepth))"}
+	}
+	if o.IODepth < 0 {
+		return o, &OptionsError{"IODepth", int64(o.IODepth), "must be >= 0 (0 selects 1, the synchronous read path)"}
+	}
+	if o.Topology.Domains < 0 {
+		return o, &OptionsError{"Topology.Domains", int64(o.Topology.Domains), "must be >= 0 (0 selects the default topology)"}
+	}
+	if o.CacheShards == 0 {
 		o.CacheShards = DefaultCacheShards
 	}
-	if o.SparseDiv <= 0 {
+	if o.SparseDiv == 0 {
 		o.SparseDiv = 20
 	}
-	if o.Topology.Domains <= 0 {
+	if o.Topology.Domains == 0 {
 		o.Topology = sched.DefaultTopology()
 	}
-	if o.Window <= 0 {
+	if o.IODepth == 0 {
+		o.IODepth = 1
+	}
+	if o.IODepth > o.CacheShards {
+		return o, &OptionsError{"IODepth", int64(o.IODepth),
+			fmt.Sprintf("exceeds CacheShards = %d; every in-flight read holds a cache slot, so the budget cannot cover it", o.CacheShards)}
+	}
+	if o.NoPrefetch && o.IODepth > 1 {
+		return o, &OptionsError{"IODepth", int64(o.IODepth),
+			"contradicts NoPrefetch: the sequential path cannot issue concurrent reads"}
+	}
+	if o.Window == 0 {
 		o.Window = o.Topology.Domains
+		if o.Window < o.IODepth {
+			o.Window = o.IODepth
+		}
+	} else if o.Window < o.IODepth {
+		return o, &OptionsError{"Window", int64(o.Window),
+			fmt.Sprintf("narrower than IODepth = %d; the staging window must cover every in-flight read", o.IODepth)}
 	}
 	if o.Window > o.CacheShards {
 		o.Window = o.CacheShards
 	}
-	return o
+	return o, nil
 }
 
 // Stats counts the engine's sweep, pipeline and I/O activity.
@@ -129,8 +200,19 @@ type Stats struct {
 
 	// Pipeline counters (zero when NoPrefetch).
 	PrefetchHits    int64 // staged shards promoted from the LRU cache
-	PrefetchLoads   int64 // staged shards decoded from disk by the stager
-	OverlappedLoads int64 // stager loads that overlapped an in-progress apply
+	PrefetchLoads   int64 // staged shards decoded from disk for the stager
+	OverlappedLoads int64 // pipeline loads that overlapped an in-progress apply
+
+	// Async-read occupancy (the internal/aio path; NoPrefetch engines
+	// only ever record depth 1). ReadDepths[d] counts uncached reads
+	// that began with d reads in flight engine-wide, itself included
+	// (index 0 is unused; the histogram is sized IODepth+1);
+	// ReadsInFlightPeak is the maximum simultaneous uncached reads
+	// observed. An IODepth=1 engine records ReadsInFlightPeak == 1 on
+	// any sweep that loads — the historical invariant, now measured
+	// rather than assumed.
+	ReadDepths        []int64
+	ReadsInFlightPeak int64
 
 	// Concurrent-apply occupancy. ApplyLevels[l] counts shard applies
 	// that began with l+1 shards mid-apply engine-wide (ApplyLevels[0]
@@ -176,8 +258,9 @@ type Stats struct {
 //
 // Sweeps are pipelined (plan → stage → apply → publish): once the
 // planner fixes the shard order, a staging goroutine keeps up to
-// Options.Window shards resident ahead — loaded from disk or promoted
-// from the LRU, with exactly one uncached load in flight — and up to
+// Options.Window shards staged ahead — promoted from the LRU, or read
+// through the internal/aio reader with up to Options.IODepth uncached
+// reads in flight at once — and up to
 // min(Domains, Threads) staged shards are applied simultaneously, one
 // per modelled NUMA domain, each by the workers of the domain that
 // owns its destination range (round-robin by shard index, the
@@ -224,16 +307,21 @@ type Engine struct {
 	pending    *plannedStats
 
 	// applying counts shards currently mid-apply (up to one per domain
-	// on the pipelined path); the stager samples it to count loads that
-	// overlapped an apply, and applyShard derives the occupancy stats
-	// from it.
+	// on the pipelined path); the read path samples it to count loads
+	// that overlapped an apply, and applyShard derives the occupancy
+	// stats from it. loading counts uncached shard reads in flight
+	// (at most Options.IODepth; exactly one at a time on the
+	// NoPrefetch and IODepth=1 paths) and feeds the ReadDepths and
+	// ReadsInFlightPeak stats.
 	applying int32
+	loading  int32
 
 	stats Stats
 
 	// Test hooks (nil outside tests): onLoadBegin fires before a shard
-	// file is read (on the staging goroutine when prefetch is on),
-	// onLoadEnd after it is resident; onApplyBegin/onApplyEnd bracket
+	// file is read (on an aio worker goroutine when the pipeline is on,
+	// up to IODepth concurrently), onLoadEnd after it is decoded and
+	// bucketed; onApplyBegin/onApplyEnd bracket
 	// one shard's parallel application (on its domain's apply goroutine
 	// when the pipeline is on, on the sweep goroutine otherwise);
 	// onStage fires when a staged shard enters the window, carrying the
@@ -254,7 +342,10 @@ func NewEngine(st *Store, g *graph.Graph, opts Options) (*Engine, error) {
 		return nil, fmt.Errorf("shard: store is %dv/%de but graph is %dv/%de",
 			st.NumVertices(), st.NumEdges(), g.NumVertices(), g.NumEdges())
 	}
-	opts = opts.withDefaults()
+	opts, err := opts.normalize()
+	if err != nil {
+		return nil, err
+	}
 	if !opts.Order.valid() {
 		return nil, fmt.Errorf("shard: unknown sweep order %v", opts.Order)
 	}
@@ -295,6 +386,7 @@ func NewEngine(st *Store, g *graph.Graph, opts Options) (*Engine, error) {
 			DomainEdges:  make([]int64, opts.Topology.Domains),
 			ApplyLevels:  make([]int64, opts.Topology.Domains),
 			WindowDepths: make([]int64, opts.Window+1),
+			ReadDepths:   make([]int64, opts.IODepth+1),
 		},
 	}, nil
 }
@@ -348,11 +440,13 @@ func (e *Engine) Stats() Stats {
 		PrefetchHits:        atomic.LoadInt64(&e.stats.PrefetchHits),
 		PrefetchLoads:       atomic.LoadInt64(&e.stats.PrefetchLoads),
 		OverlappedLoads:     atomic.LoadInt64(&e.stats.OverlappedLoads),
+		ReadsInFlightPeak:   atomic.LoadInt64(&e.stats.ReadsInFlightPeak),
 		ConcurrentApplyPeak: atomic.LoadInt64(&e.stats.ConcurrentApplyPeak),
 		DomainShards:        make([]int64, len(e.stats.DomainShards)),
 		DomainEdges:         make([]int64, len(e.stats.DomainEdges)),
 		ApplyLevels:         make([]int64, len(e.stats.ApplyLevels)),
 		WindowDepths:        make([]int64, len(e.stats.WindowDepths)),
+		ReadDepths:          make([]int64, len(e.stats.ReadDepths)),
 	}
 	for d := range s.DomainShards {
 		s.DomainShards[d] = atomic.LoadInt64(&e.stats.DomainShards[d])
@@ -363,6 +457,9 @@ func (e *Engine) Stats() Stats {
 	}
 	for d := range s.WindowDepths {
 		s.WindowDepths[d] = atomic.LoadInt64(&e.stats.WindowDepths[d])
+	}
+	for d := range s.ReadDepths {
+		s.ReadDepths[d] = atomic.LoadInt64(&e.stats.ReadDepths[d])
 	}
 	return s
 }
@@ -390,7 +487,8 @@ func (e *Engine) VertexFilter(f *frontier.Frontier, pred func(graph.VID) bool) *
 // concurrent shard sweep: plan → stage → apply → publish. The planner
 // picks the shard sequence (exact for sparse frontiers, summary-pruned
 // for dense ones); a staging goroutine keeps up to Options.Window
-// shards resident ahead (one uncached load in flight); up to
+// shards staged ahead (at most Options.IODepth uncached reads in
+// flight, admitted to the LRU strictly in plan order); up to
 // min(Domains, Threads) staged shards are applied simultaneously, one
 // per modelled NUMA domain, each by its own domain's workers; the next
 // frontier is published
@@ -519,9 +617,9 @@ func (e *Engine) planDense(f *frontier.Frontier) []int {
 
 // load returns shard si ready for application on the NoPrefetch path:
 // loads happen one at a time on the sweep goroutine, so at most one
-// uncached shard is in flight (the pipelined path keeps the same
-// invariant by doing all loads on the single staging goroutine; see
-// window.go). A load failure panics — EdgeMap cannot return an error.
+// uncached shard is in flight (the pipelined path bounds the same
+// quantity by Options.IODepth; see window.go). A load failure panics —
+// EdgeMap cannot return an error.
 func (e *Engine) load(si int) *resident {
 	sh, err := e.fetch(si, false)
 	if err != nil {
@@ -530,11 +628,11 @@ func (e *Engine) load(si int) *resident {
 	return sh
 }
 
-// fetch is the one load path both sweep modes share: shard si from the
-// LRU cache when resident, otherwise decoded from disk. prefetching
-// marks calls from the staging goroutine, which additionally maintain
-// the pipeline counters — including overlap, a disk load that
-// intersected an in-progress apply on the sweep goroutine.
+// fetch is the synchronous load path: shard si from the LRU cache when
+// resident, otherwise decoded from disk on the calling goroutine.
+// prefetching marks calls on behalf of the staging pipeline, which
+// additionally maintain the pipeline counters — including overlap, a
+// disk load that intersected an in-progress apply.
 func (e *Engine) fetch(si int, prefetching bool) (*resident, error) {
 	if sh, ok := e.cache.get(si); ok {
 		atomic.AddInt64(&e.stats.CacheHits, 1)
@@ -543,32 +641,103 @@ func (e *Engine) fetch(si int, prefetching bool) (*resident, error) {
 		}
 		return sh, nil
 	}
-	if e.onLoadBegin != nil {
-		e.onLoadBegin(si)
-	}
-	overlapped := prefetching && atomic.LoadInt32(&e.applying) != 0
-	coo, diskBytes, err := e.st.loadShard(si)
+	res, err := e.readShard(si)
 	if err != nil {
 		return nil, err
 	}
-	atomic.AddInt64(&e.stats.BytesRead, diskBytes)
-	atomic.AddInt64(&e.stats.BytesLogical, v1EncodedBytes(int64(len(coo.Src))))
+	e.finishLoad(res, prefetching)
+	return res.sh, nil
+}
+
+// loadResult is one uncached read's outcome, carried from the reading
+// goroutine (an aio worker, or the reaper itself on the synchronous
+// paths) to the reap point where it is admitted to the cache.
+type loadResult struct {
+	sh         *resident
+	diskBytes  int64
+	overlapped bool // the read intersected an in-progress apply
+}
+
+// readShard executes one uncached read — decode from disk, bucket for
+// the owning domain's workers — without touching the LRU or the load
+// counters; those belong to the reap point (finishLoad), which runs in
+// plan order. readShard itself may run on any goroutine, concurrently
+// with up to IODepth-1 other reads, and maintains the in-flight read
+// occupancy stats.
+func (e *Engine) readShard(si int) (loadResult, error) {
+	if e.onLoadBegin != nil {
+		e.onLoadBegin(si)
+	}
+	depth := atomic.AddInt32(&e.loading, 1)
+	defer atomic.AddInt32(&e.loading, -1)
+	if d := int(depth); d >= 1 && d < len(e.stats.ReadDepths) {
+		atomic.AddInt64(&e.stats.ReadDepths[d], 1)
+	}
+	for {
+		peak := atomic.LoadInt64(&e.stats.ReadsInFlightPeak)
+		if int64(depth) <= peak ||
+			atomic.CompareAndSwapInt64(&e.stats.ReadsInFlightPeak, peak, int64(depth)) {
+			break
+		}
+	}
+	overlapped := atomic.LoadInt32(&e.applying) != 0
+	coo, diskBytes, err := e.st.loadShard(si)
+	if err != nil {
+		return loadResult{}, err
+	}
 	sh := e.bucket(si, coo)
-	if prefetching && atomic.LoadInt32(&e.applying) != 0 {
+	if atomic.LoadInt32(&e.applying) != 0 {
 		overlapped = true
 	}
 	if e.onLoadEnd != nil {
 		e.onLoadEnd(si)
 	}
+	return loadResult{sh: sh, diskBytes: diskBytes, overlapped: overlapped}, nil
+}
+
+// finishLoad admits one completed uncached read: the I/O counters and
+// the cache insertion. On the pipelined path it runs on the staging
+// goroutine in plan order — reads may complete out of order, but the
+// LRU sees the same insertion sequence a synchronous sweep would issue.
+func (e *Engine) finishLoad(res loadResult, prefetching bool) {
+	atomic.AddInt64(&e.stats.BytesRead, res.diskBytes)
+	atomic.AddInt64(&e.stats.BytesLogical, v1EncodedBytes(int64(len(res.sh.src))))
 	atomic.AddInt64(&e.stats.ShardLoads, 1)
 	if prefetching {
 		atomic.AddInt64(&e.stats.PrefetchLoads, 1)
-		if overlapped {
+		if res.overlapped {
 			atomic.AddInt64(&e.stats.OverlappedLoads, 1)
 		}
 	}
-	e.cache.put(sh)
-	return sh, nil
+	e.cache.put(res.sh)
+}
+
+// admit resolves plan entry si at its reap point on the staging
+// goroutine: from the LRU if resident, else from the async read
+// ticket issued for it (at submission time, or by pump's fallback
+// when an issue-time hit prediction was invalidated by an interleaved
+// eviction). The synchronous readShard branch is defensive only —
+// pump always supplies a ticket for a shard the cache no longer
+// holds, so every uncached read stays under the reader's IODepth
+// budget.
+func (e *Engine) admit(si int, t *aio.Ticket[loadResult]) (*resident, error) {
+	if sh, ok := e.cache.get(si); ok {
+		atomic.AddInt64(&e.stats.CacheHits, 1)
+		atomic.AddInt64(&e.stats.PrefetchHits, 1)
+		return sh, nil
+	}
+	var res loadResult
+	var err error
+	if t != nil {
+		res, err = t.Wait()
+	} else {
+		res, err = e.readShard(si)
+	}
+	if err != nil {
+		return nil, err
+	}
+	e.finishLoad(res, true)
+	return res.sh, nil
 }
 
 // tasksPerWorker oversubscribes intra-shard tasks relative to workers so

@@ -45,6 +45,9 @@ func TestEngineConformance(t *testing.T) {
 		"windowed-mt":     {Threads: 8, CacheShards: 4, Window: 4},
 		"window-one":      {Threads: 4, CacheShards: 2, Window: 1},
 		"starved-domains": {Threads: 2, CacheShards: 4, Window: 4, Topology: sched.Topology{Domains: 6}},
+		"aio-depth-2":     {Threads: 4, CacheShards: 4, Window: 4, IODepth: 2},
+		"aio-depth-max":   {Threads: 8, CacheShards: 4, IODepth: 4, Topology: sched.Topology{Domains: 4}},
+		"aio-tight-cache": {Threads: 4, CacheShards: 2, IODepth: 2, Window: 2},
 	}
 	for gname, g := range graphs {
 		for cname, opts := range configs {

@@ -8,6 +8,7 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/aio"
 	"repro/internal/graph"
 )
 
@@ -109,9 +110,14 @@ func v1EncodedBytes(edges int64) int64 { return 8 + 2*vidBytes*edges }
 var shardMagicV2 = [4]byte{'G', 'G', 'S', '2'}
 
 // writeShardFile encodes one shard's COO in the given format. c is not
-// modified: the v2 path sorts a copy.
+// modified: the v2 path sorts a copy. The bytes are written to a
+// temporary name, fsync'd and atomically renamed into place: a crash
+// mid-conversion leaves at worst a stale *.tmp (which Open ignores),
+// never a half-written file under the shard's real name that a later
+// sweep would decode as corrupt.
 func writeShardFile(path string, c *graph.COO, format Format) error {
-	f, err := os.Create(path)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
@@ -123,10 +129,20 @@ func writeShardFile(path string, c *graph.COO, format Format) error {
 	default:
 		err = fmt.Errorf("shard: cannot write format %v", format)
 	}
+	if err == nil {
+		err = f.Sync()
+	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
-	return err
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 func writeShardV1(f *os.File, c *graph.COO) error {
@@ -216,12 +232,19 @@ func readShardFile(path string, format Format, n int, lo, hi graph.VID, wantEdge
 	return nil, 0, fmt.Errorf("shard: cannot read format %v", format)
 }
 
-func readShardV1(path string, n int, lo, hi graph.VID, wantEdges int64) (*graph.COO, int64, error) {
-	f, err := os.Open(path)
+func readShardV1(path string, n int, lo, hi graph.VID, wantEdges int64) (c *graph.COO, size int64, err error) {
+	f, err := aio.Open(path)
 	if err != nil {
 		return nil, 0, err
 	}
-	defer f.Close()
+	// Propagate close errors like the write path does: a delayed I/O
+	// error surfacing at close must not let an otherwise-successful
+	// decode pass as valid.
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			c, size, err = nil, 0, fmt.Errorf("shard: %s: close: %v", path, cerr)
+		}
+	}()
 	var count int64
 	if err := binary.Read(f, binary.LittleEndian, &count); err != nil {
 		return nil, 0, fmt.Errorf("shard: %s: %v", path, err)
@@ -243,7 +266,7 @@ func readShardV1(path string, n int, lo, hi graph.VID, wantEdges int64) (*graph.
 		return nil, 0, fmt.Errorf("shard: %s: file is %d bytes, want %d for %d edges",
 			path, fi.Size(), v1EncodedBytes(count), count)
 	}
-	c := &graph.COO{N: n, Src: make([]graph.VID, count), Dst: make([]graph.VID, count)}
+	c = &graph.COO{N: n, Src: make([]graph.VID, count), Dst: make([]graph.VID, count)}
 	if err := binary.Read(f, binary.LittleEndian, c.Src); err != nil {
 		return nil, 0, fmt.Errorf("shard: %s: sources: %v", path, err)
 	}
@@ -267,12 +290,17 @@ func uvarintLen(x uint64) int64 {
 	return int64(binary.PutUvarint(tmp[:], x))
 }
 
-func readShardV2(path string, n int, lo, hi graph.VID, wantEdges int64) (*graph.COO, int64, error) {
-	f, err := os.Open(path)
+func readShardV2(path string, n int, lo, hi graph.VID, wantEdges int64) (c *graph.COO, size int64, err error) {
+	f, err := aio.Open(path)
 	if err != nil {
 		return nil, 0, err
 	}
-	defer f.Close()
+	// See readShardV1: close errors fail the decode, like the write path.
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			c, size, err = nil, 0, fmt.Errorf("shard: %s: close: %v", path, cerr)
+		}
+	}()
 	fi, err := f.Stat()
 	if err != nil {
 		return nil, 0, fmt.Errorf("shard: %s: %v", path, err)
@@ -307,7 +335,7 @@ func readShardV2(path string, n int, lo, hi graph.VID, wantEdges int64) (*graph.
 		return nil, 0, fmt.Errorf("shard: %s: file is %d bytes, need at least %d for %d edges",
 			path, fi.Size(), minSize, count)
 	}
-	c := &graph.COO{N: n, Src: make([]graph.VID, count), Dst: make([]graph.VID, count)}
+	c = &graph.COO{N: n, Src: make([]graph.VID, count), Dst: make([]graph.VID, count)}
 	var prevDst, prevSrc uint64
 	for i := int64(0); i < count; i++ {
 		dDelta, err := binary.ReadUvarint(br)

@@ -1,0 +1,84 @@
+package shard
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// TestOptionsNormalizeRejections: every negative knob and every
+// contradictory combination is rejected with a typed *OptionsError
+// naming the offending field — construction-time validation, not a
+// mid-sweep surprise.
+func TestOptionsNormalizeRejections(t *testing.T) {
+	cases := []struct {
+		name  string
+		opts  Options
+		field string
+	}{
+		{"negative-threads", Options{Threads: -1}, "Threads"},
+		{"negative-cacheshards", Options{CacheShards: -2}, "CacheShards"},
+		{"negative-sparsediv", Options{SparseDiv: -1}, "SparseDiv"},
+		{"negative-window", Options{Window: -4}, "Window"},
+		{"negative-iodepth", Options{IODepth: -1}, "IODepth"},
+		{"negative-domains", Options{Topology: sched.Topology{Domains: -3}}, "Topology.Domains"},
+		{"iodepth-exceeds-budget", Options{CacheShards: 4, IODepth: 5}, "IODepth"},
+		{"iodepth-under-noprefetch", Options{NoPrefetch: true, IODepth: 2}, "IODepth"},
+		{"window-narrower-than-iodepth", Options{CacheShards: 8, Window: 2, IODepth: 4}, "Window"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := tc.opts.normalize()
+			if err == nil {
+				t.Fatalf("normalize(%+v) accepted an invalid configuration", tc.opts)
+			}
+			var oe *OptionsError
+			if !errors.As(err, &oe) {
+				t.Fatalf("normalize returned %T (%v), want *OptionsError", err, err)
+			}
+			if oe.Field != tc.field {
+				t.Fatalf("error names field %q, want %q (%v)", oe.Field, tc.field, err)
+			}
+			if !strings.Contains(err.Error(), "shard: invalid Options."+tc.field) {
+				t.Fatalf("error text %q lacks the canonical prefix", err)
+			}
+		})
+	}
+}
+
+// TestOptionsNormalizeDefaults pins the zero-value construction idiom
+// and the documented monotone adjustments: zeros select defaults,
+// Window defaults to max(Domains, IODepth) and is clamped down to the
+// LRU budget, and a valid IODepth survives untouched.
+func TestOptionsNormalizeDefaults(t *testing.T) {
+	cases := []struct {
+		name            string
+		in              Options
+		iodepth, window int
+		cacheShards     int
+	}{
+		{"all-zero", Options{}, 1, sched.DefaultTopology().Domains, DefaultCacheShards},
+		{"window-clamped-to-budget", Options{CacheShards: 3, Window: 5}, 1, 3, 3},
+		{"window-defaults-to-iodepth", Options{CacheShards: 6, IODepth: 3, Topology: sched.Topology{Domains: 2}}, 3, 3, 6},
+		{"window-defaults-to-domains", Options{CacheShards: 8, IODepth: 2}, 2, sched.DefaultTopology().Domains, 8},
+		{"explicit-survives", Options{CacheShards: 4, Window: 4, IODepth: 2}, 2, 4, 4},
+		{"default-window-clamped", Options{CacheShards: 2, IODepth: 2, Topology: sched.Topology{Domains: 8}}, 2, 2, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := tc.in.normalize()
+			if err != nil {
+				t.Fatalf("normalize(%+v): %v", tc.in, err)
+			}
+			if got.IODepth != tc.iodepth || got.Window != tc.window || got.CacheShards != tc.cacheShards {
+				t.Fatalf("normalize(%+v) = IODepth %d, Window %d, CacheShards %d; want %d, %d, %d",
+					tc.in, got.IODepth, got.Window, got.CacheShards, tc.iodepth, tc.window, tc.cacheShards)
+			}
+			if got.Window < got.IODepth {
+				t.Fatalf("normalized Window %d < IODepth %d: downstream code relies on this never happening", got.Window, got.IODepth)
+			}
+		})
+	}
+}

@@ -26,10 +26,13 @@
 //	           configured sweep-order policy (Options.Order — ascending,
 //	           zigzag or residency-first), which keeps the LRU tail of
 //	           one sweep alive into the next without changing results;
-//	prefetch — a dedicated staging goroutine loads shard i+1 from disk,
-//	           or promotes it from the LRU cache, while shard i is being
-//	           applied (a strict double buffer: at most one shard staged
-//	           ahead, at most one uncached load in flight);
+//	prefetch — a dedicated staging goroutine keeps up to Window shards
+//	           staged ahead while earlier shards are being applied:
+//	           cached shards are promoted from the LRU, uncached ones
+//	           are read through the internal/aio reader with up to
+//	           IODepth reads in flight at once, reaped strictly in plan
+//	           order (IODepth = 1, Window = 1 is the original strict
+//	           double buffer);
 //	apply    — the resident shard is applied in parallel over 64-aligned
 //	           destination sub-ranges by the workers of the modelled
 //	           NUMA domain that owns the shard's destination range
@@ -130,7 +133,16 @@ func WriteFormat(dir string, g *graph.Graph, p int, format Format) (*Store, erro
 	if err != nil {
 		return nil, err
 	}
-	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), data, 0o644); err != nil {
+	// The manifest is written last, atomically, and the directory is
+	// synced after it: the manifest names only shard files that are
+	// already durable, so a crash anywhere in the conversion leaves a
+	// directory that opens as the previous complete store (or fails
+	// Open's validation with a typed error), never one that silently
+	// decodes torn data.
+	if err := writeFileAtomic(filepath.Join(dir, "manifest.json"), data, 0o644); err != nil {
+		return nil, err
+	}
+	if err := syncDir(dir); err != nil {
 		return nil, err
 	}
 	return &Store{dir: dir, format: format, m: m}, nil

@@ -3,32 +3,41 @@ package shard
 // The sweep pipeline's concurrency model (PCPM-style pipelining,
 // Lakhotia et al., generalised to Polymer's all-sockets-at-once
 // execution): a sweep's shard plan is known up front, so a single
-// staging goroutine walks it in order, loading each shard from disk —
-// or promoting it from the LRU — and handing it to the apply goroutine
-// of the modelled NUMA domain that owns the shard's destination range.
-// Up to min(D, Threads) shards are applied simultaneously, one per
-// domain, each by its own domain's worker view (the cap keeps
-// aggregate parallelism at the pool size when domains outnumber
-// workers); this is safe, and bit-identical to a sequential sweep,
-// because shards own disjoint 64-aligned destination ranges and every
-// operator writes destination state only, so no two concurrent applies
-// ever touch the same vertex or the same next-frontier bitmap word.
+// staging goroutine walks it in order, issuing uncached reads through
+// the internal/aio reader — up to Options.IODepth in flight at once,
+// each executed by a worker of the modelled NUMA domain that owns the
+// shard — and reaping the completions strictly in plan order, handing
+// each shard to the apply goroutine of its domain. Up to
+// min(D, Threads) shards are applied simultaneously, one per domain,
+// each by its own domain's worker view (the cap keeps aggregate
+// parallelism at the pool size when domains outnumber workers); this
+// is safe, and bit-identical to a sequential sweep, because shards own
+// disjoint 64-aligned destination ranges and every operator writes
+// destination state only, so no two concurrent applies ever touch the
+// same vertex or the same next-frontier bitmap word.
+//
+// The split between issue and reap is what keeps deeper IODepths
+// bit-identical *and* stats-identical: reads complete out of order,
+// but the LRU is only consulted and mutated at the reap point, on the
+// staging goroutine, in plan order — the exact get/put sequence a
+// synchronous sweep would issue, which is also why the planner's
+// shadow-LRU prediction (PlannedCacheHits) stays exact at any depth.
 //
 // The stager is throttled by a bounded window: at most
-// max(1, min(Window, CacheShards − in-flight applies)) shards may sit
-// staged ahead (loading or loaded, not yet begun applying), and staged
-// plus mid-apply shards together never exceed CacheShards + 1, the
-// engine's documented footprint of "the LRU budget plus the one being
-// loaded". The double buffer of the original pipeline is the Window = 1
-// floor, and deeper windows model an io_uring submission queue of
-// depth k. All loads still happen sequentially on the one staging
-// goroutine, so the engine's "at most one uncached load in flight"
-// invariant survives every configuration.
+// max(IODepth, min(Window, CacheShards − in-flight applies)) shards
+// may sit staged ahead (issued, loading, loaded or promoted, not yet
+// begun applying), and staged plus mid-apply shards together never
+// exceed CacheShards + IODepth, the engine's footprint of "the LRU
+// budget plus the reads in flight". IODepth = 1 is exactly the
+// pre-aio pipeline: a floor of one, a footprint of CacheShards + 1,
+// one uncached load in flight.
 
 import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/aio"
 )
 
 // loadFailure wraps a shard-read error so teardown can tell it apart
@@ -36,17 +45,27 @@ import (
 // "shard: engine sweep:" prefix, operator panics are re-raised verbatim.
 type loadFailure struct{ err error }
 
+// stagedRead is one plan entry the stager has claimed a window credit
+// for: ticket is its in-flight async read, or nil when the stager
+// predicted the LRU would serve it at reap time.
+type stagedRead struct {
+	si     int
+	ticket *aio.Ticket[loadResult]
+}
+
 // sweepWindow owns one sweep's pipeline: the staging goroutine, the
-// per-domain apply goroutines and the bounded-window accounting that
-// couples them to the LRU budget.
+// aio reader, the per-domain apply goroutines and the bounded-window
+// accounting that couples them to the LRU budget.
 type sweepWindow struct {
 	e        *Engine
 	k        int // window depth cap (Options.Window, already bounded by the LRU budget)
+	depth    int // uncached-read budget (Options.IODepth)
 	applyCap int // max simultaneous applies: min(Domains, Pool.Threads())
+	reader   *aio.Reader[loadResult]
 
 	mu       sync.Mutex
 	cond     *sync.Cond
-	staged   int // shards holding a window credit: loading or loaded, not yet begun applying
+	staged   int // shards holding a window credit: issued, loading, loaded or promoted, not yet begun applying
 	applying int // shards mid-apply across all domains
 	aborted  bool
 	cause    any // first failure: a loadFailure or an operator panic value
@@ -58,14 +77,15 @@ type sweepWindow struct {
 
 // startSweep launches the pipeline for a planned shard sequence: one
 // apply goroutine per domain with work, fed in plan order through
-// per-domain queues, plus the staging goroutine. apply runs one
-// resident shard (it is the closure over this EdgeMap's frontier and
-// operator state). The caller must invoke wait, and should defer stop
-// as the teardown barrier — stop is idempotent and returns only after
-// every pipeline goroutine has exited, so no sweep leaks goroutines
-// even when wait re-raises a failure.
+// per-domain queues, the aio reader sized to the plan's per-domain
+// shares, plus the staging goroutine. apply runs one resident shard
+// (it is the closure over this EdgeMap's frontier and operator state).
+// The caller must invoke wait, and should defer stop as the teardown
+// barrier — stop is idempotent and returns only after every pipeline
+// goroutine (the reader's workers included) has exited, so no sweep
+// leaks goroutines even when wait re-raises a failure.
 func (e *Engine) startSweep(plan []int, apply func(*resident)) *sweepWindow {
-	w := &sweepWindow{e: e, k: e.opts.Window, stagerDone: make(chan struct{})}
+	w := &sweepWindow{e: e, k: e.opts.Window, depth: e.opts.IODepth, stagerDone: make(chan struct{})}
 	// Concurrency never exceeds the pool: a machine modelled with T
 	// workers runs at most T domain applies at once, so Threads keeps
 	// meaning total parallelism even when Split had to deal borrowed
@@ -82,6 +102,10 @@ func (e *Engine) startSweep(plan []int, apply func(*resident)) *sweepWindow {
 	for _, si := range plan {
 		perDomain[e.domainOf[si]]++
 	}
+	// The reader's queues are sized to the per-domain plan shares, so
+	// Submit never blocks; its completion callback wakes the stager,
+	// which may be waiting in pump for its FIFO head to become ready.
+	w.reader = aio.New[loadResult](perDomain, w.depth, func() { w.cond.Broadcast() })
 	w.queues = make([]chan *resident, len(e.domains))
 	for d, n := range perDomain {
 		if n == 0 {
@@ -97,9 +121,14 @@ func (e *Engine) startSweep(plan []int, apply func(*resident)) *sweepWindow {
 	return w
 }
 
-// stage is the staging goroutine: plan order, one fetch at a time, each
-// behind a window credit. On a load failure or an abort it closes the
-// queues early; the apply goroutines drain and exit.
+// stage is the staging goroutine: for each plan entry it claims a
+// window credit (reaping ready reads while it waits), predicts the
+// LRU's answer with a non-promoting peek, and either issues an async
+// read on the shard's domain queue or records a predicted hit.
+// Completions are reaped — admitted to the cache, counted, handed to
+// the applies — strictly in plan order by pump, never here. On a load
+// failure or an abort it closes the queues early; the apply goroutines
+// drain and exit.
 func (w *sweepWindow) stage(plan []int) {
 	defer close(w.stagerDone)
 	defer func() {
@@ -109,18 +138,80 @@ func (w *sweepWindow) stage(plan []int) {
 			}
 		}
 	}()
+	var fifo []stagedRead
 	for _, si := range plan {
-		if !w.acquire() {
+		if !w.pump(&fifo, true) {
 			return
 		}
-		sh, err := w.e.fetch(si, true)
-		if err != nil {
-			w.release()
-			w.fail(loadFailure{err})
-			return
+		var t *aio.Ticket[loadResult]
+		if !w.e.cache.peek(si) {
+			idx := si
+			t = w.reader.Submit(int(w.e.domainOf[si]), func() (loadResult, error) {
+				return w.e.readShard(idx)
+			})
 		}
-		w.recordStaged(si)
-		w.queues[w.e.domainOf[si]] <- sh
+		fifo = append(fifo, stagedRead{si: si, ticket: t})
+	}
+	w.pump(&fifo, false)
+}
+
+// pump drives the reap side of the pipeline while the stager has
+// something to wait for: every time the FIFO head's read has completed
+// (or the head never needed one), the head is reaped — admitted to the
+// LRU and counted in plan order, recorded in the window stats, handed
+// to its domain's apply queue. With wantCredit, pump returns true once
+// it has claimed a window credit for the next plan entry; without, it
+// returns true once the FIFO has fully drained (end of plan). false
+// means the sweep aborted or a load failed — the failed shard's credit
+// is released and the failure recorded here.
+func (w *sweepWindow) pump(fifo *[]stagedRead, wantCredit bool) bool {
+	w.mu.Lock()
+	for {
+		if w.aborted {
+			w.mu.Unlock()
+			return false
+		}
+		if len(*fifo) > 0 {
+			head := (*fifo)[0]
+			if head.ticket == nil || head.ticket.Ready() {
+				*fifo = (*fifo)[1:]
+				w.mu.Unlock()
+				if head.ticket == nil && !w.e.cache.peek(head.si) {
+					// The issue-time hit prediction was invalidated by an
+					// interleaved eviction (an earlier reap pushed this
+					// shard off the cold end). Read it through the reader
+					// like any other miss, so the IODepth bound covers
+					// the fallback too; the planner simulation already
+					// predicted a miss at this plan position, so the
+					// stats stay exact.
+					idx := head.si
+					head.ticket = w.reader.Submit(int(w.e.domainOf[idx]), func() (loadResult, error) {
+						return w.e.readShard(idx)
+					})
+				}
+				sh, err := w.e.admit(head.si, head.ticket)
+				if err != nil {
+					w.release()
+					w.fail(loadFailure{err})
+					return false
+				}
+				w.recordStaged(head.si)
+				w.queues[w.e.domainOf[head.si]] <- sh
+				w.mu.Lock()
+				continue
+			}
+		}
+		if wantCredit && w.staged < w.limitLocked() &&
+			w.staged+w.applying < w.e.opts.CacheShards+w.depth {
+			w.staged++
+			w.mu.Unlock()
+			return true
+		}
+		if !wantCredit && len(*fifo) == 0 {
+			w.mu.Unlock()
+			return true
+		}
+		w.cond.Wait()
 	}
 }
 
@@ -149,41 +240,22 @@ func (w *sweepWindow) applyLoop(d int, apply func(*resident)) {
 
 // limitLocked is the dynamic window bound: the configured depth k,
 // shrunk so staged shards plus in-flight applies stay inside the LRU
-// budget, floored at one so the double buffer always survives (with a
-// one-shard budget the original pipeline already kept one shard staged
-// ahead of the apply; the floor preserves exactly that).
+// budget, floored at IODepth so the read pipeline never self-throttles
+// below its budget (at IODepth = 1 this is the original floor of one:
+// with a one-shard budget the pre-aio pipeline already kept one shard
+// staged ahead of the apply).
 func (w *sweepWindow) limitLocked() int {
 	l := w.e.opts.CacheShards - w.applying
 	if l > w.k {
 		l = w.k
 	}
-	if l < 1 {
-		l = 1
+	if l < w.depth {
+		l = w.depth
 	}
 	return l
 }
 
-// acquire blocks until a window credit is free and claims it; false
-// means the sweep aborted while waiting. Besides the per-window bound,
-// the total of staged plus mid-apply shards is held to CacheShards + 1
-// — the engine's documented footprint of "the LRU budget plus the one
-// being loaded" — so the depth floor can never pile live decoded
-// shards past the contract even when every domain is busy.
-func (w *sweepWindow) acquire() bool {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	for !w.aborted &&
-		(w.staged >= w.limitLocked() || w.staged+w.applying > w.e.opts.CacheShards) {
-		w.cond.Wait()
-	}
-	if w.aborted {
-		return false
-	}
-	w.staged++
-	return true
-}
-
-// release returns an unused credit (the fetch behind it failed).
+// release returns an unused credit (the read behind it failed).
 func (w *sweepWindow) release() {
 	w.mu.Lock()
 	w.staged--
@@ -270,9 +342,12 @@ func (w *sweepWindow) wait() {
 }
 
 // stop is the teardown barrier: it aborts whatever is still pending and
-// returns only after the staging goroutine and every apply goroutine
-// have exited, so no further cache or stats mutation happens. It is
-// idempotent and safe after wait.
+// returns only after the staging goroutine, every apply goroutine and
+// the aio reader's workers have exited, so no further cache or stats
+// mutation happens. Reads still in flight at the abort finish on their
+// workers and are discarded unreaped (their tickets die with the
+// stager's FIFO); reads still queued resolve ErrClosed without
+// executing. It is idempotent and safe after wait.
 func (w *sweepWindow) stop() {
 	w.mu.Lock()
 	w.aborted = true
@@ -280,4 +355,5 @@ func (w *sweepWindow) stop() {
 	w.mu.Unlock()
 	<-w.stagerDone
 	w.applyWG.Wait()
+	w.reader.Close()
 }

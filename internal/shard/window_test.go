@@ -129,15 +129,17 @@ func TestStatsSafeUnderConcurrentSweeps(t *testing.T) {
 }
 
 // TestSweepWindowInvariants is the property test pinning the pipeline's
-// three invariants across window depths, budgets, domain counts and
-// thread counts, asserted from an event trace recorded by the engine
-// hooks:
+// invariants across window depths, IO depths, budgets, domain counts
+// and thread counts, asserted from an event trace recorded by the
+// engine hooks:
 //
-//  1. never more than one uncached load in flight;
-//  2. window depth <= max(1, min(k, LRU budget - in-flight applies)),
-//     sampled atomically with the apply count at every staging hand-off,
-//     and staged + mid-apply shards <= budget + 1 (the engine's
-//     documented footprint: the LRU budget plus the one being loaded);
+//  1. never more than IODepth uncached loads in flight (exactly one on
+//     the historical IODepth = 1 configurations);
+//  2. window depth <= max(IODepth, min(k, LRU budget - in-flight
+//     applies)), sampled atomically with the apply count at every
+//     staging hand-off, and staged + mid-apply shards <= budget +
+//     IODepth (the engine's footprint: the LRU budget plus the reads
+//     in flight — the pre-aio "budget + 1" at depth one);
 //  3. every staged shard is applied exactly once per sweep, and nothing
 //     is applied that was not staged;
 //  4. never more than min(Domains, Threads) applies in flight, so
@@ -152,11 +154,15 @@ func TestSweepWindowInvariants(t *testing.T) {
 		{Threads: 4, CacheShards: 8, Window: 4},
 		{Threads: 2, CacheShards: 4, Window: 1, Topology: sched.Topology{Domains: 8}},
 		{Threads: 8, CacheShards: 2, Window: 2, Topology: sched.Topology{Domains: 3}},
+		{Threads: 4, CacheShards: 4, Window: 4, IODepth: 2},
+		{Threads: 4, CacheShards: 4, Window: 4, IODepth: 4, Topology: sched.Topology{Domains: 2}},
+		{Threads: 8, CacheShards: 2, Window: 2, IODepth: 2, Topology: sched.Topology{Domains: 4}},
+		{Threads: 2, CacheShards: 6, IODepth: 3}, // defaulted window must cover the read budget
 	}
 	for ci, opts := range configs {
 		t.Run(fmt.Sprintf("config-%d", ci), func(t *testing.T) {
 			e := buildTestEngine(t, g, 12, opts)
-			k, budget := e.opts.Window, e.opts.CacheShards
+			k, budget, iodepth := e.opts.Window, e.opts.CacheShards, e.opts.IODepth
 			applyCap := e.Topology().Domains
 			if th := e.Threads(); th < applyCap {
 				applyCap = th
@@ -186,16 +192,16 @@ func TestSweepWindowInvariants(t *testing.T) {
 				if limit > k {
 					limit = k
 				}
-				if limit < 1 {
-					limit = 1
+				if limit < iodepth {
+					limit = iodepth
 				}
 				if depth > limit {
-					t.Errorf("window depth %d with %d applies in flight exceeds max(1, min(k=%d, budget=%d - applying)) = %d",
-						depth, applying, k, budget, limit)
+					t.Errorf("window depth %d with %d applies in flight exceeds max(IODepth=%d, min(k=%d, budget=%d - applying)) = %d",
+						depth, applying, iodepth, k, budget, limit)
 				}
-				if depth+applying > budget+1 {
-					t.Errorf("%d staged + %d applying shards exceed the footprint contract of budget %d + 1",
-						depth, applying, budget)
+				if depth+applying > budget+iodepth {
+					t.Errorf("%d staged + %d applying shards exceed the footprint contract of budget %d + IODepth %d",
+						depth, applying, budget, iodepth)
 				}
 				mu.Lock()
 				staged[si]++
@@ -253,11 +259,14 @@ func TestSweepWindowInvariants(t *testing.T) {
 
 			mu.Lock()
 			defer mu.Unlock()
-			if maxLoadsInFlight > 1 {
-				t.Fatalf("%d uncached loads in flight at once, want at most 1", maxLoadsInFlight)
+			if maxLoadsInFlight > iodepth {
+				t.Fatalf("%d uncached loads in flight at once, want at most IODepth = %d", maxLoadsInFlight, iodepth)
 			}
 			if maxLoadsInFlight == 0 {
 				t.Fatal("no loads observed; the trace recorded nothing")
+			}
+			if st := e.Stats(); st.ReadsInFlightPeak < 1 || st.ReadsInFlightPeak > int64(iodepth) {
+				t.Fatalf("ReadsInFlightPeak = %d outside [1, IODepth = %d]", st.ReadsInFlightPeak, iodepth)
 			}
 			if maxApplies > applyCap {
 				t.Fatalf("%d applies in flight at once, cap is min(Domains, Threads) = %d", maxApplies, applyCap)
