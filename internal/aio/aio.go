@@ -66,10 +66,12 @@ type request[T any] struct {
 
 // Reader issues submitted reads from per-domain queues with at most
 // depth reads executing at any moment, reader-wide. Submit never
-// blocks as long as each domain's queue capacity covers its pending
-// submissions (the engine sizes queues to the plan's per-domain
-// counts). Close is idempotent and waits for the workers to exit;
-// reads still queued at Close resolve ErrClosed without executing.
+// blocks: a submission that would overflow its domain's queue
+// capacity resolves with an error instead (the engine sizes queues to
+// the plan's per-domain counts, so overflow never happens in a
+// well-formed sweep). Close is idempotent and waits for the workers
+// to exit; reads still queued at Close resolve ErrClosed without
+// executing.
 type Reader[T any] struct {
 	sem    chan struct{} // reader-wide in-flight budget, capacity = depth
 	quit   chan struct{}
@@ -90,7 +92,10 @@ type Reader[T any] struct {
 // floored at 1. Each domain runs min(depth, caps[d]) workers — more
 // could never execute simultaneously. notify, if non-nil, is invoked
 // after every ticket resolves; consumers blocked waiting for "some
-// ticket became ready" use it as their wake-up.
+// ticket became ready" use it as their wake-up. A notify that signals
+// a condition variable must take the mutex guarding the consumer's
+// check-then-wait before broadcasting — an unserialized broadcast can
+// land between the check and the wait and be lost.
 func New[T any](caps []int, depth int, notify func()) *Reader[T] {
 	if depth < 1 {
 		depth = 1
@@ -135,17 +140,28 @@ func (r *Reader[T]) serve(q chan request[T]) {
 				var zero T
 				req.ticket.resolve(zero, ErrClosed)
 			case r.sem <- struct{}{}:
-				n := atomic.AddInt64(&r.inFlight, 1)
-				for {
-					p := atomic.LoadInt64(&r.peak)
-					if n <= p || atomic.CompareAndSwapInt64(&r.peak, p, n) {
-						break
+				// The select above picks randomly when quit and a sem
+				// slot are both ready, so re-check quit with priority:
+				// a read still queued at Close must resolve ErrClosed
+				// without executing, per the Close contract.
+				select {
+				case <-r.quit:
+					<-r.sem
+					var zero T
+					req.ticket.resolve(zero, ErrClosed)
+				default:
+					n := atomic.AddInt64(&r.inFlight, 1)
+					for {
+						p := atomic.LoadInt64(&r.peak)
+						if n <= p || atomic.CompareAndSwapInt64(&r.peak, p, n) {
+							break
+						}
 					}
+					v, err := req.read()
+					atomic.AddInt64(&r.inFlight, -1)
+					<-r.sem
+					req.ticket.resolve(v, err)
 				}
-				v, err := req.read()
-				atomic.AddInt64(&r.inFlight, -1)
-				<-r.sem
-				req.ticket.resolve(v, err)
 			}
 		}
 		if r.notify != nil {
@@ -155,9 +171,9 @@ func (r *Reader[T]) serve(q chan request[T]) {
 }
 
 // Submit enqueues read on domain's queue and returns its ticket. A
-// submission to a closed Reader, or to a domain that was given no
-// queue capacity, resolves immediately with an error instead of
-// executing.
+// submission to a closed Reader, to a domain that was given no queue
+// capacity, or to a domain whose queue is full resolves immediately
+// with an error instead of executing.
 func (r *Reader[T]) Submit(domain int, read func() (T, error)) *Ticket[T] {
 	t := &Ticket[T]{done: make(chan struct{})}
 	var q chan request[T]
@@ -170,8 +186,10 @@ func (r *Reader[T]) Submit(domain int, read func() (T, error)) *Ticket[T] {
 		return t
 	}
 	// The send happens under mu so it cannot race a concurrent Close
-	// closing the channel; workers drain queues without taking mu, so
-	// holding it across the send cannot deadlock.
+	// closing the channel. It must stay non-blocking: a blocking send
+	// while holding mu would deadlock a concurrent Close if a caller
+	// ever outran the queue capacity, so overflow resolves the ticket
+	// with an error instead of blocking.
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
@@ -179,8 +197,14 @@ func (r *Reader[T]) Submit(domain int, read func() (T, error)) *Ticket[T] {
 		t.resolve(zero, ErrClosed)
 		return t
 	}
-	q <- request[T]{read: read, ticket: t}
-	r.mu.Unlock()
+	select {
+	case q <- request[T]{read: read, ticket: t}:
+		r.mu.Unlock()
+	default:
+		r.mu.Unlock()
+		var zero T
+		t.resolve(zero, fmt.Errorf("aio: domain %d read queue full (capacity %d)", domain, cap(q)))
+	}
 	return t
 }
 

@@ -200,6 +200,80 @@ func TestReaderCloseResolvesQueued(t *testing.T) {
 	r.Close() // idempotent
 }
 
+// TestReaderCloseQuitPriority: a worker parked waiting for an
+// in-flight budget slot when Close lands must resolve its queued read
+// ErrClosed rather than execute it — the quit signal and the freed
+// slot become ready together, and without an explicit re-check the
+// select between them picks at random.
+func TestReaderCloseQuitPriority(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		gate := make(chan struct{})
+		started := make(chan struct{})
+		var executed int64
+		// Two domains, depth 1: domain 0's worker holds the only budget
+		// slot, so domain 1's worker parks waiting for it.
+		r := New[int]([]int{1, 1}, 1, nil)
+		a := r.Submit(0, func() (int, error) { close(started); <-gate; return 1, nil })
+		<-started
+		b := r.Submit(1, func() (int, error) { atomic.AddInt64(&executed, 1); return 2, nil })
+
+		closed := make(chan struct{})
+		go func() { r.Close(); close(closed) }()
+		// Once a fresh submission resolves ErrClosed, Close has closed
+		// quit (same critical section), so when the gate opens b's
+		// worker sees quit and the freed slot ready together.
+		waitFor(t, "Close to begin", func() bool {
+			p := r.Submit(0, func() (int, error) { return -1, nil })
+			if !p.Ready() {
+				return false
+			}
+			_, err := p.Wait()
+			return errors.Is(err, ErrClosed)
+		})
+		close(gate)
+		<-closed
+
+		if v, err := a.Wait(); err != nil || v != 1 {
+			t.Fatalf("round %d: in-flight read resolved (%d, %v), want (1, nil)", round, v, err)
+		}
+		if _, err := b.Wait(); !errors.Is(err, ErrClosed) {
+			t.Fatalf("round %d: parked read resolved with %v, want ErrClosed", round, err)
+		}
+		if atomic.LoadInt64(&executed) != 0 {
+			t.Fatalf("round %d: parked read executed after Close", round)
+		}
+	}
+}
+
+// TestReaderSubmitOverflow: a submission beyond a domain's queue
+// capacity resolves with an error instead of blocking — a blocking
+// send under the reader's mutex would deadlock a concurrent Close —
+// and the reads already accepted are unaffected.
+func TestReaderSubmitOverflow(t *testing.T) {
+	gate := make(chan struct{})
+	r := New[int]([]int{1}, 1, nil)
+
+	first := r.Submit(0, func() (int, error) { <-gate; return 1, nil })
+	waitFor(t, "the first read to be in flight", func() bool { return r.InFlight() == 1 })
+	queued := r.Submit(0, func() (int, error) { return 2, nil })
+	over := r.Submit(0, func() (int, error) { return 3, nil })
+	if !over.Ready() {
+		t.Fatal("overflow submission did not resolve immediately")
+	}
+	if _, err := over.Wait(); err == nil || errors.Is(err, ErrClosed) {
+		t.Fatalf("overflow submission resolved with %v, want a queue-full error", err)
+	}
+
+	close(gate)
+	if v, err := first.Wait(); err != nil || v != 1 {
+		t.Fatalf("in-flight read resolved (%d, %v), want (1, nil)", v, err)
+	}
+	if v, err := queued.Wait(); err != nil || v != 2 {
+		t.Fatalf("queued read resolved (%d, %v), want (2, nil)", v, err)
+	}
+	r.Close()
+}
+
 // TestReaderNotify: the completion callback fires for every resolved
 // ticket — success, failure and ErrClosed drains alike.
 func TestReaderNotify(t *testing.T) {

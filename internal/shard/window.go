@@ -105,7 +105,15 @@ func (e *Engine) startSweep(plan []int, apply func(*resident)) *sweepWindow {
 	// The reader's queues are sized to the per-domain plan shares, so
 	// Submit never blocks; its completion callback wakes the stager,
 	// which may be waiting in pump for its FIFO head to become ready.
-	w.reader = aio.New[loadResult](perDomain, w.depth, func() { w.cond.Broadcast() })
+	// The broadcast must hold w.mu: pump checks Ready() under the lock
+	// and then waits, so an unserialized completion could slip into
+	// that gap and its wakeup would be lost — if it were the last wake
+	// source, the stager would block forever.
+	w.reader = aio.New[loadResult](perDomain, w.depth, func() {
+		w.mu.Lock()
+		w.cond.Broadcast()
+		w.mu.Unlock()
+	})
 	w.queues = make([]chan *resident, len(e.domains))
 	for d, n := range perDomain {
 		if n == 0 {
