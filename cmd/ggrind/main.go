@@ -11,6 +11,7 @@
 //	ggrind -graph twitter-sm -alg PR -system OOC -shardformat v1
 //	ggrind -graph livejournal-sm -alg PR -system OOC -cacheshards 12 -order zigzag
 //	ggrind -graph yahoo-sm -alg PR -system OOC -cacheshards 8 -iodepth 4
+//	ggrind -graph twitter-sm -alg PR -system OOC -cacheshards 8 -sweepmode scatter-gather
 package main
 
 import (
@@ -60,6 +61,7 @@ func run() int {
 		ioDepth    = flag.Int("iodepth", 0, "OOC async-read queue depth: uncached shard reads kept in flight at once (0 = 1, the synchronous read path; must be <= the LRU budget)")
 		shardFmt   = flag.String("shardformat", shard.DefaultFormat.String(), "OOC shard-file encoding: v1 (raw uint32 pairs) or v2 (delta+uvarint compressed)")
 		orderName  = flag.String("order", shard.OrderAscending.String(), "OOC sweep-order policy: ascending, zigzag (boustrophedon across sweeps) or residency-first (cached shards first, then Hilbert order)")
+		sweepName  = flag.String("sweepmode", shard.SweepEdgeCentric.String(), "OOC dense-sweep mode: edge-centric (apply each staged shard directly) or scatter-gather (scatter shards into per-partition update bins, retained across sweeps, then gather per domain)")
 	)
 	flag.Parse()
 
@@ -80,6 +82,11 @@ func run() int {
 	}
 	if *reps < 1 {
 		fmt.Fprintf(os.Stderr, "ggrind: -reps must be >= 1, got %d\n", *reps)
+		return 2
+	}
+	sweepMode, err := shard.ParseSweepMode(*sweepName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ggrind: %v\n", err)
 		return 2
 	}
 
@@ -167,6 +174,7 @@ func run() int {
 			Topology:    sched.Topology{Domains: *domains},
 			Format:      format,
 			Order:       order,
+			SweepMode:   sweepMode,
 		}
 		fmt.Printf("sharding to %s (%d partitions, %v files)...\n", dir, p, format)
 		eng, err := shard.Build(filepath.Join(dir, "fwd"), g, p, oopts)
@@ -184,10 +192,10 @@ func run() int {
 			fmt.Printf("store: %v format, %.1f KiB on disk (%.2f bytes/edge; raw v1 is 8)\n",
 				eng.Store().Format(), float64(disk)/1024, float64(disk)/float64(g.NumEdges()))
 		}
-		fmt.Printf("engine: OOC shards=%d cache=%d threads=%d prefetch=%v domains=%d window=%d iodepth=%d order=%v\n",
+		fmt.Printf("engine: OOC shards=%d cache=%d threads=%d prefetch=%v domains=%d window=%d iodepth=%d order=%v sweepmode=%v\n",
 			eng.Store().NumShards(), eng.Options().CacheShards, eng.Threads(),
 			!eng.Options().NoPrefetch, eng.Topology().Domains, eng.Options().Window,
-			eng.Options().IODepth, eng.Options().Order)
+			eng.Options().IODepth, eng.Options().Order, eng.Options().SweepMode)
 		sys = eng
 		if spec.NeedsReverse {
 			reng, err := shard.Build(filepath.Join(dir, "rev"), g.Reverse(), p, oopts)
@@ -233,6 +241,11 @@ func run() int {
 		}
 		fmt.Printf("ooc order: %v policy, %d planned cache hits, %d reloads avoided vs ascending\n",
 			eng.Options().Order, st.PlannedCacheHits, st.ReloadsAvoided)
+		if st.ScatterGatherSweeps > 0 {
+			fmt.Printf("ooc scatter/gather: %d two-phase sweeps, %d bin reuses, %.1f KiB bins written, %.1f KiB replayed\n",
+				st.ScatterGatherSweeps, st.BinShardsReused,
+				float64(st.BinBytesWritten)/1024, float64(st.BinBytesRead)/1024)
+		}
 		fmt.Printf("ooc pipeline: %d prefetch loads (%d overlapped an apply), %d prefetch cache promotions\n",
 			st.PrefetchLoads, st.OverlappedLoads, st.PrefetchHits)
 		fmt.Printf("ooc numa: %d domains, shards applied per domain %v, edges per domain %v\n",

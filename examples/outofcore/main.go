@@ -191,6 +191,47 @@ func main() {
 		cmp.Ascending.MeanReuse, cmp.Ascending.MaxReuse, cmp.Ascending.Loads,
 		cmp.Planned.MeanReuse, cmp.Planned.MaxReuse, cmp.Planned.Loads, cmp.ReloadsAvoided)
 
+	// 5. The sweep-*mode* ablation: when the LRU thrashes, edge-centric
+	// dense sweeps re-read evicted shards from disk every iteration.
+	// SweepScatterGather streams each shard once into compact
+	// delta-encoded per-partition update bins (scatter) and has each
+	// modelled NUMA domain replay only its own bins (gather); the bins
+	// are operator-independent and retained, so every later dense sweep
+	// runs with zero disk traffic. Run over the raw v1 store so both
+	// columns price disk bytes identically (8 per edge). Results are
+	// bit-identical — same disjoint 64-aligned destination ranges, same
+	// per-destination order — only the bytes moved change.
+	fmt.Printf("sweep-mode ablation: 10-sweep dense PageRank, v1 store, %d-shard LRU\n", shards/4)
+	var ecMoved, sgMoved float64
+	var ranksEC []float64
+	for _, mode := range shard.SweepModes() {
+		eng, err := shard.NewEngine(v1st, g, shard.Options{CacheShards: shards / 4, SweepMode: mode})
+		if err != nil {
+			panic(err)
+		}
+		ranks := algorithms.PR(eng, 10).Ranks
+		if ranksEC == nil {
+			ranksEC = ranks
+		}
+		for v := range ranksEC {
+			if ranks[v] != ranksEC[v] {
+				panic("sweep mode changed results")
+			}
+		}
+		mst := eng.Stats()
+		moved := float64(mst.BytesRead+mst.BinBytesWritten+mst.BinBytesRead) / (1 << 20)
+		fmt.Printf("  %-16s %3d loads, %6.1f MiB disk + %5.1f MiB bins written + %5.1f MiB bins replayed = %6.1f MiB moved (%d bin reuses)\n",
+			mode.String()+":", mst.ShardLoads, float64(mst.BytesRead)/(1<<20),
+			float64(mst.BinBytesWritten)/(1<<20), float64(mst.BinBytesRead)/(1<<20),
+			moved, mst.BinShardsReused)
+		if mode == shard.SweepEdgeCentric {
+			ecMoved = moved
+		} else {
+			sgMoved = moved
+		}
+	}
+	fmt.Printf("  scatter/gather moves %.2fx fewer bytes per 10-sweep run, bit-identical ranks\n", ecMoved/sgMoved)
+
 	fmt.Println("out-of-core engine matches the in-memory engine ✓")
 }
 

@@ -124,6 +124,26 @@ func oocOrderEngine(t *testing.T, g *graph.Graph, order shard.Order) *shard.Engi
 	return e
 }
 
+// oocScatterGatherEngine is the partition-centric differential variant:
+// dense sweeps scatter each staged shard into a per-shard update bin and
+// gather replays each domain's own bins, with bins retained across
+// sweeps (so multi-round algorithms mix cold scatters, full-reuse
+// gathers and sparse edge-centric fallbacks). Bit-identical by the same
+// disjoint-destination-range argument as the concurrent apply — which
+// is exactly what every oracle-agreement property pins.
+func oocScatterGatherEngine(t *testing.T, g *graph.Graph, window, depth int) *shard.Engine {
+	t.Helper()
+	e, err := shard.Build(t.TempDir(), g, 8, shard.Options{
+		Threads: 4, CacheShards: 4, Window: window, IODepth: depth,
+		SweepMode: shard.SweepScatterGather,
+		Topology:  sched.Topology{Domains: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
 func enginesFor(t *testing.T, g *graph.Graph) []api.System {
 	return []api.System{
 		core.NewEngine(g, core.Options{}),
@@ -139,6 +159,8 @@ func enginesFor(t *testing.T, g *graph.Graph) []api.System {
 		oocV1StoreEngine(t, g),
 		oocOrderEngine(t, g, shard.OrderZigzag),
 		oocOrderEngine(t, g, shard.OrderResidencyFirst),
+		oocScatterGatherEngine(t, g, 1, 1),
+		oocScatterGatherEngine(t, g, 4, 4),
 	}
 }
 

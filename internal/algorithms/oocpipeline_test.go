@@ -71,6 +71,15 @@ func TestOOCPipelineBitIdenticalAcrossAllAlgorithms(t *testing.T) {
 		{"order-residency-first", func(t *testing.T, g *graph.Graph) api.System {
 			return oocOrderEngine(t, g, shard.OrderResidencyFirst)
 		}},
+		// Partition-centric rungs: dense sweeps run scatter (stream each
+		// staged shard into per-shard update bins) then gather (each
+		// domain replays its own bins), with bins retained across sweeps;
+		// sparse sweeps fall back to edge-centric mid-algorithm. Covered
+		// at the window extremes and at IODepth D, so the two-phase path
+		// composes with every staging configuration on the ladder.
+		{"scatter-gather", func(t *testing.T, g *graph.Graph) api.System { return oocScatterGatherEngine(t, g, 1, 1) }},
+		{"scatter-gather-window-D", func(t *testing.T, g *graph.Graph) api.System { return oocScatterGatherEngine(t, g, 4, 1) }},
+		{"scatter-gather-iodepth-D", func(t *testing.T, g *graph.Graph) api.System { return oocScatterGatherEngine(t, g, 4, 4) }},
 	}
 
 	// Each entry runs one algorithm to completion through api.System and

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"math"
 	"path/filepath"
 
 	"repro/internal/algorithms"
@@ -112,6 +113,32 @@ type OrderResult struct {
 	Columns     []OrderColumn
 }
 
+// ScatterGatherResult is the sweep-mode ablation: the same cold-cache
+// 10-iteration dense PageRank over one raw (v1) store — so disk bytes
+// are priced identically, 8 per edge — swept edge-centric (the tight
+// LRU thrashes, so every iteration re-reads most of the store from
+// disk) and scatter/gather (the first iteration scatters each shard
+// once into compact delta-encoded update bins; every later iteration
+// gathers the retained bins with zero disk traffic). The claim under
+// test is bytes moved, not wall-clock: SGMovedBytes — disk reads plus
+// bin writes plus bin replays — must come in strictly under the
+// edge-centric disk column, while the ranks match float64-bit exactly.
+type ScatterGatherResult struct {
+	ECTime  float64 // seconds, edge-centric sweeps
+	SGTime  float64 // seconds, scatter/gather sweeps
+	Speedup float64 // ECTime / SGTime: >1 means two-phase won time too
+
+	CacheShards     int   // the tight LRU budget both columns ran with
+	ECDiskBytes     int64 // edge-centric Stats.BytesRead across the measured runs
+	SGDiskBytes     int64 // scatter/gather Stats.BytesRead (the cold scatter passes)
+	BinBytesWritten int64 // bytes appended to update bins at scatter
+	BinBytesRead    int64 // bin bytes replayed at gather
+	BinShardsReused int64 // gathers served from retained bins with no scatter
+	SGMovedBytes    int64 // SGDiskBytes + BinBytesWritten + BinBytesRead
+
+	RanksIdentical bool // float64-bit-exact PageRank agreement across modes
+}
+
 // OutOfCore runs a representative algorithm slate on the in-memory
 // GG-v2 engine and on the shard.Engine over the same graph, reporting
 // the streaming overhead the LRU cache and frontier-aware sweeps are
@@ -120,18 +147,20 @@ type OrderResult struct {
 // window k=1 vs k=D with concurrent domain apply, the async-read queue
 // at IODepth=1 vs IODepth=D, the on-disk format ablation:
 // the same store written v1 (raw) vs v2 (delta+uvarint), bytes and time
-// per cold-cache sweep, and the sweep-order ablation: ascending vs
+// per cold-cache sweep, the sweep-order ablation: ascending vs
 // zigzag vs residency-first over a half-store LRU, loads and bytes per
-// policy. dir receives the shard files; shards and
+// policy, and the sweep-mode ablation: edge-centric vs partition-centric
+// scatter/gather over a raw store, total bytes moved per mode and
+// bit-exact rank agreement. dir receives the shard files; shards and
 // threads 0 select defaults. The returned figure has one X index per
 // algorithm (the note lines give the mapping) and one series per
 // engine.
-func OutOfCore(g *graph.Graph, dir string, shards, threads, reps int) (*Figure, []OutOfCoreResult, PrefetchResult, WindowResult, IODepthResult, FormatResult, OrderResult, error) {
+func OutOfCore(g *graph.Graph, dir string, shards, threads, reps int) (*Figure, []OutOfCoreResult, PrefetchResult, WindowResult, IODepthResult, FormatResult, OrderResult, ScatterGatherResult, error) {
 	if shards <= 0 {
 		shards = 16
 	}
-	fail := func(err error) (*Figure, []OutOfCoreResult, PrefetchResult, WindowResult, IODepthResult, FormatResult, OrderResult, error) {
-		return nil, nil, PrefetchResult{}, WindowResult{}, IODepthResult{}, FormatResult{}, OrderResult{}, err
+	fail := func(err error) (*Figure, []OutOfCoreResult, PrefetchResult, WindowResult, IODepthResult, FormatResult, OrderResult, ScatterGatherResult, error) {
+		return nil, nil, PrefetchResult{}, WindowResult{}, IODepthResult{}, FormatResult{}, OrderResult{}, ScatterGatherResult{}, err
 	}
 	inMem := core.NewEngine(g, core.Options{Threads: threads})
 	// Domains: 1 keeps the headline Slowdown column measuring streaming
@@ -288,7 +317,67 @@ func OutOfCore(g *graph.Graph, dir string, shards, threads, reps int) (*Figure, 
 			or.CacheShards, col.Order, col.Time, col.Loads, col.CacheHits,
 			float64(col.BytesRead)/1024, col.ReloadsAvoided))
 	}
-	return fig, results, pf, win, iod, fr, or, nil
+
+	// Sweep-mode ablation: the same cold-cache dense PageRank over a raw
+	// (v1) store in both sweep modes, with the LRU tight enough that the
+	// edge-centric column re-reads the store every iteration while the
+	// scatter/gather column pays one cold pass and then replays retained
+	// bins. Bytes moved is the headline; ranks must agree bit for bit.
+	sgr, err := scatterGatherAblation(g, dir, shards, threads, reps)
+	if err != nil {
+		return fail(err)
+	}
+	fig.Notes = append(fig.Notes, fmt.Sprintf(
+		"scatter/gather ablation (v1 store, %d-shard LRU): edge-centric moved %.1f KiB from disk vs scatter/gather %.1f KiB total (%.1f disk + %.1f bin writes + %.1f bin replays), %d bin reuses, ranks bit-identical=%v",
+		sgr.CacheShards, float64(sgr.ECDiskBytes)/1024, float64(sgr.SGMovedBytes)/1024,
+		float64(sgr.SGDiskBytes)/1024, float64(sgr.BinBytesWritten)/1024, float64(sgr.BinBytesRead)/1024,
+		sgr.BinShardsReused, sgr.RanksIdentical))
+	return fig, results, pf, win, iod, fr, or, sgr, nil
+}
+
+// scatterGatherAblation writes its own raw (v1) store — raw pricing
+// makes the disk columns comparable byte for byte — and runs the
+// cold-cache 10-iteration dense PageRank once per sweep mode over the
+// same quarter-store LRU, collecting the movement counters and the
+// final ranks from each side.
+func scatterGatherAblation(g *graph.Graph, dir string, shards, threads, reps int) (ScatterGatherResult, error) {
+	var sgr ScatterGatherResult
+	st, err := shard.WriteFormat(filepath.Join(dir, "sg-v1"), g, shards, shard.FormatV1)
+	if err != nil {
+		return ScatterGatherResult{}, err
+	}
+	sgr.CacheShards = st.NumShards() / 4
+	if sgr.CacheShards < 1 {
+		sgr.CacheShards = 1
+	}
+	ec, err := shard.NewEngine(st, g, shard.Options{Threads: threads, CacheShards: sgr.CacheShards})
+	if err != nil {
+		return ScatterGatherResult{}, err
+	}
+	sg, err := shard.NewEngine(st, g, shard.Options{
+		Threads: threads, CacheShards: sgr.CacheShards, SweepMode: shard.SweepScatterGather,
+	})
+	if err != nil {
+		return ScatterGatherResult{}, err
+	}
+	var ecRanks, sgRanks []float64
+	ecT := MedianTime(reps, func() { ecRanks = algorithms.PR(ec, 10).Ranks })
+	sgT := MedianTime(reps, func() { sgRanks = algorithms.PR(sg, 10).Ranks })
+	sgr.ECTime, sgr.SGTime, sgr.Speedup = Seconds(ecT), Seconds(sgT), Speedup(ecT, sgT)
+	ecs, sgs := ec.Stats(), sg.Stats()
+	sgr.ECDiskBytes = ecs.BytesRead
+	sgr.SGDiskBytes = sgs.BytesRead
+	sgr.BinBytesWritten = sgs.BinBytesWritten
+	sgr.BinBytesRead = sgs.BinBytesRead
+	sgr.BinShardsReused = sgs.BinShardsReused
+	sgr.SGMovedBytes = sgr.SGDiskBytes + sgr.BinBytesWritten + sgr.BinBytesRead
+	sgr.RanksIdentical = len(ecRanks) == len(sgRanks)
+	for i := 0; sgr.RanksIdentical && i < len(ecRanks); i++ {
+		if math.Float64bits(ecRanks[i]) != math.Float64bits(sgRanks[i]) {
+			sgr.RanksIdentical = false
+		}
+	}
+	return sgr, nil
 }
 
 // orderAblation runs the cold-start order columns over an

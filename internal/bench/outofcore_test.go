@@ -11,7 +11,7 @@ import (
 
 func TestOutOfCoreComparisonRuns(t *testing.T) {
 	g := gen.TinySocial()
-	fig, results, pf, win, iod, fr, or, err := OutOfCore(g, t.TempDir(), 8, 0, 1)
+	fig, results, pf, win, iod, fr, or, sgr, err := OutOfCore(g, t.TempDir(), 8, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,8 +118,34 @@ func TestOutOfCoreComparisonRuns(t *testing.T) {
 	if res.Loads >= asc.Loads || res.ReloadsAvoided <= 0 {
 		t.Fatalf("residency-first should strictly beat ascending with a half-store LRU: %+v vs %+v", res, asc)
 	}
+	// The sweep-mode ablation's claim is categorical, the whole reason the
+	// scatter/gather mode exists: at high frontier density over a raw
+	// store with a thrashing LRU, the two-phase sweep must move strictly
+	// fewer total bytes (disk + bin writes + bin replays) than the
+	// edge-centric re-reads — while producing bit-identical ranks. The
+	// cold pass must really have happened (disk bytes and bin writes
+	// positive) and later iterations must really have reused bins.
+	if sgr.ECTime <= 0 || sgr.SGTime <= 0 || sgr.Speedup <= 0 {
+		t.Fatalf("scatter/gather ablation has non-positive timings: %+v", sgr)
+	}
+	if sgr.ECDiskBytes <= 0 || sgr.SGDiskBytes <= 0 || sgr.BinBytesWritten <= 0 || sgr.BinBytesRead <= 0 {
+		t.Fatalf("scatter/gather ablation has idle byte counters: %+v", sgr)
+	}
+	if sgr.BinShardsReused <= 0 {
+		t.Fatalf("scatter/gather ablation never reused a bin across iterations: %+v", sgr)
+	}
+	if sgr.SGMovedBytes != sgr.SGDiskBytes+sgr.BinBytesWritten+sgr.BinBytesRead {
+		t.Fatalf("SGMovedBytes does not add up: %+v", sgr)
+	}
+	if sgr.SGMovedBytes >= sgr.ECDiskBytes {
+		t.Fatalf("scatter/gather moved %d bytes, edge-centric re-read %d — the bytes-moved win is the mode's whole claim",
+			sgr.SGMovedBytes, sgr.ECDiskBytes)
+	}
+	if !sgr.RanksIdentical {
+		t.Fatalf("scatter/gather PageRank diverged from edge-centric: %+v", sgr)
+	}
 	text := fig.Render()
-	for _, want := range []string{"GG-v2", "OOC", "cache hits", "prefetch", "cold-cache PR ablation", "domain shards", "occupancy ablation", "apply levels", "async-read ablation", "format ablation", "order ablation"} {
+	for _, want := range []string{"GG-v2", "OOC", "cache hits", "prefetch", "cold-cache PR ablation", "domain shards", "occupancy ablation", "apply levels", "async-read ablation", "format ablation", "order ablation", "scatter/gather ablation"} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("rendered figure missing %q:\n%s", want, text)
 		}

@@ -84,6 +84,27 @@ type Options struct {
 	// the resolved Options always report that actual store format —
 	// NewEngine overwrites this field from the store.
 	Format Format
+	// SweepMode selects how dense sweeps move updates from edges to
+	// destination state. SweepEdgeCentric — the zero value — applies
+	// each staged shard in place, the historical path and the
+	// differential baseline. SweepScatterGather splits every dense
+	// sweep into two sequential phases (the PCPM design, Lakhotia et
+	// al.): scatter streams each staged shard's edges once and appends
+	// a compact (dstOffset, src) zigzag-delta-varint bin — one bin per
+	// shard, so bins inherit the 64-aligned disjoint destination ranges
+	// and never cross modelled NUMA domains — and gather has each
+	// domain replay only its own bins into its destination ranges: pure
+	// sequential reads, no atomics, bit-identical to the edge-centric
+	// apply by the same disjointness argument (per-destination update
+	// order is bucket order either way). Bins encode the full shard
+	// (the frontier filter moves to gather), so they are retained and
+	// replayed by every later dense sweep without touching the plan,
+	// the LRU or the disk — the bytes-moved win on iterative dense
+	// algorithms. Sparse frontiers always take the edge-centric path
+	// (PCPM only wins when dense). Composes with Window, IODepth and
+	// Order; rejected with NoPrefetch, which disables the staging
+	// pipeline the scatter phase runs on. See scattergather.go.
+	SweepMode SweepMode
 }
 
 // DefaultCacheShards is the default LRU budget. It is deliberately small
@@ -129,6 +150,13 @@ func (o Options) normalize() (Options, error) {
 	}
 	if o.Topology.Domains < 0 {
 		return o, &OptionsError{"Topology.Domains", int64(o.Topology.Domains), "must be >= 0 (0 selects the default topology)"}
+	}
+	if !o.SweepMode.valid() {
+		return o, &OptionsError{"SweepMode", int64(o.SweepMode), "unknown sweep mode (have edge-centric, scatter-gather)"}
+	}
+	if o.NoPrefetch && o.SweepMode == SweepScatterGather {
+		return o, &OptionsError{"SweepMode", int64(o.SweepMode),
+			"contradicts NoPrefetch: the scatter phase runs on the staging pipeline NoPrefetch disables"}
 	}
 	if o.CacheShards == 0 {
 		o.CacheShards = DefaultCacheShards
@@ -197,6 +225,24 @@ type Stats struct {
 	// CacheHits/ShardLoads, which track what actually happened).
 	PlannedCacheHits int64
 	ReloadsAvoided   int64
+
+	// Scatter/gather counters (zero under SweepEdgeCentric).
+	// ScatterGatherSweeps counts dense EdgeMaps that ran the two-phase
+	// path — sparse sweeps fall back to edge-centric and count under
+	// SparseSweeps only. BinBytesWritten / BinBytesRead are the encoded
+	// bin traffic: bytes the scatter phase appended and bytes the gather
+	// phase replayed (retained bins are written once and read every
+	// sweep, so over an iterative dense run BinBytesRead grows while
+	// BinBytesWritten and BytesRead do not — the mode's bytes-moved
+	// win). BinShardsReused counts dense-sweep plan entries whose bin
+	// was already resident from an earlier sweep: gathers that needed no
+	// shard fetch at all. In this mode DomainShards/DomainEdges count
+	// gathered bins and their entries — the phase that applies edge work
+	// to a domain's destination ranges.
+	ScatterGatherSweeps int64
+	BinShardsReused     int64
+	BinBytesWritten     int64
+	BinBytesRead        int64
 
 	// Pipeline counters (zero when NoPrefetch).
 	PrefetchHits    int64 // staged shards promoted from the LRU cache
@@ -306,6 +352,18 @@ type Engine struct {
 	shadow     *shadowLRU
 	pending    *plannedStats
 
+	// Scatter/gather bin store (SweepScatterGather engines only; stays
+	// all-nil otherwise): bins[si] is shard si's retained scatter bin —
+	// the whole shard re-encoded as (dstOffset, src) zigzag-delta
+	// varint segments — built by the first dense sweep that visits the
+	// shard and replayed by every later one. The store is write-once,
+	// so bins never go stale; their in-memory footprint is roughly the
+	// v2-compressed store size (a bounded bin budget with disk spill is
+	// a named ROADMAP follow-up). Entries are written by the scatter
+	// apply goroutines and read after the window barrier, so every read
+	// is ordered after its write. See scattergather.go.
+	bins []*binShard
+
 	// applying counts shards currently mid-apply (up to one per domain
 	// on the pipelined path); the read path samples it to count loads
 	// that overlapped an apply, and applyShard derives the occupancy
@@ -381,6 +439,7 @@ func NewEngine(st *Store, g *graph.Graph, opts Options) (*Engine, error) {
 		domains:    opts.Topology.Split(pool),
 		hilbertKey: hilbertKeys(feeds, st.NumShards()),
 		shadow:     newShadowLRU(opts.CacheShards),
+		bins:       make([]*binShard, st.NumShards()),
 		stats: Stats{
 			DomainShards: make([]int64, opts.Topology.Domains),
 			DomainEdges:  make([]int64, opts.Topology.Domains),
@@ -437,6 +496,10 @@ func (e *Engine) Stats() Stats {
 		BytesLogical:        atomic.LoadInt64(&e.stats.BytesLogical),
 		PlannedCacheHits:    atomic.LoadInt64(&e.stats.PlannedCacheHits),
 		ReloadsAvoided:      atomic.LoadInt64(&e.stats.ReloadsAvoided),
+		ScatterGatherSweeps: atomic.LoadInt64(&e.stats.ScatterGatherSweeps),
+		BinShardsReused:     atomic.LoadInt64(&e.stats.BinShardsReused),
+		BinBytesWritten:     atomic.LoadInt64(&e.stats.BinBytesWritten),
+		BinBytesRead:        atomic.LoadInt64(&e.stats.BinBytesRead),
 		PrefetchHits:        atomic.LoadInt64(&e.stats.PrefetchHits),
 		PrefetchLoads:       atomic.LoadInt64(&e.stats.PrefetchLoads),
 		OverlappedLoads:     atomic.LoadInt64(&e.stats.OverlappedLoads),
@@ -509,7 +572,8 @@ func (e *Engine) EdgeMap(f *frontier.Frontier, op api.EdgeOp, _ api.Direction) *
 	var plan []int
 	// Reuse the central Algorithm 2 thresholds; only the sparse/non-sparse
 	// cut matters here (denseDiv is irrelevant for a two-way split).
-	if f.Classify(e.g, e.opts.SparseDiv, 2) == frontier.Sparse {
+	sparse := f.Classify(e.g, e.opts.SparseDiv, 2) == frontier.Sparse
+	if sparse {
 		atomic.AddInt64(&e.stats.SparseSweeps, 1)
 		plan = e.planSparse(f)
 	} else {
@@ -517,11 +581,6 @@ func (e *Engine) EdgeMap(f *frontier.Frontier, op api.EdgeOp, _ api.Direction) *
 		plan = e.planDense(f)
 	}
 	atomic.AddInt64(&e.stats.ShardsSkipped, int64(e.st.NumShards()-len(plan)))
-	// The sweep-order planner sits between plan and stage: it permutes
-	// the baseline plan (never its membership) per Options.Order, so the
-	// window and per-domain apply below see an ordered plan exactly as
-	// they would an ascending one.
-	plan = e.orderPlan(plan)
 
 	cur := f.Bitmap()
 	cond := op.CondOf()
@@ -530,14 +589,27 @@ func (e *Engine) EdgeMap(f *frontier.Frontier, op api.EdgeOp, _ api.Direction) *
 	// domains never share an entry even when Split had to deal the same
 	// pool-global worker ID to several domains (Threads < Domains).
 	accs := make([]sweepAccum, len(e.domains)*e.pool.Threads())
-	if e.opts.NoPrefetch {
+	switch {
+	case !sparse && e.opts.SweepMode == SweepScatterGather:
+		// Dense sweeps in scatter/gather mode take the two-phase path;
+		// sparse sweeps stay edge-centric below (PCPM only wins when the
+		// bins amortise over dense iterations — see scattergather.go).
+		// The order planner runs inside, on the subset of shards whose
+		// bins are not yet resident — the only shards fetched.
+		e.sweepScatterGather(f, plan, cur, cond, op, next, accs)
+	case e.opts.NoPrefetch:
 		// Unpipelined: load and apply alternate on the sweep goroutine —
 		// the sequential reference the concurrent pipeline must match
-		// bit for bit.
+		// bit for bit. The sweep-order planner sits between plan and
+		// stage: it permutes the baseline plan (never its membership) per
+		// Options.Order, so the sweep sees an ordered plan exactly as it
+		// would an ascending one.
+		plan = e.orderPlan(plan)
 		for _, si := range plan {
 			e.applyShard(si, e.load(si), cur, cond, op, next, accs)
 		}
-	} else {
+	default:
+		plan = e.orderPlan(plan)
 		w := e.startSweep(plan, func(sh *resident) {
 			e.applyShard(sh.idx, sh, cur, cond, op, next, accs)
 		})

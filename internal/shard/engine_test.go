@@ -48,6 +48,9 @@ func TestEngineConformance(t *testing.T) {
 		"aio-depth-2":     {Threads: 4, CacheShards: 4, Window: 4, IODepth: 2},
 		"aio-depth-max":   {Threads: 8, CacheShards: 4, IODepth: 4, Topology: sched.Topology{Domains: 4}},
 		"aio-tight-cache": {Threads: 4, CacheShards: 2, IODepth: 2, Window: 2},
+		"scatter-gather":  {Threads: 8, CacheShards: 2, SweepMode: SweepScatterGather},
+		"sg-window-one":   {Threads: 4, CacheShards: 2, Window: 1, SweepMode: SweepScatterGather},
+		"sg-aio-depth":    {Threads: 8, CacheShards: 4, Window: 4, IODepth: 4, SweepMode: SweepScatterGather, Topology: sched.Topology{Domains: 4}},
 	}
 	for gname, g := range graphs {
 		for cname, opts := range configs {

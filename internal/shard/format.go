@@ -266,22 +266,79 @@ func readShardV1(path string, n int, lo, hi graph.VID, wantEdges int64) (c *grap
 		return nil, 0, fmt.Errorf("shard: %s: file is %d bytes, want %d for %d edges",
 			path, fi.Size(), v1EncodedBytes(count), count)
 	}
-	c = &graph.COO{N: n, Src: make([]graph.VID, count), Dst: make([]graph.VID, count)}
-	if err := binary.Read(f, binary.LittleEndian, c.Src); err != nil {
-		return nil, 0, fmt.Errorf("shard: %s: sources: %v", path, err)
-	}
-	if err := binary.Read(f, binary.LittleEndian, c.Dst); err != nil {
-		return nil, 0, fmt.Errorf("shard: %s: destinations: %v", path, err)
-	}
-	for i := range c.Src {
-		if int(c.Src[i]) >= n {
-			return nil, 0, &VIDRangeError{Path: path, Edge: int64(i), Field: "source", VID: uint64(c.Src[i]), Lo: 0, Hi: graph.VID(n)}
-		}
-		if c.Dst[i] < lo || c.Dst[i] >= hi {
-			return nil, 0, &VIDRangeError{Path: path, Edge: int64(i), Field: "destination", VID: uint64(c.Dst[i]), Lo: lo, Hi: hi}
-		}
+	c, err = decodeShardV1(f, path, n, lo, hi, count)
+	if err != nil {
+		return nil, 0, err
 	}
 	return c, fi.Size(), nil
+}
+
+// v1DecodeChunkBytes is the streaming granularity of the raw (v1)
+// decoder: words are converted and validated chunk by chunk as they
+// arrive, so on the aio path a shard's decode overlaps its own
+// in-flight read instead of waiting for the whole array (the decoder
+// used to issue one file-sized binary.Read per stream). 64 KiB keeps
+// the scratch buffer cache-resident while amortising the read syscalls.
+const v1DecodeChunkBytes = 64 << 10
+
+// decodeShardV1 decodes count edges' source then destination arrays
+// from r incrementally — never requesting more than v1DecodeChunkBytes
+// per read — validating each chunk as it lands. count must already be
+// validated against the file size (readShardV1 does); r is positioned
+// after the edge-count header. Split from the file plumbing so tests
+// can pin the incremental consumption against a counting reader.
+func decodeShardV1(r io.Reader, path string, n int, lo, hi graph.VID, count int64) (*graph.COO, error) {
+	c := &graph.COO{N: n, Src: make([]graph.VID, count), Dst: make([]graph.VID, count)}
+	err := decodeV1Array(r, c.Src, func(i int64, v graph.VID) error {
+		if int(v) >= n {
+			return &VIDRangeError{Path: path, Edge: i, Field: "source", VID: uint64(v), Lo: 0, Hi: graph.VID(n)}
+		}
+		return nil
+	})
+	if err != nil {
+		if _, ok := err.(*VIDRangeError); ok {
+			return nil, err
+		}
+		return nil, fmt.Errorf("shard: %s: sources: %v", path, err)
+	}
+	err = decodeV1Array(r, c.Dst, func(i int64, v graph.VID) error {
+		if v < lo || v >= hi {
+			return &VIDRangeError{Path: path, Edge: i, Field: "destination", VID: uint64(v), Lo: lo, Hi: hi}
+		}
+		return nil
+	})
+	if err != nil {
+		if _, ok := err.(*VIDRangeError); ok {
+			return nil, err
+		}
+		return nil, fmt.Errorf("shard: %s: destinations: %v", path, err)
+	}
+	return c, nil
+}
+
+// decodeV1Array fills out with little-endian uint32 words read from r
+// in at-most-v1DecodeChunkBytes chunks, calling check on every decoded
+// word before accepting it.
+func decodeV1Array(r io.Reader, out []graph.VID, check func(int64, graph.VID) error) error {
+	buf := make([]byte, v1DecodeChunkBytes)
+	for done := 0; done < len(out); {
+		words := len(out) - done
+		if max := len(buf) / vidBytes; words > max {
+			words = max
+		}
+		if _, err := io.ReadFull(r, buf[:words*vidBytes]); err != nil {
+			return err
+		}
+		for k := 0; k < words; k++ {
+			v := graph.VID(binary.LittleEndian.Uint32(buf[k*vidBytes:]))
+			if err := check(int64(done), v); err != nil {
+				return err
+			}
+			out[done] = v
+			done++
+		}
+	}
+	return nil
 }
 
 // uvarintLen returns the encoded size of x in bytes.

@@ -1,7 +1,10 @@
 package shard
 
 import (
+	"bytes"
 	"encoding/binary"
+	"errors"
+	"io"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -192,5 +195,80 @@ func TestFormatBytesOnMicroGraph(t *testing.T) {
 		if !tc.compressed && st.BytesRead != st.BytesLogical {
 			t.Fatalf("v1 sweep read %d bytes but logical volume is %d — v1 pricing must be exact", st.BytesRead, st.BytesLogical)
 		}
+	}
+}
+
+// chunkRecorder wraps a reader and records how it is consumed: how many
+// Read calls arrive and the largest single request.
+type chunkRecorder struct {
+	r      io.Reader
+	reads  int
+	maxReq int
+}
+
+func (c *chunkRecorder) Read(p []byte) (int, error) {
+	c.reads++
+	if len(p) > c.maxReq {
+		c.maxReq = len(p)
+	}
+	return c.r.Read(p)
+}
+
+// TestV1DecodeStreamsInChunks pins the decode-during-read fix: the raw
+// (v1) decoder must consume its input incrementally — bounded chunk
+// requests, many of them — rather than one file-sized read per stream,
+// so on the aio path a shard's decode overlaps its own in-flight read.
+// It also pins that per-chunk validation still reports the exact edge
+// index of a range violation, like the old decode-then-validate pass.
+func TestV1DecodeStreamsInChunks(t *testing.T) {
+	const n = 1 << 16
+	// Several full chunks per stream plus a ragged tail.
+	count := int64(3*(v1DecodeChunkBytes/vidBytes) + 100)
+	r := rand.New(rand.NewSource(7))
+	src := make([]graph.VID, count)
+	dst := make([]graph.VID, count)
+	for i := range src {
+		src[i] = graph.VID(r.Intn(n))
+		dst[i] = graph.VID(r.Intn(n))
+	}
+	encode := func() *bytes.Buffer {
+		var buf bytes.Buffer
+		if err := binary.Write(&buf, binary.LittleEndian, src); err != nil {
+			t.Fatal(err)
+		}
+		if err := binary.Write(&buf, binary.LittleEndian, dst); err != nil {
+			t.Fatal(err)
+		}
+		return &buf
+	}
+
+	cr := &chunkRecorder{r: encode()}
+	c, err := decodeShardV1(cr, "test-shard", n, 0, graph.VID(n), count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if c.Src[i] != src[i] || c.Dst[i] != dst[i] {
+			t.Fatalf("edge %d decoded as (%d,%d), want (%d,%d)", i, c.Src[i], c.Dst[i], src[i], dst[i])
+		}
+	}
+	if cr.maxReq > v1DecodeChunkBytes {
+		t.Fatalf("decoder requested %d bytes in a single read, cap is %d — the whole-array read is back",
+			cr.maxReq, v1DecodeChunkBytes)
+	}
+	if want := 2 * int(count) * vidBytes / v1DecodeChunkBytes; cr.reads < want {
+		t.Fatalf("decoder issued %d reads over %d chunks of data — not consuming incrementally", cr.reads, want)
+	}
+
+	// A violation deep in a later chunk still names its exact edge.
+	const bad = 40000
+	dst[bad] = graph.VID(n + 5) // outside [lo, hi)
+	_, err = decodeShardV1(encode(), "test-shard", n, 0, graph.VID(n), count)
+	var re *VIDRangeError
+	if !errors.As(err, &re) {
+		t.Fatalf("out-of-range destination decoded without a *VIDRangeError (err = %v)", err)
+	}
+	if re.Edge != bad || re.Field != "destination" {
+		t.Fatalf("range error names edge %d field %q, want %d %q", re.Edge, re.Field, bad, "destination")
 	}
 }

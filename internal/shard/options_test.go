@@ -27,6 +27,11 @@ func TestOptionsNormalizeRejections(t *testing.T) {
 		{"iodepth-exceeds-budget", Options{CacheShards: 4, IODepth: 5}, "IODepth"},
 		{"iodepth-under-noprefetch", Options{NoPrefetch: true, IODepth: 2}, "IODepth"},
 		{"window-narrower-than-iodepth", Options{CacheShards: 8, Window: 2, IODepth: 4}, "Window"},
+		{"negative-sweepmode", Options{SweepMode: -1}, "SweepMode"},
+		{"unknown-sweepmode", Options{SweepMode: 7}, "SweepMode"},
+		{"scattergather-under-noprefetch", Options{NoPrefetch: true, SweepMode: SweepScatterGather}, "SweepMode"},
+		{"scattergather-iodepth-exceeds-budget", Options{SweepMode: SweepScatterGather, CacheShards: 2, IODepth: 3}, "IODepth"},
+		{"scattergather-window-under-iodepth", Options{SweepMode: SweepScatterGather, CacheShards: 8, Window: 1, IODepth: 2}, "Window"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -65,6 +70,10 @@ func TestOptionsNormalizeDefaults(t *testing.T) {
 		{"window-defaults-to-domains", Options{CacheShards: 8, IODepth: 2}, 2, sched.DefaultTopology().Domains, 8},
 		{"explicit-survives", Options{CacheShards: 4, Window: 4, IODepth: 2}, 2, 4, 4},
 		{"default-window-clamped", Options{CacheShards: 2, IODepth: 2, Topology: sched.Topology{Domains: 8}}, 2, 2, 2},
+		// Scatter/gather inherits the same window/IODepth resolution —
+		// the mode changes the apply, not the staging pipeline.
+		{"scattergather-all-defaults", Options{SweepMode: SweepScatterGather}, 1, sched.DefaultTopology().Domains, DefaultCacheShards},
+		{"scattergather-iodepth-survives", Options{SweepMode: SweepScatterGather, CacheShards: 6, IODepth: 3, Topology: sched.Topology{Domains: 2}}, 3, 3, 6},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
