@@ -1,0 +1,96 @@
+// gserve is the multi-tenant graph-serving daemon: one process hosting
+// N sharded stores behind a single byte-budgeted, refcounted shard
+// cache, running concurrent queries that share residency, the I/O
+// budget and — for dense sweeps — the disk pass itself. The HTTP/JSON
+// API (internal/serve) opens and closes stores, submits queries and
+// reports cache/registry stats.
+//
+//	gserve -addr 127.0.0.1:8080 -store social=/data/social12 -cache-bytes 268435456
+//
+// Stores may be preloaded with repeated -store name=dir flags or opened
+// later over the API. The daemon prints the bound address on stdout
+// (useful with -addr :0) and shuts down cleanly on SIGINT/SIGTERM,
+// finishing in-flight HTTP exchanges first.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/shard"
+)
+
+// storeFlags collects repeated -store name=dir mounts.
+type storeFlags []string
+
+func (s *storeFlags) String() string { return strings.Join(*s, ",") }
+
+func (s *storeFlags) Set(v string) error {
+	if !strings.Contains(v, "=") {
+		return fmt.Errorf("want name=dir, got %q", v)
+	}
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var stores storeFlags
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+	cacheBytes := flag.Int64("cache-bytes", shard.DefaultCacheBytes, "shared shard-cache budget in bytes, across all stores")
+	threads := flag.Int("threads", 0, "worker threads per query session (0 = engine default)")
+	flag.Var(&stores, "store", "preload a store as name=dir (repeatable)")
+	flag.Parse()
+
+	s := serve.New(serve.Config{
+		CacheBytes: *cacheBytes,
+		Options:    shard.Options{Threads: *threads},
+	})
+	for _, mount := range stores {
+		name, dir, _ := strings.Cut(mount, "=")
+		if err := s.OpenStore(name, dir); err != nil {
+			return err
+		}
+		fmt.Printf("gserve: store %s = %s\n", name, dir)
+	}
+
+	// Listen before announcing, so the printed address is connectable
+	// the moment it appears (the smoke test and scripts key off it).
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("gserve: listening on %s\n", ln.Addr())
+
+	srv := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("gserve: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return srv.Shutdown(shutCtx)
+}

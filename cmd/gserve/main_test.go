@@ -1,0 +1,108 @@
+package main
+
+// Daemon smoke test: build the real binary, boot it on an ephemeral
+// port with a preloaded store, run one query over HTTP, and check that
+// SIGTERM shuts it down cleanly. This is the process-level counterpart
+// of internal/serve's in-process tests — it exercises flag parsing,
+// the bound-address announcement, and signal handling.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/shard"
+)
+
+func TestGserveSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and boots the daemon binary")
+	}
+	storeDir := t.TempDir()
+	if _, err := shard.Write(storeDir, gen.TinySocial(), 8); err != nil {
+		t.Fatal(err)
+	}
+
+	bin := filepath.Join(t.TempDir(), "gserve")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building gserve: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-store", "tiny="+storeDir)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The daemon prints "gserve: listening on <addr>" once connectable.
+	var addr string
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		if rest, ok := strings.CutPrefix(sc.Text(), "gserve: listening on "); ok {
+			addr = rest
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("daemon never announced its address: %v", sc.Err())
+	}
+	base := "http://" + addr
+
+	body, _ := json.Marshal(map[string]any{"store": "tiny", "algo": "pagerank", "iters": 3})
+	resp, err := http.Post(base+"/v1/queries", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("submitting query to daemon: %v", err)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(fmt.Sprintf("%s/v1/queries/%s?wait=1", base, sub.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info struct {
+		Status string `json:"status"`
+		Error  string `json:"error"`
+		Digest string `json:"digest"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if info.Status != "done" || info.Digest == "" {
+		t.Fatalf("query finished %q (%s) with digest %q", info.Status, info.Error, info.Digest)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	exit := make(chan error, 1)
+	go func() { exit <- cmd.Wait() }()
+	select {
+	case err := <-exit:
+		if err != nil {
+			t.Fatalf("daemon did not exit cleanly on SIGTERM: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon ignored SIGTERM")
+	}
+}

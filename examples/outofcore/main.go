@@ -36,8 +36,9 @@ func main() {
 	const shards = 24
 	// A 4-shard LRU budget: resident edge data stays bounded by ~4/24
 	// of the graph however many iterations run, and the budget is wide
-	// enough for the default 4-deep staging window to keep all four
-	// modelled NUMA domains applying at once.
+	// enough for the default staging window — max(Domains, IODepth)
+	// deep, 4 here — to keep all four modelled NUMA domains applying
+	// at once.
 	ooc, err := shard.Build(dir, g, shards, shard.Options{CacheShards: 4})
 	if err != nil {
 		panic(err)

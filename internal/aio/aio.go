@@ -86,6 +86,28 @@ type Reader[T any] struct {
 	peak     int64
 }
 
+// Budget is a sharable in-flight read budget: a semaphore of depth
+// slots that one or many Readers draw from. A private Reader gets its
+// own (New); a daemon hosting concurrent sweeps over one device hands
+// the same Budget to every Reader it starts (NewShared), so the total
+// reads in flight across all of them never exceed the device budget —
+// N queries share the read-ahead, they do not multiply it.
+type Budget struct {
+	sem chan struct{}
+}
+
+// NewBudget builds an in-flight read budget of depth slots, floored
+// at 1.
+func NewBudget(depth int) *Budget {
+	if depth < 1 {
+		depth = 1
+	}
+	return &Budget{sem: make(chan struct{}, depth)}
+}
+
+// Cap returns the budget's slot count.
+func (b *Budget) Cap() int { return cap(b.sem) }
+
 // New builds a Reader with one queue per domain: caps[d] is domain d's
 // queue capacity (a domain with no planned reads may pass 0 and gets
 // no queue or workers). depth is the reader-wide in-flight budget,
@@ -97,11 +119,18 @@ type Reader[T any] struct {
 // check-then-wait before broadcasting — an unserialized broadcast can
 // land between the check and the wait and be lost.
 func New[T any](caps []int, depth int, notify func()) *Reader[T] {
-	if depth < 1 {
-		depth = 1
-	}
+	return NewShared[T](caps, NewBudget(depth), notify)
+}
+
+// NewShared builds a Reader like New but drawing its in-flight slots
+// from a caller-owned Budget, which may be shared with other Readers.
+// Close releases only this Reader's workers; slots held by a read
+// still executing return to the Budget when it finishes, so a shared
+// Budget survives any of its Readers.
+func NewShared[T any](caps []int, b *Budget, notify func()) *Reader[T] {
+	depth := b.Cap()
 	r := &Reader[T]{
-		sem:    make(chan struct{}, depth),
+		sem:    b.sem,
 		quit:   make(chan struct{}),
 		notify: notify,
 		queues: make([]chan request[T], len(caps)),

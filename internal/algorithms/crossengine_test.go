@@ -144,6 +144,24 @@ func oocScatterGatherEngine(t *testing.T, g *graph.Graph, window, depth int) *sh
 	return e
 }
 
+// oocSharedSessionEngine is the multi-tenant differential variant: a
+// session of a shard.Host, fetching through the daemon's refcounted
+// byte-budgeted SharedCache instead of a private LRU. The deliberately
+// tiny byte budget keeps the cache evicting and refusing inserts
+// (transient shards) mid-algorithm, so every oracle-agreement property
+// also pins the shared-residency path to the private-engine semantics.
+func oocSharedSessionEngine(t *testing.T, g *graph.Graph) *shard.Engine {
+	t.Helper()
+	h, err := shard.BuildHost(t.TempDir(), g, 4, shard.NewSharedCache(1<<13), shard.Options{
+		Threads: 4, CacheShards: 2,
+		Topology: sched.Topology{Domains: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h.NewSession()
+}
+
 func enginesFor(t *testing.T, g *graph.Graph) []api.System {
 	return []api.System{
 		core.NewEngine(g, core.Options{}),
@@ -161,6 +179,7 @@ func enginesFor(t *testing.T, g *graph.Graph) []api.System {
 		oocOrderEngine(t, g, shard.OrderResidencyFirst),
 		oocScatterGatherEngine(t, g, 1, 1),
 		oocScatterGatherEngine(t, g, 4, 4),
+		oocSharedSessionEngine(t, g),
 	}
 }
 

@@ -80,6 +80,7 @@ func TestOOCPipelineBitIdenticalAcrossAllAlgorithms(t *testing.T) {
 		{"scatter-gather", func(t *testing.T, g *graph.Graph) api.System { return oocScatterGatherEngine(t, g, 1, 1) }},
 		{"scatter-gather-window-D", func(t *testing.T, g *graph.Graph) api.System { return oocScatterGatherEngine(t, g, 4, 1) }},
 		{"scatter-gather-iodepth-D", func(t *testing.T, g *graph.Graph) api.System { return oocScatterGatherEngine(t, g, 4, 4) }},
+		{"shared-session", func(t *testing.T, g *graph.Graph) api.System { return oocSharedSessionEngine(t, g) }},
 	}
 
 	// Each entry runs one algorithm to completion through api.System and

@@ -1,0 +1,224 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/serve"
+	"repro/internal/shard"
+)
+
+// ServeReplayResult is the many-client daemon replay: N concurrent
+// clients each drive R rounds of a fixed query mix (PageRank, BFS, CC)
+// against one gserve core over real HTTP, all sessions sharing the
+// daemon's shard cache, I/O budget and co-scheduled passes. Latency is
+// measured per query, submit to completion. The solo column prices the
+// same trace with every query on a private daemon — what the replay
+// would have cost with no sharing — and BitIdentical reports whether
+// every served digest matched its solo counterpart, which the engine's
+// determinism argument says must always hold.
+type ServeReplayResult struct {
+	Clients int
+	Rounds  int
+	Queries int // completed queries (Clients × Rounds × mix size)
+
+	P50 float64 // seconds, median query latency
+	P99 float64 // seconds, 99th-percentile query latency
+	QPS float64 // completed queries per second of replay wall time
+
+	ServedLoads  int64 // shard loads the shared daemon performed for the whole trace
+	SoloLoads    int64 // shard loads the trace costs with a private daemon per query
+	BitIdentical bool  // every served digest == its solo digest
+}
+
+func (r ServeReplayResult) String() string {
+	return fmt.Sprintf(
+		"serve replay: %d clients × %d rounds = %d queries | p50 %.1fms p99 %.1fms %.0f qps | loads %d shared vs %d solo (%.1fx) | bit-identical %v",
+		r.Clients, r.Rounds, r.Queries,
+		r.P50*1e3, r.P99*1e3, r.QPS,
+		r.ServedLoads, r.SoloLoads, float64(r.SoloLoads)/float64(max64(r.ServedLoads, 1)),
+		r.BitIdentical)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// replayMix is the fixed per-round query trace each client replays.
+var replayMix = []serve.QuerySpec{
+	{Store: "replay", Algo: "pagerank", Iters: 5},
+	{Store: "replay", Algo: "bfs", Src: 1},
+	{Store: "replay", Algo: "cc"},
+}
+
+// ReplayServe shards g into p partitions in a temporary store, boots
+// the daemon core behind a real HTTP server, and replays the query mix
+// from clients concurrent clients for rounds rounds each.
+func ReplayServe(g *graph.Graph, p, clients, rounds int) (ServeReplayResult, error) {
+	dir, err := os.MkdirTemp("", "gserve-replay-")
+	if err != nil {
+		return ServeReplayResult{}, err
+	}
+	defer os.RemoveAll(dir)
+	if _, err := shard.Write(dir, g, p); err != nil {
+		return ServeReplayResult{}, err
+	}
+
+	// Solo baseline: each distinct query on its own private daemon.
+	soloDigest := make(map[string]string, len(replayMix))
+	soloLoadsPer := make(map[string]int64, len(replayMix))
+	for _, spec := range replayMix {
+		s := serve.New(serve.Config{})
+		if err := s.OpenStore("replay", dir); err != nil {
+			return ServeReplayResult{}, err
+		}
+		ts := httptest.NewServer(s.Handler())
+		info, err := runQuery(ts.Client(), ts.URL, spec)
+		ts.Close()
+		if err != nil {
+			return ServeReplayResult{}, fmt.Errorf("solo %s: %w", spec.Algo, err)
+		}
+		soloDigest[spec.Algo] = info.Digest
+		soloLoadsPer[spec.Algo] = info.Loads
+	}
+
+	s := serve.New(serve.Config{})
+	if err := s.OpenStore("replay", dir); err != nil {
+		return ServeReplayResult{}, err
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	res := ServeReplayResult{Clients: clients, Rounds: rounds, BitIdentical: true}
+	latencies := make([][]float64, clients)
+	errs := make([]error, clients)
+	var mu sync.Mutex // guards res.BitIdentical
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := ts.Client()
+			for round := 0; round < rounds; round++ {
+				// Stagger each client's starting point in the mix so the
+				// daemon sees heterogeneous concurrent queries, the regime
+				// co-scheduling and shared residency exist for.
+				for q := 0; q < len(replayMix); q++ {
+					spec := replayMix[(c+q)%len(replayMix)]
+					t0 := time.Now()
+					info, err := runQuery(client, ts.URL, spec)
+					if err != nil {
+						errs[c] = fmt.Errorf("client %d %s: %w", c, spec.Algo, err)
+						return
+					}
+					latencies[c] = append(latencies[c], time.Since(t0).Seconds())
+					if info.Digest != soloDigest[spec.Algo] {
+						mu.Lock()
+						res.BitIdentical = false
+						mu.Unlock()
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+	for _, err := range errs {
+		if err != nil {
+			return ServeReplayResult{}, err
+		}
+	}
+
+	var all []float64
+	for _, ls := range latencies {
+		all = append(all, ls...)
+		res.SoloLoads += soloTraceLoads(soloLoadsPer, len(ls))
+	}
+	sort.Float64s(all)
+	res.Queries = len(all)
+	res.P50 = percentile(all, 50)
+	res.P99 = percentile(all, 99)
+	res.QPS = float64(res.Queries) / wall
+	res.ServedLoads = s.Cache().Stats().Loads
+	return res, nil
+}
+
+// soloTraceLoads prices n queries of the mix at solo cost, in mix order.
+func soloTraceLoads(per map[string]int64, n int) int64 {
+	var sum int64
+	for i := 0; i < n; i++ {
+		sum += per[replayMix[i%len(replayMix)].Algo]
+	}
+	return sum
+}
+
+// percentile reads the pth percentile from sorted (nearest-rank).
+func percentile(sorted []float64, p int) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := (len(sorted)*p + 99) / 100
+	if i > len(sorted) {
+		i = len(sorted)
+	}
+	return sorted[i-1]
+}
+
+// queryStatus is the subset of the daemon's query response the replayer
+// reads.
+type queryStatus struct {
+	Status string `json:"status"`
+	Error  string `json:"error"`
+	Digest string `json:"digest"`
+	Loads  int64  `json:"loads"`
+}
+
+// runQuery submits spec and blocks until the daemon reports it done.
+func runQuery(client *http.Client, base string, spec serve.QuerySpec) (queryStatus, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return queryStatus{}, err
+	}
+	resp, err := client.Post(base+"/v1/queries", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return queryStatus{}, err
+	}
+	var sub struct {
+		ID    string `json:"id"`
+		Error string `json:"error"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&sub)
+	resp.Body.Close()
+	if err != nil {
+		return queryStatus{}, err
+	}
+	if sub.ID == "" {
+		return queryStatus{}, fmt.Errorf("submit refused: %s", sub.Error)
+	}
+	resp, err = client.Get(base + "/v1/queries/" + sub.ID + "?wait=1")
+	if err != nil {
+		return queryStatus{}, err
+	}
+	var info queryStatus
+	err = json.NewDecoder(resp.Body).Decode(&info)
+	resp.Body.Close()
+	if err != nil {
+		return queryStatus{}, err
+	}
+	if info.Status != "done" {
+		return queryStatus{}, fmt.Errorf("query finished %q (%s)", info.Status, info.Error)
+	}
+	return info, nil
+}

@@ -1,0 +1,38 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// TestReplayServeSmoke is the CI gate on the daemon replay: a small
+// many-client trace must complete, report plausible latency and
+// throughput numbers, keep every served result bit-identical to its
+// solo baseline, and perform strictly fewer shard loads than the
+// unshared trace would.
+func TestReplayServeSmoke(t *testing.T) {
+	const clients, rounds = 4, 2
+	res, err := ReplayServe(gen.TinySocial(), 8, clients, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res.String())
+
+	if want := clients * rounds * 3; res.Queries != want {
+		t.Fatalf("replay completed %d queries, want %d", res.Queries, want)
+	}
+	if !(res.P50 > 0) || res.P99 < res.P50 {
+		t.Fatalf("latency percentiles implausible: p50 %v p99 %v", res.P50, res.P99)
+	}
+	if !(res.QPS > 0) {
+		t.Fatalf("replay reports %v QPS", res.QPS)
+	}
+	if !res.BitIdentical {
+		t.Fatal("a served query's digest diverged from its solo baseline")
+	}
+	if res.ServedLoads <= 0 || res.ServedLoads >= res.SoloLoads {
+		t.Fatalf("shared daemon performed %d loads for a trace that costs %d solo, want 0 < shared < solo",
+			res.ServedLoads, res.SoloLoads)
+	}
+}

@@ -1,0 +1,449 @@
+// Package serve is the multi-tenant graph-serving daemon core: a
+// registry of open shard stores hosted behind one byte-budgeted,
+// refcounted shard LRU, serving concurrent queries over HTTP/JSON.
+// Opening a store builds a shard.Host (the construction half of the
+// engine); each submitted query stamps out a session (the execution
+// half) with its own vertex-state arrays while sharing the cache, the
+// I/O budget and the co-scheduling pass board with every other query
+// on the same store. A shard resident for one in-flight query is free
+// for all others; eviction touches only shards no query is applying.
+//
+// Results carry an FNV-1a digest of the raw value bits, so clients —
+// and the trace replayer in internal/bench — can assert bit-identity
+// between served, co-scheduled runs and solo runs without shipping
+// whole vertex arrays; passing "values": true returns the arrays too.
+package serve
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/algorithms"
+	"repro/internal/api"
+	"repro/internal/graph"
+	"repro/internal/shard"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// CacheBytes is the daemon-wide shared-cache budget; <= 0 selects
+	// shard.DefaultCacheBytes. All stores share this one budget.
+	CacheBytes int64
+	// Options is the engine option set every hosted store resolves at
+	// open time (Threads, IODepth, sweep mode, ...). The zero value is
+	// the engine's defaults.
+	Options shard.Options
+}
+
+// Server hosts stores and runs queries. All methods are safe for
+// concurrent use; it serves its HTTP API via Handler.
+type Server struct {
+	cache *shard.SharedCache
+	opts  shard.Options
+
+	mu      sync.Mutex
+	stores  map[string]*hostedStore
+	queries map[string]*query
+	seq     int
+}
+
+type hostedStore struct {
+	name string
+	dir  string
+	host *shard.Host
+}
+
+// query is one submitted unit of work and its lifecycle record.
+type query struct {
+	id    string
+	store string
+	algo  string
+
+	mu       sync.Mutex
+	done     chan struct{}
+	status   string // "running", "done", "failed"
+	err      string
+	digest   string
+	loads    int64
+	wall     time.Duration
+	values   any // populated only when the submission asked for values
+	submitAt time.Time
+}
+
+// New builds an empty server.
+func New(cfg Config) *Server {
+	return &Server{
+		cache:   shard.NewSharedCache(cfg.CacheBytes),
+		opts:    cfg.Options,
+		stores:  make(map[string]*hostedStore),
+		queries: make(map[string]*query),
+	}
+}
+
+// OpenStore opens the sharded store in dir under the given name and
+// hosts it on the shared cache. The vertex topology is rebuilt from
+// the store itself (one sweep over the shard files), so a store opens
+// from its directory alone.
+func (s *Server) OpenStore(name, dir string) error {
+	if name == "" {
+		return fmt.Errorf("serve: store name must be non-empty")
+	}
+	s.mu.Lock()
+	if _, ok := s.stores[name]; ok {
+		s.mu.Unlock()
+		return fmt.Errorf("serve: store %q already open", name)
+	}
+	s.mu.Unlock()
+
+	st, err := shard.Open(dir)
+	if err != nil {
+		return fmt.Errorf("serve: open store %q: %w", name, err)
+	}
+	edges := make([]graph.Edge, 0, st.NumEdges())
+	if err := st.Sweep(func(u, v graph.VID) {
+		edges = append(edges, graph.Edge{Src: u, Dst: v})
+	}); err != nil {
+		return fmt.Errorf("serve: rebuild topology of %q: %w", name, err)
+	}
+	g := graph.FromEdges(st.NumVertices(), edges)
+	host, err := shard.NewHost(st, g, s.cache, s.opts)
+	if err != nil {
+		return fmt.Errorf("serve: host store %q: %w", name, err)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.stores[name]; ok {
+		return fmt.Errorf("serve: store %q already open", name)
+	}
+	s.stores[name] = &hostedStore{name: name, dir: dir, host: host}
+	return nil
+}
+
+// CloseStore unregisters the store and drops its unpinned shards from
+// the shared LRU; shards pinned by in-flight queries stay until those
+// queries release them, then age out.
+func (s *Server) CloseStore(name string) error {
+	s.mu.Lock()
+	hs, ok := s.stores[name]
+	if ok {
+		delete(s.stores, name)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("serve: store %q not open", name)
+	}
+	hs.host.Evict()
+	return nil
+}
+
+// Session returns a fresh api.System over an open store — the
+// conformance adapter: one served session is a complete engine from
+// the API's point of view, and the differential test ladder runs
+// through exactly this.
+func (s *Server) Session(store string) (api.System, error) {
+	s.mu.Lock()
+	hs, ok := s.stores[store]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("serve: store %q not open", store)
+	}
+	return hs.host.NewSession(), nil
+}
+
+// QuerySpec is one query submission.
+type QuerySpec struct {
+	Store string `json:"store"`
+	Algo  string `json:"algo"`            // pagerank | bfs | cc | spmv
+	Iters int    `json:"iters,omitempty"` // pagerank; default 10
+	Src   uint32 `json:"src,omitempty"`   // bfs
+	// Values asks for the full result arrays in the status response
+	// (digest-only otherwise).
+	Values bool `json:"values,omitempty"`
+}
+
+// Submit starts spec asynchronously and returns its query ID. The
+// query runs on its own session; a panicking operator fails that query
+// alone.
+func (s *Server) Submit(spec QuerySpec) (string, error) {
+	run, err := algoFor(spec)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	hs, ok := s.stores[spec.Store]
+	if !ok {
+		s.mu.Unlock()
+		return "", fmt.Errorf("serve: store %q not open", spec.Store)
+	}
+	s.seq++
+	q := &query{
+		id:       fmt.Sprintf("q%d", s.seq),
+		store:    spec.Store,
+		algo:     spec.Algo,
+		status:   "running",
+		done:     make(chan struct{}),
+		submitAt: time.Now(),
+	}
+	s.queries[q.id] = q
+	s.mu.Unlock()
+
+	sess := hs.host.NewSession()
+	go func() {
+		defer close(q.done)
+		defer func() {
+			if r := recover(); r != nil {
+				q.mu.Lock()
+				q.status = "failed"
+				q.err = fmt.Sprintf("query panicked: %v", r)
+				q.mu.Unlock()
+			}
+		}()
+		start := time.Now()
+		values, digest := run(sess)
+		wall := time.Since(start)
+		q.mu.Lock()
+		q.status = "done"
+		q.digest = digest
+		q.loads = sess.Stats().ShardLoads
+		q.wall = wall
+		if spec.Values {
+			q.values = values
+		}
+		q.mu.Unlock()
+	}()
+	return q.id, nil
+}
+
+// Wait blocks until query id finishes (however it finishes).
+func (s *Server) Wait(id string) error {
+	s.mu.Lock()
+	q, ok := s.queries[id]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("serve: no query %q", id)
+	}
+	<-q.done
+	return nil
+}
+
+// algoFor resolves a spec to its runner: the algorithm over one
+// session, returning the raw values and their bit digest.
+func algoFor(spec QuerySpec) (func(api.System) (any, string), error) {
+	switch spec.Algo {
+	case "pagerank":
+		iters := spec.Iters
+		if iters <= 0 {
+			iters = 10
+		}
+		return func(sys api.System) (any, string) {
+			r := algorithms.PR(sys, iters)
+			return r.Ranks, digestF64(r.Ranks)
+		}, nil
+	case "bfs":
+		return func(sys api.System) (any, string) {
+			r := algorithms.BFS(sys, graph.VID(spec.Src))
+			return r.Parents, digestI32(r.Parents)
+		}, nil
+	case "cc":
+		return func(sys api.System) (any, string) {
+			r := algorithms.CC(sys)
+			return r.Labels, digestI32(r.Labels)
+		}, nil
+	case "spmv":
+		return func(sys api.System) (any, string) {
+			r := algorithms.SPMV(sys)
+			return r.Y, digestF64(r.Y)
+		}, nil
+	default:
+		return nil, fmt.Errorf("serve: unknown algorithm %q (want pagerank, bfs, cc or spmv)", spec.Algo)
+	}
+}
+
+// digestF64 hashes the exact bit patterns, so two runs digest equal iff
+// their float64 results are bit-identical.
+func digestF64(xs []float64) string {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, x := range xs {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(x))
+		h.Write(b[:])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func digestI32(xs []int32) string {
+	h := fnv.New64a()
+	var b [4]byte
+	for _, x := range xs {
+		binary.LittleEndian.PutUint32(b[:], uint32(x))
+		h.Write(b[:])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// storeInfo is the wire form of one hosted store.
+type storeInfo struct {
+	Name     string `json:"name"`
+	Dir      string `json:"dir"`
+	Vertices int    `json:"vertices"`
+	Edges    int64  `json:"edges"`
+	Shards   int    `json:"shards"`
+}
+
+func (s *Server) storeInfoLocked(hs *hostedStore) storeInfo {
+	st := hs.host.Store()
+	return storeInfo{
+		Name: hs.name, Dir: hs.dir,
+		Vertices: st.NumVertices(), Edges: st.NumEdges(), Shards: st.NumShards(),
+	}
+}
+
+// queryInfo is the wire form of one query's status.
+type queryInfo struct {
+	ID     string  `json:"id"`
+	Store  string  `json:"store"`
+	Algo   string  `json:"algo"`
+	Status string  `json:"status"`
+	Error  string  `json:"error,omitempty"`
+	Digest string  `json:"digest,omitempty"`
+	Loads  int64   `json:"loads"`
+	WallMS float64 `json:"wall_ms"`
+	Values any     `json:"values,omitempty"`
+}
+
+func (q *query) info() queryInfo {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return queryInfo{
+		ID: q.id, Store: q.store, Algo: q.algo, Status: q.status,
+		Error: q.err, Digest: q.digest, Loads: q.loads,
+		WallMS: float64(q.wall) / float64(time.Millisecond),
+		Values: q.values,
+	}
+}
+
+// statsInfo is the wire form of GET /v1/stats.
+type statsInfo struct {
+	Cache   shard.SharedCacheStats `json:"cache"`
+	Stores  []storeInfo            `json:"stores"`
+	Queries int                    `json:"queries"`
+}
+
+// Stats snapshots the daemon: the shared-cache counters (budget,
+// resident and pinned bytes, hits, loads, shared reads, evictions,
+// rejections) plus the hosted stores and total queries submitted.
+func (s *Server) Stats() statsInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := statsInfo{Cache: s.cache.Stats(), Queries: len(s.queries)}
+	for _, hs := range s.stores {
+		out.Stores = append(out.Stores, s.storeInfoLocked(hs))
+	}
+	sort.Slice(out.Stores, func(i, j int) bool { return out.Stores[i].Name < out.Stores[j].Name })
+	return out
+}
+
+// Cache exposes the daemon-wide shared cache (tests and the bench
+// replayer read its counters).
+func (s *Server) Cache() *shard.SharedCache { return s.cache }
+
+// Handler returns the HTTP/JSON API:
+//
+//	POST   /v1/stores        {"name": "...", "dir": "..."}  open a store
+//	GET    /v1/stores                                       list open stores
+//	DELETE /v1/stores/{name}                                close a store
+//	POST   /v1/queries       QuerySpec                      submit; returns {"id": "..."}
+//	GET    /v1/queries/{id}[?wait=1]                        status / result
+//	GET    /v1/stats                                        cache + registry snapshot
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /v1/stores", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Name string `json:"name"`
+			Dir  string `json:"dir"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpErr(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := s.OpenStore(req.Name, req.Dir); err != nil {
+			httpErr(w, http.StatusConflict, err)
+			return
+		}
+		s.mu.Lock()
+		info := s.storeInfoLocked(s.stores[req.Name])
+		s.mu.Unlock()
+		writeJSON(w, http.StatusCreated, info)
+	})
+
+	mux.HandleFunc("GET /v1/stores", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats().Stores)
+	})
+
+	mux.HandleFunc("DELETE /v1/stores/{name}", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.CloseStore(r.PathValue("name")); err != nil {
+			httpErr(w, http.StatusNotFound, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	mux.HandleFunc("POST /v1/queries", func(w http.ResponseWriter, r *http.Request) {
+		var spec QuerySpec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			httpErr(w, http.StatusBadRequest, err)
+			return
+		}
+		id, err := s.Submit(spec)
+		if err != nil {
+			httpErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
+	})
+
+	mux.HandleFunc("GET /v1/queries/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		s.mu.Lock()
+		q, ok := s.queries[id]
+		s.mu.Unlock()
+		if !ok {
+			httpErr(w, http.StatusNotFound, fmt.Errorf("serve: no query %q", id))
+			return
+		}
+		if r.URL.Query().Get("wait") != "" {
+			select {
+			case <-q.done:
+			case <-r.Context().Done():
+				httpErr(w, http.StatusRequestTimeout, r.Context().Err())
+				return
+			}
+		}
+		writeJSON(w, http.StatusOK, q.info())
+	})
+
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,255 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/algorithms"
+	"repro/internal/api"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/shard"
+)
+
+// writeStore shards TinySocial into a fresh directory and returns the
+// directory plus the graph it was written from.
+func writeStore(t *testing.T, p int) (string, *graph.Graph) {
+	t.Helper()
+	g := gen.TinySocial()
+	dir := t.TempDir()
+	if _, err := shard.Write(dir, g, p); err != nil {
+		t.Fatal(err)
+	}
+	return dir, g
+}
+
+func postJSON(t *testing.T, client *http.Client, url string, body any, out any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s response: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func getJSON(t *testing.T, client *http.Client, url string, out any) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decoding %s response: %v", url, err)
+	}
+}
+
+// TestServeHTTPRoundTrip drives the whole API surface over real HTTP:
+// open a store, list it, run one of each algorithm to completion,
+// check the PageRank digest against a private solo engine, read stats,
+// close the store, and confirm the error paths answer with errors
+// rather than panics.
+func TestServeHTTPRoundTrip(t *testing.T) {
+	dir, g := writeStore(t, 12)
+	s := New(Config{Options: shard.Options{Threads: 4}})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	var opened storeInfo
+	if resp := postJSON(t, c, ts.URL+"/v1/stores", map[string]string{"name": "tiny", "dir": dir}, &opened); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("open store: %s", resp.Status)
+	}
+	if opened.Vertices != g.NumVertices() || opened.Edges != g.NumEdges() || opened.Shards != 12 {
+		t.Fatalf("opened store reports %d vertices / %d edges / %d shards, want %d / %d / 12",
+			opened.Vertices, opened.Edges, opened.Shards, g.NumVertices(), g.NumEdges())
+	}
+	var listed []storeInfo
+	getJSON(t, c, ts.URL+"/v1/stores", &listed)
+	if len(listed) != 1 || listed[0].Name != "tiny" {
+		t.Fatalf("store listing = %+v, want exactly [tiny]", listed)
+	}
+
+	// A private engine over its own copy of the store is the oracle.
+	solo, err := shard.Build(t.TempDir(), g, 12, shard.Options{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPR := digestF64(algorithms.PR(solo, 10).Ranks)
+
+	for _, spec := range []QuerySpec{
+		{Store: "tiny", Algo: "pagerank"},
+		{Store: "tiny", Algo: "bfs", Src: 1},
+		{Store: "tiny", Algo: "cc"},
+		{Store: "tiny", Algo: "spmv"},
+	} {
+		var sub struct {
+			ID string `json:"id"`
+		}
+		if resp := postJSON(t, c, ts.URL+"/v1/queries", spec, &sub); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %s: %s", spec.Algo, resp.Status)
+		}
+		var info queryInfo
+		getJSON(t, c, ts.URL+"/v1/queries/"+sub.ID+"?wait=1", &info)
+		if info.Status != "done" {
+			t.Fatalf("%s finished %q (%s), want done", spec.Algo, info.Status, info.Error)
+		}
+		if info.Digest == "" {
+			t.Fatalf("%s reported no digest", spec.Algo)
+		}
+		if spec.Algo == "pagerank" && info.Loads <= 0 {
+			// The first query on a cold store must hit the disk; later
+			// queries may run entirely off its resident shards.
+			t.Fatalf("first query reported %d loads on a cold store", info.Loads)
+		}
+		if spec.Algo == "pagerank" && info.Digest != wantPR {
+			t.Fatalf("served pagerank digest %s, solo engine digest %s: not bit-identical", info.Digest, wantPR)
+		}
+	}
+
+	var stats statsInfo
+	getJSON(t, c, ts.URL+"/v1/stats", &stats)
+	if stats.Queries != 4 || len(stats.Stores) != 1 {
+		t.Fatalf("stats report %d queries over %d stores, want 4 over 1", stats.Queries, len(stats.Stores))
+	}
+	if stats.Cache.Loads == 0 || stats.Cache.Bytes > stats.Cache.Budget {
+		t.Fatalf("cache stats implausible after four queries: %+v", stats.Cache)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/stores/tiny", nil)
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("close store: %s", resp.Status)
+	}
+
+	// Error paths: unknown store, unknown algorithm, unknown query.
+	if resp := postJSON(t, c, ts.URL+"/v1/queries", QuerySpec{Store: "tiny", Algo: "pagerank"}, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("query on closed store: %s, want 400", resp.Status)
+	}
+	if resp := postJSON(t, c, ts.URL+"/v1/queries", QuerySpec{Store: "nope", Algo: "sssp"}, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown algorithm: %s, want 400", resp.Status)
+	}
+	r2, err := c.Get(ts.URL + "/v1/queries/q999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown query: %s, want 404", r2.Status)
+	}
+}
+
+// TestServeSessionConformance runs the api.System contract check over
+// a served session — the adapter the differential ladder drives.
+func TestServeSessionConformance(t *testing.T) {
+	dir, _ := writeStore(t, 8)
+	s := New(Config{Options: shard.Options{Threads: 4}})
+	if err := s.OpenStore("tiny", dir); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := s.Session("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := api.CheckSystem(sys); err != nil {
+		t.Fatalf("served session violates the System contract: %v", err)
+	}
+}
+
+// TestServedConcurrentPRBFS is the daemon-level acceptance test:
+// PageRank and BFS submitted concurrently against one server must
+// digest bit-identically to solo runs on private servers, and the
+// shared cache must have performed strictly fewer loads than the two
+// solo runs summed.
+func TestServedConcurrentPRBFS(t *testing.T) {
+	dir, _ := writeStore(t, 12)
+
+	runOne := func(spec QuerySpec) (string, int64) {
+		s := New(Config{Options: shard.Options{Threads: 4}})
+		if err := s.OpenStore("tiny", dir); err != nil {
+			t.Fatal(err)
+		}
+		id, err := s.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Wait(id); err != nil {
+			t.Fatal(err)
+		}
+		s.mu.Lock()
+		info := s.queries[id].info()
+		s.mu.Unlock()
+		if info.Status != "done" {
+			t.Fatalf("solo %s finished %q (%s)", spec.Algo, info.Status, info.Error)
+		}
+		return info.Digest, info.Loads
+	}
+	prSpec := QuerySpec{Store: "tiny", Algo: "pagerank", Iters: 5}
+	bfsSpec := QuerySpec{Store: "tiny", Algo: "bfs", Src: 1}
+	wantPR, prLoads := runOne(prSpec)
+	wantBFS, bfsLoads := runOne(bfsSpec)
+	soloLoads := prLoads + bfsLoads
+
+	s := New(Config{Options: shard.Options{Threads: 4}})
+	if err := s.OpenStore("tiny", dir); err != nil {
+		t.Fatal(err)
+	}
+	var ids [2]string
+	var wg sync.WaitGroup
+	for i, spec := range []QuerySpec{prSpec, bfsSpec} {
+		id, err := s.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+		wg.Add(1)
+		go func() { defer wg.Done(); s.Wait(id) }()
+	}
+	wg.Wait()
+
+	digests := map[string]string{}
+	for _, id := range ids {
+		s.mu.Lock()
+		info := s.queries[id].info()
+		s.mu.Unlock()
+		if info.Status != "done" {
+			t.Fatalf("concurrent %s finished %q (%s)", info.Algo, info.Status, info.Error)
+		}
+		digests[info.Algo] = info.Digest
+	}
+	if digests["pagerank"] != wantPR {
+		t.Fatalf("concurrent pagerank digest %s, solo %s: not bit-identical", digests["pagerank"], wantPR)
+	}
+	if digests["bfs"] != wantBFS {
+		t.Fatalf("concurrent bfs digest %s, solo %s: not bit-identical", digests["bfs"], wantBFS)
+	}
+
+	concurrent := s.Cache().Stats().Loads
+	if concurrent >= soloLoads {
+		t.Fatalf("concurrent PR+BFS performed %d loads, want strictly fewer than the solo sum %d (%d + %d)",
+			concurrent, soloLoads, prLoads, bfsLoads)
+	}
+	fmt.Printf("served PR+BFS: concurrent loads %d vs solo sum %d\n", concurrent, soloLoads)
+}

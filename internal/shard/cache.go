@@ -20,6 +20,22 @@ type resident struct {
 	off      []int // len = tasks+1; task t owns edges [off[t], off[t+1])
 }
 
+// engineCache is the residency surface the sweep machinery drives:
+// get/put pin the shard for the caller until the matching release (the
+// fetch-to-apply span), peek and snapshot are the planner's non-mutating
+// views. The private lruCache implements it with no-op pinning — one
+// engine's sweeps are serial, so nothing can evict a shard mid-apply —
+// and the multi-tenant sessionCache implements it over the shared
+// refcounted SharedCache, where the pins are load-bearing.
+type engineCache interface {
+	get(i int) (*resident, bool)
+	peek(i int) bool
+	put(sh *resident)
+	release(i int)
+	snapshot() []int
+	len() int
+}
+
 // lruCache keeps up to cap resident shards, evicting the least recently
 // used. It is the mechanism that lets iterative algorithms (PageRank's
 // fixed sweeps, label propagation) avoid re-reading cold files every
@@ -79,6 +95,11 @@ func (c *lruCache) put(sh *resident) {
 		delete(c.idx, cold.Value.(*resident).idx)
 	}
 }
+
+// release is a no-op: a private engine's sweeps are serial, so a shard
+// between fetch and apply cannot be evicted by anyone else — the pin
+// discipline only carries weight on the shared sessionCache.
+func (c *lruCache) release(int) {}
 
 // snapshot returns the resident shard indices, most recently used
 // first, without promoting anything — the sweep-order planner's view of

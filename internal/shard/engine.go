@@ -244,6 +244,19 @@ type Stats struct {
 	BinBytesWritten     int64
 	BinBytesRead        int64
 
+	// Multi-tenant counters (zero on private engines; see host.go).
+	// SharedReads counts uncached reads this session resolved without
+	// touching disk because another session's load for the same shard
+	// was already in flight — or had just landed — in the shared cache
+	// (single-flight). CoScheduledSweeps counts dense sweeps that joined
+	// another query's disk pass as a follower instead of walking the
+	// store themselves; CoSharedShards counts the plan entries such
+	// sweeps applied straight from the leader's publications, shards
+	// that cost this query neither a load nor a cache fetch.
+	SharedReads       int64
+	CoScheduledSweeps int64
+	CoSharedShards    int64
+
 	// Pipeline counters (zero when NoPrefetch).
 	PrefetchHits    int64 // staged shards promoted from the LRU cache
 	PrefetchLoads   int64 // staged shards decoded from disk for the stager
@@ -329,7 +342,15 @@ type Engine struct {
 
 	home  []int32    // vertex -> shard whose destination range holds it
 	feeds [][]uint64 // per-shard source-range summary (Store.SourceSummary)
-	cache *lruCache
+	cache engineCache
+
+	// Multi-tenant wiring (all nil on private engines): sessions built
+	// by Host.NewSession share the refcounted byte-budgeted cache, the
+	// aio read budget and the co-scheduling board with every other
+	// session on the same store. See host.go and copass.go.
+	shared   *SharedCache
+	board    *passBoard
+	ioBudget *aio.Budget
 
 	// Modelled NUMA placement: shard si's destination range lives on
 	// domain domainOf[si] and is applied by domains[domainOf[si]]'s
@@ -387,15 +408,34 @@ type Engine struct {
 	onLoadBegin, onLoadEnd   func(shard int)
 	onApplyBegin, onApplyEnd func(shard int)
 	onStage                  func(shard, depth, applying int)
+	// onCoLead fires when a dense sweep opens a co-scheduled pass (its
+	// publications become joinable); onCoFollow when a sweep joins one.
+	onCoLead, onCoFollow func()
 }
 
 var _ api.System = (*Engine)(nil)
 
-// NewEngine builds the out-of-core engine for an opened store. g must be
-// the graph the store was written from (its per-vertex metadata — not
-// its adjacency — backs the api.System contract); mismatched dimensions
-// are rejected.
-func NewEngine(st *Store, g *graph.Graph, opts Options) (*Engine, error) {
+// hostCore is the store-derived immutable substrate one construction
+// pays for and every execution context shares: the resolved options,
+// the worker pool and its per-domain views, the vertex→shard map, the
+// source summaries and the planner's Hilbert keys. A private engine
+// owns its core alone; a Host hands one core to N sessions.
+type hostCore struct {
+	st   *Store
+	g    *graph.Graph
+	opts Options
+	pool *sched.Pool
+
+	home       []int32
+	feeds      [][]uint64
+	domainOf   []int32
+	domains    []*sched.DomainView
+	hilbertKey []uint64
+}
+
+// newHostCore validates (st, g, opts) and builds the shared substrate —
+// the construction half of the construction/execution split.
+func newHostCore(st *Store, g *graph.Graph, opts Options) (*hostCore, error) {
 	if st.NumVertices() != g.NumVertices() || st.NumEdges() != g.NumEdges() {
 		return nil, fmt.Errorf("shard: store is %dv/%de but graph is %dv/%de",
 			st.NumVertices(), st.NumEdges(), g.NumVertices(), g.NumEdges())
@@ -427,27 +467,59 @@ func NewEngine(st *Store, g *graph.Graph, opts Options) (*Engine, error) {
 	for i := range domainOf {
 		domainOf[i] = int32(opts.Topology.DomainOf(i))
 	}
-	return &Engine{
+	return &hostCore{
 		st:         st,
 		g:          g,
-		pool:       pool,
 		opts:       opts,
+		pool:       pool,
 		home:       home,
 		feeds:      feeds,
-		cache:      newLRUCache(opts.CacheShards),
 		domainOf:   domainOf,
 		domains:    opts.Topology.Split(pool),
 		hilbertKey: hilbertKeys(feeds, st.NumShards()),
-		shadow:     newShadowLRU(opts.CacheShards),
-		bins:       make([]*binShard, st.NumShards()),
-		stats: Stats{
-			DomainShards: make([]int64, opts.Topology.Domains),
-			DomainEdges:  make([]int64, opts.Topology.Domains),
-			ApplyLevels:  make([]int64, opts.Topology.Domains),
-			WindowDepths: make([]int64, opts.Window+1),
-			ReadDepths:   make([]int64, opts.IODepth+1),
-		},
 	}, nil
+}
+
+// newEngine builds one execution context over the core: per-sweep
+// planner state, per-query stats, and the residency backend — a
+// private LRU for standalone engines, a session view of the shared
+// refcounted cache for Host sessions.
+func (c *hostCore) newEngine(cache engineCache) *Engine {
+	return &Engine{
+		st:         c.st,
+		g:          c.g,
+		pool:       c.pool,
+		opts:       c.opts,
+		home:       c.home,
+		feeds:      c.feeds,
+		cache:      cache,
+		domainOf:   c.domainOf,
+		domains:    c.domains,
+		hilbertKey: c.hilbertKey,
+		shadow:     newShadowLRU(c.opts.CacheShards),
+		bins:       make([]*binShard, c.st.NumShards()),
+		stats: Stats{
+			DomainShards: make([]int64, c.opts.Topology.Domains),
+			DomainEdges:  make([]int64, c.opts.Topology.Domains),
+			ApplyLevels:  make([]int64, c.opts.Topology.Domains),
+			WindowDepths: make([]int64, c.opts.Window+1),
+			ReadDepths:   make([]int64, c.opts.IODepth+1),
+		},
+	}
+}
+
+// NewEngine builds the out-of-core engine for an opened store. g must be
+// the graph the store was written from (its per-vertex metadata — not
+// its adjacency — backs the api.System contract); mismatched dimensions
+// are rejected. The engine is private: it owns its LRU cache and serves
+// one query at a time. A store that must serve N concurrent queries is
+// opened once through NewHost instead.
+func NewEngine(st *Store, g *graph.Graph, opts Options) (*Engine, error) {
+	core, err := newHostCore(st, g, opts)
+	if err != nil {
+		return nil, err
+	}
+	return core.newEngine(newLRUCache(core.opts.CacheShards)), nil
 }
 
 // Build shards g into dir with p partitions and returns an engine over
@@ -496,6 +568,9 @@ func (e *Engine) Stats() Stats {
 		BytesLogical:        atomic.LoadInt64(&e.stats.BytesLogical),
 		PlannedCacheHits:    atomic.LoadInt64(&e.stats.PlannedCacheHits),
 		ReloadsAvoided:      atomic.LoadInt64(&e.stats.ReloadsAvoided),
+		SharedReads:         atomic.LoadInt64(&e.stats.SharedReads),
+		CoScheduledSweeps:   atomic.LoadInt64(&e.stats.CoScheduledSweeps),
+		CoSharedShards:      atomic.LoadInt64(&e.stats.CoSharedShards),
 		ScatterGatherSweeps: atomic.LoadInt64(&e.stats.ScatterGatherSweeps),
 		BinShardsReused:     atomic.LoadInt64(&e.stats.BinShardsReused),
 		BinBytesWritten:     atomic.LoadInt64(&e.stats.BinBytesWritten),
@@ -606,18 +681,17 @@ func (e *Engine) EdgeMap(f *frontier.Frontier, op api.EdgeOp, _ api.Direction) *
 		// would an ascending one.
 		plan = e.orderPlan(plan)
 		for _, si := range plan {
-			e.applyShard(si, e.load(si), cur, cond, op, next, accs)
+			sh := e.load(si)
+			func() {
+				// The pin taken by load must drop even when the operator
+				// panics out of the sweep, or a shared session would leave
+				// the shard unevictable forever.
+				defer e.cache.release(si)
+				e.applyShard(si, sh, cur, cond, op, next, accs)
+			}()
 		}
 	default:
-		plan = e.orderPlan(plan)
-		w := e.startSweep(plan, func(sh *resident) {
-			e.applyShard(sh.idx, sh, cur, cond, op, next, accs)
-		})
-		// stop is the teardown barrier: it runs even when wait re-raises
-		// a load error or an operator panic, so no pipeline goroutine
-		// outlives its EdgeMap.
-		defer w.stop()
-		w.wait()
+		e.sweepPipelined(plan, sparse, cur, cond, op, next, accs)
 	}
 	// The sweep completed (an aborted one panics out above): publish the
 	// planner accounting staged at plan time, so stats never describe
@@ -728,15 +802,42 @@ type loadResult struct {
 	sh         *resident
 	diskBytes  int64
 	overlapped bool // the read intersected an in-progress apply
+	shared     bool // served by another session's load; no disk touched
 }
 
 // readShard executes one uncached read — decode from disk, bucket for
 // the owning domain's workers — without touching the LRU or the load
 // counters; those belong to the reap point (finishLoad), which runs in
 // plan order. readShard itself may run on any goroutine, concurrently
-// with up to IODepth-1 other reads, and maintains the in-flight read
-// occupancy stats.
+// with up to IODepth-1 other reads. On shared sessions the read is
+// single-flight through the SharedCache: if another session's load for
+// the same shard is in flight (or just landed), this session shares
+// its result instead of touching disk.
 func (e *Engine) readShard(si int) (loadResult, error) {
+	if e.shared == nil {
+		return e.readShardDisk(si)
+	}
+	var res loadResult
+	sh, shared, err := e.shared.load(cacheKey{e.st, si}, func() (*resident, error) {
+		r, err := e.readShardDisk(si)
+		if err != nil {
+			return nil, err
+		}
+		res = r
+		return r.sh, nil
+	})
+	if err != nil {
+		return loadResult{}, err
+	}
+	if shared {
+		return loadResult{sh: sh, shared: true}, nil
+	}
+	return res, nil
+}
+
+// readShardDisk is the actual disk read + decode + bucket, plus the
+// in-flight read occupancy stats.
+func (e *Engine) readShardDisk(si int) (loadResult, error) {
 	if e.onLoadBegin != nil {
 		e.onLoadBegin(si)
 	}
@@ -772,6 +873,14 @@ func (e *Engine) readShard(si int) (loadResult, error) {
 // goroutine in plan order — reads may complete out of order, but the
 // LRU sees the same insertion sequence a synchronous sweep would issue.
 func (e *Engine) finishLoad(res loadResult, prefetching bool) {
+	if res.shared {
+		// Another session's disk load (or a raced insert) covered this
+		// read: no disk traffic to account to this session — it neither
+		// loaded the shard nor found it resident at fetch time.
+		atomic.AddInt64(&e.stats.SharedReads, 1)
+		e.cache.put(res.sh)
+		return
+	}
 	atomic.AddInt64(&e.stats.BytesRead, res.diskBytes)
 	atomic.AddInt64(&e.stats.BytesLogical, v1EncodedBytes(int64(len(res.sh.src))))
 	atomic.AddInt64(&e.stats.ShardLoads, 1)

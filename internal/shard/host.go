@@ -1,0 +1,104 @@
+package shard
+
+// The construction/execution split for multi-tenant serving. A Host is
+// one opened store's shared substrate — the validated options, worker
+// pool, NUMA views, vertex→shard map, source summaries, Hilbert keys —
+// plus the three things N concurrent queries must share rather than
+// duplicate: the refcounted byte-budgeted SharedCache, the aio read
+// budget, and the co-scheduling passBoard. NewSession stamps out one
+// execution context (an *Engine implementing api.System) per query:
+// sessions get their own stats, planner state and vertex-state arrays
+// but fetch through the shared cache, read under the shared I/O
+// budget, and co-schedule their dense sweeps through the shared board.
+//
+// Each session individually keeps the full api.System contract —
+// EdgeMap/VertexMap calls on *one* session are serial, like any other
+// engine — while distinct sessions run concurrently: everything they
+// share is either immutable (the core), internally synchronized (the
+// cache, the board, the budget, the stateless sched.Pool), or owned
+// per-session (frontiers, accumulators, stats, bins).
+
+import (
+	"repro/internal/aio"
+	"repro/internal/graph"
+	"repro/internal/sched"
+)
+
+// Host serves one store to N concurrent sessions.
+type Host struct {
+	core   *hostCore
+	cache  *SharedCache
+	board  passBoard
+	budget *aio.Budget
+}
+
+// NewHost opens the store's shared substrate. cache is the daemon-wide
+// shared LRU — pass the same value to every Host so all stores share
+// one byte budget; nil builds a private SharedCache with
+// DefaultCacheBytes. opts validates exactly as NewEngine's, and every
+// session inherits the resolved value. The host-wide uncached-read
+// budget equals the resolved Options.IODepth: a lone session gets the
+// same read-ahead a private engine would, and concurrent sessions
+// share that budget instead of multiplying it.
+func NewHost(st *Store, g *graph.Graph, cache *SharedCache, opts Options) (*Host, error) {
+	core, err := newHostCore(st, g, opts)
+	if err != nil {
+		return nil, err
+	}
+	if cache == nil {
+		cache = NewSharedCache(DefaultCacheBytes)
+	}
+	return &Host{
+		core:   core,
+		cache:  cache,
+		budget: aio.NewBudget(core.opts.IODepth),
+	}, nil
+}
+
+// BuildHost shards g into dir and returns a host over the new store —
+// the one-call counterpart of Build for multi-tenant use.
+func BuildHost(dir string, g *graph.Graph, p int, cache *SharedCache, opts Options) (*Host, error) {
+	format := opts.Format
+	if format == 0 {
+		format = DefaultFormat
+	}
+	st, err := WriteFormat(dir, g, p, format)
+	if err != nil {
+		return nil, err
+	}
+	return NewHost(st, g, cache, opts)
+}
+
+// NewSession returns a fresh execution context over the host's store.
+// The session implements api.System; its results are bit-identical to
+// a private engine's on the same store, whatever other sessions are
+// doing concurrently. Sessions need no teardown — a session that
+// finishes (or panics out of) its last sweep holds no cache pins and
+// no goroutines.
+func (h *Host) NewSession() *Engine {
+	e := h.core.newEngine(newSessionCache(h.cache, h.core.st))
+	e.shared = h.cache
+	e.board = &h.board
+	e.ioBudget = h.budget
+	return e
+}
+
+// Store returns the hosted store.
+func (h *Host) Store() *Store { return h.core.st }
+
+// Graph returns the graph the store was written from.
+func (h *Host) Graph() *graph.Graph { return h.core.g }
+
+// Options returns the resolved options every session inherits.
+func (h *Host) Options() Options { return h.core.opts }
+
+// Cache returns the shared cache the host's sessions fetch through.
+func (h *Host) Cache() *SharedCache { return h.cache }
+
+// Topology returns the modelled NUMA topology sessions place shards on.
+func (h *Host) Topology() sched.Topology { return h.core.opts.Topology }
+
+// Evict drops the host's unpinned resident shards from the shared
+// cache — the close-store path. Shards pinned by in-flight queries
+// stay until released, then age out by LRU.
+func (h *Host) Evict() { h.cache.dropStore(h.core.st) }

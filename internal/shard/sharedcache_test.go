@@ -1,0 +1,397 @@
+package shard
+
+// The shared-cache concurrency battery: the refcount/budget property
+// test (sequential randomized ops with invariants checked at every
+// observation point, then a concurrent hammer under -race), the
+// two-query hammer over real host sessions, the co-scheduling
+// accounting regression (concurrent dense PR + CC strictly cheaper
+// than the sum of solo runs), and the mid-sweep operator-panic
+// teardown with a second session surviving on the same store.
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/frontier"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// fakeResident builds a resident shard of exactly edges edges for cache
+// property tests (residentBytes = edges*8 + 16).
+func fakeResident(idx, edges int) *resident {
+	return &resident{
+		idx: idx,
+		src: make([]graph.VID, edges),
+		dst: make([]graph.VID, edges),
+		off: []int{0, edges},
+	}
+}
+
+// checkInvariants asserts the cache's structural invariants — the ones
+// the tentpole promises hold at every observation point: accounted
+// bytes match the resident set and never exceed the budget, the index
+// and the LRU list agree, and no refcount is negative.
+func checkInvariants(t *testing.T, c *SharedCache) {
+	t.Helper()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var sum int64
+	n := 0
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		ent := el.Value.(*sharedEntry)
+		sum += ent.bytes
+		n++
+		if ent.pins < 0 {
+			t.Fatalf("shard %v has negative refcount %d", ent.key.idx, ent.pins)
+		}
+		if got, ok := c.idx[ent.key]; !ok || got != el {
+			t.Fatalf("LRU list and index disagree on shard %v", ent.key.idx)
+		}
+	}
+	if n != len(c.idx) {
+		t.Fatalf("LRU holds %d entries but index holds %d", n, len(c.idx))
+	}
+	if sum != c.bytes {
+		t.Fatalf("accounted bytes %d != resident sum %d", c.bytes, sum)
+	}
+	if c.bytes > c.budget {
+		t.Fatalf("resident bytes %d exceed budget %d", c.bytes, c.budget)
+	}
+}
+
+// TestSharedCacheRefcountProperty drives a randomized op sequence —
+// pinning gets, pinned adds, releases — against a budget that can only
+// hold a few shards, checking after every single operation that bytes
+// never exceed the budget and that no pinned shard has been evicted.
+// Shard sizes vary so eviction has to reason in bytes, not counts, and
+// some shards exceed the whole budget so the transient (refused
+// insert) path is exercised too.
+func TestSharedCacheRefcountProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	st := &Store{}
+	const budget = 1 << 12 // a few mid-size shards
+	c := NewSharedCache(budget)
+
+	type pin struct {
+		key      cacheKey
+		release  func()
+		admitted bool
+	}
+	var pins []pin
+	sizeOf := func(i int) int { return 8 + (i%40)*20 } // 8..788 edges; some shards near/over budget alone
+
+	for step := 0; step < 5000; step++ {
+		i := rng.Intn(24)
+		k := cacheKey{st, i}
+		switch op := rng.Intn(10); {
+		case op < 4: // fetch-hit path
+			if sh, release, ok := c.get(k); ok {
+				if sh.idx != i {
+					t.Fatalf("get(%d) returned shard %d", i, sh.idx)
+				}
+				pins = append(pins, pin{k, release, true})
+			}
+		case op < 7: // load-and-admit path
+			release, admitted := c.add(k, fakeResident(i, sizeOf(i)))
+			pins = append(pins, pin{k, release, admitted})
+		default: // finish an apply
+			if len(pins) > 0 {
+				j := rng.Intn(len(pins))
+				pins[j].release()
+				pins = append(pins[:j], pins[j+1:]...)
+			}
+		}
+		checkInvariants(t, c)
+		for _, p := range pins {
+			if p.admitted && !c.peek(p.key) {
+				t.Fatalf("step %d: shard %d evicted while pinned", step, p.key.idx)
+			}
+		}
+	}
+	for _, p := range pins {
+		p.release()
+	}
+	checkInvariants(t, c)
+	s := c.Stats()
+	if s.Pinned != 0 {
+		t.Fatalf("all pins released but Stats reports %d pinned", s.Pinned)
+	}
+	if s.Rejected == 0 {
+		t.Fatal("the op mix never exercised the refused-insert (transient) path")
+	}
+	if s.Evictions == 0 || s.Hits == 0 {
+		t.Fatalf("op mix too tame: evictions=%d hits=%d", s.Evictions, s.Hits)
+	}
+}
+
+// TestSharedCacheConcurrentPins is the same property under real
+// concurrency: workers pin, hold and release shards while a sampler
+// asserts the byte budget at arbitrary observation points. Each worker
+// additionally asserts its own admitted pins stay resident while held
+// — under -race this also proves the locking discipline.
+func TestSharedCacheConcurrentPins(t *testing.T) {
+	st := &Store{}
+	const budget = 1 << 12
+	c := NewSharedCache(budget)
+
+	stop := make(chan struct{})
+	var samplerWG sync.WaitGroup
+	samplerWG.Add(1)
+	go func() {
+		defer samplerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if b := c.Bytes(); b > budget {
+					t.Errorf("observed %d resident bytes over budget %d", b, budget)
+					return
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for step := 0; step < 2000; step++ {
+				i := rng.Intn(16)
+				k := cacheKey{st, i}
+				sh, release, ok := c.get(k)
+				admitted := ok
+				if !ok {
+					release, admitted = c.add(k, fakeResident(i, 8+(i%40)*20))
+				} else if sh.idx != i {
+					t.Errorf("get(%d) returned shard %d", i, sh.idx)
+				}
+				if admitted && !c.peek(k) {
+					t.Errorf("shard %d not resident while this worker pins it", i)
+				}
+				release()
+			}
+		}(int64(100 + w))
+	}
+	wg.Wait()
+	close(stop)
+	samplerWG.Wait()
+	checkInvariants(t, c)
+	if s := c.Stats(); s.Pinned != 0 {
+		t.Fatalf("workers done but %d shards still pinned", s.Pinned)
+	}
+}
+
+// buildHostOver writes g into a fresh store and opens a Host over it
+// with the given shared-cache budget.
+func buildHostOver(t *testing.T, g *graph.Graph, p int, budget int64, opts Options) *Host {
+	t.Helper()
+	h, err := BuildHost(t.TempDir(), g, p, NewSharedCache(budget), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// TestSharedSessionsTwoQueryHammer runs PageRank and an iterative
+// connected-components traversal concurrently, repeatedly, over two
+// sessions of one host with a byte budget far below the store — so
+// eviction, refused inserts and single-flight sharing all fire under
+// contention — and requires both queries' results to stay bit-identical
+// to private solo engines. CI runs this under -race -count=2.
+func TestSharedSessionsTwoQueryHammer(t *testing.T) {
+	g := gen.TinySocial()
+	const shards = 12
+	// Budget two average shards: heavy eviction traffic.
+	var budget int64 = 2 * (int64(g.NumEdges())/shards*8 + 16)
+	h := buildHostOver(t, g, shards, budget, Options{Threads: 4})
+
+	solo, err := Build(t.TempDir(), g, shards, Options{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRanks := prOnSystem(solo, 5)
+	wantLabels := ccOnSystem(solo)
+
+	for round := 0; round < 2; round++ {
+		pr := h.NewSession()
+		cc := h.NewSession()
+		var wg sync.WaitGroup
+		var gotRanks []float64
+		var gotLabels []int32
+		wg.Add(2)
+		go func() { defer wg.Done(); gotRanks = prOnSystem(pr, 5) }()
+		go func() { defer wg.Done(); gotLabels = ccOnSystem(cc) }()
+		wg.Wait()
+		for v := range wantRanks {
+			if math.Float64bits(gotRanks[v]) != math.Float64bits(wantRanks[v]) {
+				t.Fatalf("round %d: rank[%d] = %v, want %v (not bit-identical)", round, v, gotRanks[v], wantRanks[v])
+			}
+		}
+		for v := range wantLabels {
+			if gotLabels[v] != wantLabels[v] {
+				t.Fatalf("round %d: label[%d] = %d, want %d", round, v, gotLabels[v], wantLabels[v])
+			}
+		}
+		checkInvariants(t, h.Cache())
+		if s := h.Cache().Stats(); s.Pinned != 0 {
+			t.Fatalf("round %d: queries done but %d shards still pinned", round, s.Pinned)
+		}
+	}
+}
+
+// ccOnSystem is a label-propagation connected components (the min-label
+// fixpoint the algorithms package uses), here engine-local so shard
+// tests need no import cycle.
+func ccOnSystem(sys api.System) []int32 {
+	g := sys.Graph()
+	n := g.NumVertices()
+	labels := make([]int32, n)
+	for v := range labels {
+		labels[v] = int32(v)
+	}
+	f := frontier.All(g)
+	for rounds := 0; f.Count() > 0 && rounds < n; rounds++ {
+		f = sys.EdgeMap(f, api.EdgeOp{
+			Update: func(u, v graph.VID) bool {
+				if labels[u] < labels[v] {
+					labels[v] = labels[u]
+					return true
+				}
+				return false
+			},
+			UpdateAtomic: func(u, v graph.VID) bool {
+				if labels[u] < labels[v] {
+					labels[v] = labels[u]
+					return true
+				}
+				return false
+			},
+		}, api.DirAuto)
+	}
+	return labels
+}
+
+// TestCoSchedulingFewerLoadsThanSoloSum is the accounting regression
+// the tentpole claims: concurrent dense PageRank + connected components
+// on one store must total strictly fewer performed shard loads than the
+// sum of the two queries run in isolation. The budget holds the whole
+// store, which makes the bound deterministic rather than a race: in the
+// shared run each shard is loaded at most once ever (residency plus
+// single-flight cover every later fetch, whatever the interleaving),
+// while the isolated runs each pay for their own full pass.
+func TestCoSchedulingFewerLoadsThanSoloSum(t *testing.T) {
+	g := gen.TinySocial()
+	const shards = 12
+	const budget = 64 << 20
+
+	soloLoads := int64(0)
+	for _, run := range []func(api.System){
+		func(s api.System) { prOnSystem(s, 5) },
+		func(s api.System) { ccOnSystem(s) },
+	} {
+		h := buildHostOver(t, g, shards, budget, Options{Threads: 4})
+		sess := h.NewSession()
+		run(sess)
+		soloLoads += sess.Stats().ShardLoads
+	}
+
+	h := buildHostOver(t, g, shards, budget, Options{Threads: 4})
+	pr := h.NewSession()
+	cc := h.NewSession()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); prOnSystem(pr, 5) }()
+	go func() { defer wg.Done(); ccOnSystem(cc) }()
+	wg.Wait()
+
+	concurrent := h.Cache().Stats().Loads
+	if pr.Stats().ShardLoads+cc.Stats().ShardLoads != concurrent {
+		t.Fatalf("session loads %d+%d do not sum to the cache's %d performed loads",
+			pr.Stats().ShardLoads, cc.Stats().ShardLoads, concurrent)
+	}
+	if concurrent >= soloLoads {
+		t.Fatalf("co-scheduled PR+CC performed %d loads, want strictly fewer than the isolated sum %d",
+			concurrent, soloLoads)
+	}
+	if concurrent > int64(shards) {
+		t.Fatalf("whole-store budget but %d loads for %d shards: a shard was read twice", concurrent, shards)
+	}
+}
+
+// TestSharedSessionPanicTeardown is the battery's fault rung: one
+// session's operator panics mid-sweep while a second session keeps
+// running PageRank on the same store. The panic must surface on the
+// panicking session only; the survivor's ranks stay bit-identical; no
+// pipeline goroutine outlives the queries; and the shared LRU is
+// restored — zero pinned shards, bytes within budget, and the store
+// still serviceable (the panicking session runs a clean query after).
+func TestSharedSessionPanicTeardown(t *testing.T) {
+	baseline := settledGoroutines()
+
+	g := gen.TinySocial()
+	h := buildHostOver(t, g, 12, 64<<20, Options{Threads: 4})
+	solo, err := Build(t.TempDir(), g, 12, Options{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := prOnSystem(solo, 5)
+
+	boom := h.NewSession()
+	survivor := h.NewSession()
+
+	var wg sync.WaitGroup
+	var got []float64
+	panicked := make(chan any, 1)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		defer func() { panicked <- recover() }()
+		boom.EdgeMap(frontier.All(g), api.EdgeOp{
+			Update:       func(u, v graph.VID) bool { panic("operator boom") },
+			UpdateAtomic: func(u, v graph.VID) bool { panic("operator boom") },
+		}, api.DirAuto)
+	}()
+	go func() { defer wg.Done(); got = prOnSystem(survivor, 5) }()
+	wg.Wait()
+
+	if r := <-panicked; r == nil {
+		t.Fatal("operator panic did not propagate out of the panicking session")
+	}
+	for v := range want {
+		if math.Float64bits(got[v]) != math.Float64bits(want[v]) {
+			t.Fatalf("survivor rank[%d] = %v, want %v after peer panic", v, got[v], want[v])
+		}
+	}
+
+	// LRU restored: nothing pinned, budget honoured, store serviceable
+	// — including by the session that panicked.
+	checkInvariants(t, h.Cache())
+	if s := h.Cache().Stats(); s.Pinned != 0 {
+		t.Fatalf("peer panic leaked %d pinned shards", s.Pinned)
+	}
+	reRanks := prOnSystem(boom, 5)
+	for v := range want {
+		if math.Float64bits(reRanks[v]) != math.Float64bits(want[v]) {
+			t.Fatalf("panicked session not reusable: rank[%d] = %v, want %v", v, reRanks[v], want[v])
+		}
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for settledGoroutines() > baseline && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if now := settledGoroutines(); now > baseline {
+		buf := make([]byte, 1<<16)
+		t.Fatalf("goroutines grew from %d to %d after shared-session teardown:\n%s",
+			baseline, now, buf[:runtime.Stack(buf, true)])
+	}
+}

@@ -109,11 +109,19 @@ func (e *Engine) startSweep(plan []int, apply func(*resident)) *sweepWindow {
 	// and then waits, so an unserialized completion could slip into
 	// that gap and its wakeup would be lost — if it were the last wake
 	// source, the stager would block forever.
-	w.reader = aio.New[loadResult](perDomain, w.depth, func() {
+	notify := func() {
 		w.mu.Lock()
 		w.cond.Broadcast()
 		w.mu.Unlock()
-	})
+	}
+	if e.ioBudget != nil {
+		// Shared sessions draw reads from the host-wide budget, so the
+		// device sees at most that many uncached reads in flight across
+		// every concurrent query on the store.
+		w.reader = aio.NewShared[loadResult](perDomain, e.ioBudget, notify)
+	} else {
+		w.reader = aio.New[loadResult](perDomain, w.depth, notify)
+	}
 	w.queues = make([]chan *resident, len(e.domains))
 	for d, n := range perDomain {
 		if n == 0 {
@@ -234,6 +242,11 @@ func (w *sweepWindow) applyLoop(d int, apply func(*resident)) {
 		w.beginApply()
 		func() {
 			defer w.endApply()
+			// Drop the cache pin admit took for this shard on every exit:
+			// applied, drained after an abort, or panicked mid-apply — a
+			// leaked pin on a shared session would make the shard
+			// unevictable for every other query on the store.
+			defer w.e.cache.release(sh.idx)
 			defer func() {
 				if r := recover(); r != nil {
 					w.fail(r)
