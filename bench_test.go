@@ -268,7 +268,7 @@ func BenchmarkShardSweep(b *testing.B) {
 	g, _ := benchGraphs()
 	for _, format := range []shard.Format{shard.FormatV1, shard.FormatV2} {
 		b.Run(format.String(), func(b *testing.B) {
-			st, err := shard.WriteFormat(b.TempDir(), g, 24, format)
+			st, err := shard.Create(b.TempDir(), g, shard.WriteOptions{Partitions: 24, Format: format})
 			if err != nil {
 				b.Fatal(err)
 			}

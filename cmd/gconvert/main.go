@@ -85,7 +85,7 @@ func main() {
 			*out, g.NumVertices(), g.NumEdges(), float64(fi.Size())/1024)
 	}
 	if *shardOut != "" {
-		st, err := shard.WriteFormat(*shardOut, g, *shards, format)
+		st, err := shard.Create(*shardOut, g, shard.WriteOptions{Partitions: *shards, Format: format})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gconvert: %v\n", err)
 			os.Exit(1)

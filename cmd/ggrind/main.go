@@ -12,9 +12,11 @@
 //	ggrind -graph livejournal-sm -alg PR -system OOC -cacheshards 12 -order zigzag
 //	ggrind -graph yahoo-sm -alg PR -system OOC -cacheshards 8 -iodepth 4
 //	ggrind -graph twitter-sm -alg PR -system OOC -cacheshards 8 -sweepmode scatter-gather
+//	ggrind -graph twitter-sm -alg PR -system OOC -updates batch.json -compactstore
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -62,6 +64,8 @@ func run() int {
 		shardFmt   = flag.String("shardformat", shard.DefaultFormat.String(), "OOC shard-file encoding: v1 (raw uint32 pairs) or v2 (delta+uvarint compressed)")
 		orderName  = flag.String("order", shard.OrderAscending.String(), "OOC sweep-order policy: ascending, zigzag (boustrophedon across sweeps) or residency-first (cached shards first, then Hilbert order)")
 		sweepName  = flag.String("sweepmode", shard.SweepEdgeCentric.String(), "OOC dense-sweep mode: edge-centric (apply each staged shard directly) or scatter-gather (scatter shards into per-partition update bins, retained across sweeps, then gather per domain)")
+		updates    = flag.String("updates", "", `OOC: apply a JSON edge batch {"insert":[{"src":0,"dst":1},...],"delete":[...]} to the store before running, then rebuild the engine at the new generation`)
+		compactSt  = flag.Bool("compactstore", false, "OOC: compact delta shards into a new base generation before running (after -updates, if both are given)")
 	)
 	flag.Parse()
 
@@ -87,6 +91,10 @@ func run() int {
 	sweepMode, err := shard.ParseSweepMode(*sweepName)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ggrind: %v\n", err)
+		return 2
+	}
+	if (*updates != "" || *compactSt) && *system != "OOC" {
+		fmt.Fprintf(os.Stderr, "ggrind: -updates and -compactstore mutate a sharded store and need -system OOC\n")
 		return 2
 	}
 
@@ -188,6 +196,60 @@ func run() int {
 			}
 			return 1
 		}
+		// Mutations come before any telemetry printing: the run should
+		// measure the store as it will actually be swept, base plus
+		// deltas (or the compacted generation), not the freshly built
+		// base. The engine predates the mutation, so it is rebuilt from
+		// the store at its new generation — the same reopen-and-rehost
+		// discipline gserve follows.
+		if *updates != "" || *compactSt {
+			if *updates != "" {
+				ins, del, err := loadBatch(*updates)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "ggrind: %v\n", err)
+					return 2
+				}
+				res, err := eng.Store().ApplyBatch(ins, del)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "ggrind: %v\n", err)
+					var be *shard.BatchError
+					if errors.As(err, &be) {
+						return 2
+					}
+					return 1
+				}
+				fmt.Printf("updates: generation %d, +%d/-%d edges, %d dirty shards\n",
+					res.Generation, res.Inserted, res.Deleted, len(res.Dirty))
+			}
+			if *compactSt {
+				cg, err := eng.Store().Compact()
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "ggrind: %v\n", err)
+					return 1
+				}
+				fmt.Printf("compacted: base generation %d\n", cg)
+			}
+			st, err := shard.Open(filepath.Join(dir, "fwd"))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ggrind: %v\n", err)
+				return 1
+			}
+			edges := make([]graph.Edge, 0, st.NumEdges())
+			if err := st.Sweep(func(u, v graph.VID) {
+				edges = append(edges, graph.Edge{Src: u, Dst: v})
+			}); err != nil {
+				fmt.Fprintf(os.Stderr, "ggrind: %v\n", err)
+				return 1
+			}
+			g = graph.FromEdges(st.NumVertices(), edges)
+			eng, err = shard.NewEngine(st, g, oopts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ggrind: %v\n", err)
+				return 1
+			}
+			fmt.Printf("merged: %d edges at generation %d, %d delta files pending\n",
+				st.NumEdges(), st.Generation(), st.PendingDeltas())
+		}
 		if disk, err := eng.Store().DiskBytes(); err == nil && g.NumEdges() > 0 {
 			fmt.Printf("store: %v format, %.1f KiB on disk (%.2f bytes/edge; raw v1 is 8)\n",
 				eng.Store().Format(), float64(disk)/1024, float64(disk)/float64(g.NumEdges()))
@@ -277,4 +339,36 @@ func run() int {
 		fmt.Printf("trace: %s (%s)\n", *traceOut, rec.String())
 	}
 	return 0
+}
+
+// loadBatch reads an edge-update batch from a JSON file: two optional
+// edge lists under "insert" and "delete", each edge a {"src","dst"}
+// pair. Range checking is the store's job (ApplyBatch rejects
+// out-of-range vertex ids with a *shard.BatchError), so this only
+// decodes.
+func loadBatch(path string) (ins, del []graph.Edge, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var batch struct {
+		Insert []struct {
+			Src uint32 `json:"src"`
+			Dst uint32 `json:"dst"`
+		} `json:"insert"`
+		Delete []struct {
+			Src uint32 `json:"src"`
+			Dst uint32 `json:"dst"`
+		} `json:"delete"`
+	}
+	if err := json.Unmarshal(data, &batch); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	for _, e := range batch.Insert {
+		ins = append(ins, graph.Edge{Src: graph.VID(e.Src), Dst: graph.VID(e.Dst)})
+	}
+	for _, e := range batch.Delete {
+		del = append(del, graph.Edge{Src: graph.VID(e.Src), Dst: graph.VID(e.Dst)})
+	}
+	return ins, del, nil
 }

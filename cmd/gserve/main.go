@@ -2,8 +2,14 @@
 // N sharded stores behind a single byte-budgeted, refcounted shard
 // cache, running concurrent queries that share residency, the I/O
 // budget and — for dense sweeps — the disk pass itself. The HTTP/JSON
-// API (internal/serve) opens and closes stores, submits queries and
-// reports cache/registry stats.
+// API (internal/serve) lives under /v1/ (the unversioned spellings
+// remain as deprecated aliases): open, list and close stores, apply
+// edge-update batches (POST /v1/stores/{name}/updates) and compact the
+// resulting deltas (POST /v1/stores/{name}/compact), submit queries
+// and report cache/registry stats. Mutations rehost the store at its
+// new generation; queries already running finish on the generation
+// they started against. Errors are a uniform {"error": {"code",
+// "message"}} envelope.
 //
 //	gserve -addr 127.0.0.1:8080 -store social=/data/social12 -cache-bytes 268435456
 //

@@ -28,7 +28,7 @@ func TestGserveSmoke(t *testing.T) {
 		t.Skip("builds and boots the daemon binary")
 	}
 	storeDir := t.TempDir()
-	if _, err := shard.Write(storeDir, gen.TinySocial(), 8); err != nil {
+	if _, err := shard.Create(storeDir, gen.TinySocial(), shard.WriteOptions{Partitions: 8}); err != nil {
 		t.Fatal(err)
 	}
 

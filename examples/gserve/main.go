@@ -25,7 +25,7 @@ func main() {
 	dir := filepath.Join(os.TempDir(), "gserve-example")
 	defer os.RemoveAll(dir)
 	const shards = 12
-	if _, err := shard.Write(dir, g, shards); err != nil {
+	if _, err := shard.Create(dir, g, shard.WriteOptions{Partitions: shards}); err != nil {
 		panic(err)
 	}
 	fmt.Printf("graph: %d vertices, %d edges, sharded to %d partitions\n",

@@ -162,6 +162,59 @@ func oocSharedSessionEngine(t *testing.T, g *graph.Graph) *shard.Engine {
 	return h.NewSession()
 }
 
+// oocMutatedStoreEngine is the log-structured differential variant: the
+// engine runs over a store whose content equals g's edge multiset but
+// arrived there through mutation — an eighth of g's edges held back and
+// re-inserted via ApplyBatch, plus a few foreign edges (absent from g)
+// planted at creation and tombstoned by the same batch. With compact
+// set, the deltas are additionally folded into generation-suffixed base
+// files before the engine is built. Either way the engine must be
+// bit-identical to one over a from-scratch store of g: base+delta
+// merging (and compaction) preserve per-destination edge streams
+// exactly, which is all any sweep path observes.
+func oocMutatedStoreEngine(t *testing.T, g *graph.Graph, compact bool) *shard.Engine {
+	t.Helper()
+	edges := g.Edges()
+	k := len(edges) / 8
+	held := edges[:k]
+	present := make(map[graph.Edge]bool, len(edges))
+	for _, e := range edges {
+		present[e] = true
+	}
+	var foreign []graph.Edge
+	n := graph.VID(g.NumVertices())
+	for s := graph.VID(0); s < n && len(foreign) < 3; s++ {
+		e := graph.Edge{Src: s, Dst: (s*7 + 3) % n}
+		if !present[e] {
+			foreign = append(foreign, e)
+		}
+	}
+	initial := append(append([]graph.Edge(nil), edges[k:]...), foreign...)
+	dir := t.TempDir()
+	st, err := shard.Create(dir, graph.FromEdges(g.NumVertices(), initial), shard.WriteOptions{Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.ApplyBatch(held, foreign); err != nil {
+		t.Fatal(err)
+	}
+	if compact {
+		if _, err := st.Compact(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reopen: the engine sees the store exactly as a later process would.
+	st, err = shard.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := shard.NewEngine(st, g, shard.Options{CacheShards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
 func enginesFor(t *testing.T, g *graph.Graph) []api.System {
 	return []api.System{
 		core.NewEngine(g, core.Options{}),
@@ -180,6 +233,8 @@ func enginesFor(t *testing.T, g *graph.Graph) []api.System {
 		oocScatterGatherEngine(t, g, 1, 1),
 		oocScatterGatherEngine(t, g, 4, 4),
 		oocSharedSessionEngine(t, g),
+		oocMutatedStoreEngine(t, g, false),
+		oocMutatedStoreEngine(t, g, true),
 	}
 }
 

@@ -81,6 +81,13 @@ func TestOOCPipelineBitIdenticalAcrossAllAlgorithms(t *testing.T) {
 		{"scatter-gather-window-D", func(t *testing.T, g *graph.Graph) api.System { return oocScatterGatherEngine(t, g, 4, 1) }},
 		{"scatter-gather-iodepth-D", func(t *testing.T, g *graph.Graph) api.System { return oocScatterGatherEngine(t, g, 4, 4) }},
 		{"shared-session", func(t *testing.T, g *graph.Graph) api.System { return oocSharedSessionEngine(t, g) }},
+		// Log-structured rungs: the same content reached by mutation —
+		// edges held back and re-applied as a batch with foreign edges
+		// tombstoned away — served base+delta merged, then compacted.
+		// Neither the delta layer nor compaction may change a single bit
+		// of any algorithm's result.
+		{"delta-store", func(t *testing.T, g *graph.Graph) api.System { return oocMutatedStoreEngine(t, g, false) }},
+		{"compacted-store", func(t *testing.T, g *graph.Graph) api.System { return oocMutatedStoreEngine(t, g, true) }},
 	}
 
 	// Each entry runs one algorithm to completion through api.System and

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"path/filepath"
+	"time"
 
 	"repro/internal/algorithms"
 	"repro/internal/api"
@@ -139,6 +140,38 @@ type ScatterGatherResult struct {
 	RanksIdentical bool // float64-bit-exact PageRank agreement across modes
 }
 
+// UpdateResult is the log-structured-update ablation: the store holds
+// two disjoint copies of the graph, an edge batch confined to the
+// second copy arrives through ApplyBatch (a delta append, not a
+// rebuild), and PageRank is re-converged two ways over the mutated
+// store — from scratch, and incrementally from the pre-batch fixed
+// point seeded at the batch's dirty shards. Locality is the claim
+// under test: the incremental run may only ever sweep the mutated
+// copy's shards, so it must load strictly fewer shards than the full
+// re-run while landing on the same fixed point to within IncTolerance.
+type UpdateResult struct {
+	ApplyTime   float64 // seconds: ApplyBatch (delta append + manifest swing)
+	CompactTime float64 // seconds: folding the deltas into a new base generation
+	Inserted    int64   // edges the batch added
+	Deleted     int64   // edge copies the batch tombstoned
+	DirtyShards int     // shards the batch left dirty
+	TotalShards int
+
+	FullTime   float64 // seconds: re-convergence from scratch on the mutated store
+	IncTime    float64 // seconds: incremental re-convergence from the pre-batch ranks
+	Speedup    float64 // FullTime / IncTime: >1 means locality won
+	FullLoads  int64   // Stats.ShardLoads, full re-run
+	IncLoads   int64   // Stats.ShardLoads, incremental re-run
+	FullVisits int64   // FixedPoint.ShardVisits, full re-run
+	IncVisits  int64   // FixedPoint.ShardVisits, incremental re-run
+	MaxDiff    float64 // max |incremental - full| over all ranks
+}
+
+// IncTolerance is the per-vertex convergence tolerance the update
+// ablation re-converges to; two runs converged this tightly agree to
+// well within 1e-12 per rank.
+const IncTolerance = 1e-15
+
 // OutOfCore runs a representative algorithm slate on the in-memory
 // GG-v2 engine and on the shard.Engine over the same graph, reporting
 // the streaming overhead the LRU cache and frontier-aware sweeps are
@@ -151,16 +184,18 @@ type ScatterGatherResult struct {
 // zigzag vs residency-first over a half-store LRU, loads and bytes per
 // policy, and the sweep-mode ablation: edge-centric vs partition-centric
 // scatter/gather over a raw store, total bytes moved per mode and
-// bit-exact rank agreement. dir receives the shard files; shards and
-// threads 0 select defaults. The returned figure has one X index per
-// algorithm (the note lines give the mapping) and one series per
-// engine.
-func OutOfCore(g *graph.Graph, dir string, shards, threads, reps int) (*Figure, []OutOfCoreResult, PrefetchResult, WindowResult, IODepthResult, FormatResult, OrderResult, ScatterGatherResult, error) {
+// bit-exact rank agreement, and the log-structured-update ablation:
+// an edge batch applied as delta shards, then incremental vs
+// from-scratch re-convergence over the mutated store. dir receives the
+// shard files; shards and threads 0 select defaults. The returned
+// figure has one X index per algorithm (the note lines give the
+// mapping) and one series per engine.
+func OutOfCore(g *graph.Graph, dir string, shards, threads, reps int) (*Figure, []OutOfCoreResult, PrefetchResult, WindowResult, IODepthResult, FormatResult, OrderResult, ScatterGatherResult, UpdateResult, error) {
 	if shards <= 0 {
 		shards = 16
 	}
-	fail := func(err error) (*Figure, []OutOfCoreResult, PrefetchResult, WindowResult, IODepthResult, FormatResult, OrderResult, ScatterGatherResult, error) {
-		return nil, nil, PrefetchResult{}, WindowResult{}, IODepthResult{}, FormatResult{}, OrderResult{}, ScatterGatherResult{}, err
+	fail := func(err error) (*Figure, []OutOfCoreResult, PrefetchResult, WindowResult, IODepthResult, FormatResult, OrderResult, ScatterGatherResult, UpdateResult, error) {
+		return nil, nil, PrefetchResult{}, WindowResult{}, IODepthResult{}, FormatResult{}, OrderResult{}, ScatterGatherResult{}, UpdateResult{}, err
 	}
 	inMem := core.NewEngine(g, core.Options{Threads: threads})
 	// Domains: 1 keeps the headline Slowdown column measuring streaming
@@ -332,7 +367,121 @@ func OutOfCore(g *graph.Graph, dir string, shards, threads, reps int) (*Figure, 
 		sgr.CacheShards, float64(sgr.ECDiskBytes)/1024, float64(sgr.SGMovedBytes)/1024,
 		float64(sgr.SGDiskBytes)/1024, float64(sgr.BinBytesWritten)/1024, float64(sgr.BinBytesRead)/1024,
 		sgr.BinShardsReused, sgr.RanksIdentical))
-	return fig, results, pf, win, iod, fr, or, sgr, nil
+
+	// Update ablation: a batch lands as delta shards on one half of a
+	// two-copy store; incremental re-convergence sweeps only the dirty
+	// half while the from-scratch re-run walks everything. Loads are
+	// the headline; the two fixed points must agree to ~1e-12.
+	ur, err := updateAblation(g, dir, shards, threads, reps)
+	if err != nil {
+		return fail(err)
+	}
+	fig.Notes = append(fig.Notes, fmt.Sprintf(
+		"update ablation: batch +%d/-%d edges dirtied %d/%d shards in %.3fs; incremental re-convergence %.3fs / %d loads / %d visits vs full %.3fs / %d loads / %d visits (%.2fx), max rank diff %.2g; compaction %.3fs",
+		ur.Inserted, ur.Deleted, ur.DirtyShards, ur.TotalShards, ur.ApplyTime,
+		ur.IncTime, ur.IncLoads, ur.IncVisits, ur.FullTime, ur.FullLoads, ur.FullVisits,
+		ur.Speedup, ur.MaxDiff, ur.CompactTime))
+	return fig, results, pf, win, iod, fr, or, sgr, ur, nil
+}
+
+// updateAblation builds a store holding two vertex-disjoint copies of
+// g with every eighth edge of the second copy held back, converges
+// PageRank, then applies the held-back edges as one ApplyBatch — a
+// delta append. The mutated store is re-converged from scratch and
+// incrementally (pre-batch ranks, seeded at the batch's dirty shards)
+// on separate engines with the whole store cache-resident, so
+// ShardLoads counts exactly the distinct shards each run touched. The
+// copies are vertex-disjoint, so the incremental run can never have a
+// reason to sweep the untouched first copy.
+func updateAblation(g *graph.Graph, dir string, shards, threads, reps int) (UpdateResult, error) {
+	var ur UpdateResult
+	n := g.NumVertices()
+	base := g.Edges()
+	all := make([]graph.Edge, 0, 2*len(base))
+	all = append(all, base...)
+	for _, e := range base {
+		all = append(all, graph.Edge{Src: e.Src + graph.VID(n), Dst: e.Dst + graph.VID(n)})
+	}
+	// Hold back every eighth edge of the second copy; they arrive later
+	// as the update batch.
+	var initial, held []graph.Edge
+	for i, e := range all {
+		if i >= len(base) && i%8 == 0 {
+			held = append(held, e)
+		} else {
+			initial = append(initial, e)
+		}
+	}
+
+	udir := filepath.Join(dir, "upd")
+	st, err := shard.Create(udir, graph.FromEdges(2*n, initial), shard.WriteOptions{Partitions: shards})
+	if err != nil {
+		return UpdateResult{}, err
+	}
+	opts := shard.Options{Threads: threads, CacheShards: st.NumShards()}
+	pre, err := shard.NewEngine(st, graph.FromEdges(2*n, initial), opts)
+	if err != nil {
+		return UpdateResult{}, err
+	}
+	before, err := pre.IncrementalPR(nil, nil, IncTolerance, 1000)
+	if err != nil {
+		return UpdateResult{}, err
+	}
+
+	applyStart := time.Now()
+	res, err := st.ApplyBatch(held, nil)
+	if err != nil {
+		return UpdateResult{}, err
+	}
+	ur.ApplyTime = Seconds(time.Since(applyStart))
+	ur.Inserted, ur.Deleted = res.Inserted, res.Deleted
+	ur.DirtyShards, ur.TotalShards = len(res.Dirty), st.NumShards()
+
+	// Both re-convergence engines reopen the store at its mutated
+	// generation over the merged topology.
+	mst, err := shard.Open(udir)
+	if err != nil {
+		return UpdateResult{}, err
+	}
+	merged := graph.FromEdges(2*n, all)
+	full, err := shard.NewEngine(mst, merged, opts)
+	if err != nil {
+		return UpdateResult{}, err
+	}
+	inc, err := shard.NewEngine(mst, merged, opts)
+	if err != nil {
+		return UpdateResult{}, err
+	}
+	var fullFP, incFP *shard.FixedPoint
+	fullT := MedianTime(reps, func() {
+		fullFP, err = full.IncrementalPR(nil, nil, IncTolerance, 1000)
+	})
+	if err != nil {
+		return UpdateResult{}, err
+	}
+	incT := MedianTime(reps, func() {
+		incFP, err = inc.IncrementalPR(before.Ranks, res.Dirty, IncTolerance, 1000)
+	})
+	if err != nil {
+		return UpdateResult{}, err
+	}
+	ur.FullTime, ur.IncTime, ur.Speedup = Seconds(fullT), Seconds(incT), Speedup(fullT, incT)
+	ur.FullLoads, ur.IncLoads = full.Stats().ShardLoads, inc.Stats().ShardLoads
+	ur.FullVisits, ur.IncVisits = fullFP.ShardVisits, incFP.ShardVisits
+	for v := range fullFP.Ranks {
+		if d := math.Abs(incFP.Ranks[v] - fullFP.Ranks[v]); d > ur.MaxDiff {
+			ur.MaxDiff = d
+		}
+	}
+
+	// Compaction comes last: it bumps the generation, after which the
+	// engines above may not be swept again.
+	compactStart := time.Now()
+	if _, err := mst.Compact(); err != nil {
+		return UpdateResult{}, err
+	}
+	ur.CompactTime = Seconds(time.Since(compactStart))
+	return ur, nil
 }
 
 // scatterGatherAblation writes its own raw (v1) store — raw pricing
@@ -342,7 +491,7 @@ func OutOfCore(g *graph.Graph, dir string, shards, threads, reps int) (*Figure, 
 // final ranks from each side.
 func scatterGatherAblation(g *graph.Graph, dir string, shards, threads, reps int) (ScatterGatherResult, error) {
 	var sgr ScatterGatherResult
-	st, err := shard.WriteFormat(filepath.Join(dir, "sg-v1"), g, shards, shard.FormatV1)
+	st, err := shard.Create(filepath.Join(dir, "sg-v1"), g, shard.WriteOptions{Partitions: shards, Format: shard.FormatV1})
 	if err != nil {
 		return ScatterGatherResult{}, err
 	}
@@ -420,7 +569,7 @@ func formatAblation(g *graph.Graph, dir string, shards, threads, reps int) (Form
 		{shard.FormatV2, &fr.V2Time, &fr.V2Bytes, &fr.V2Disk, &fr.V2BytesPerEdge},
 	}
 	for _, col := range cols {
-		st, err := shard.WriteFormat(filepath.Join(dir, "fmt-"+col.format.String()), g, shards, col.format)
+		st, err := shard.Create(filepath.Join(dir, "fmt-"+col.format.String()), g, shard.WriteOptions{Partitions: shards, Format: col.format})
 		if err != nil {
 			return FormatResult{}, err
 		}

@@ -11,7 +11,7 @@ import (
 
 func TestOutOfCoreComparisonRuns(t *testing.T) {
 	g := gen.TinySocial()
-	fig, results, pf, win, iod, fr, or, sgr, err := OutOfCore(g, t.TempDir(), 8, 0, 1)
+	fig, results, pf, win, iod, fr, or, sgr, ur, err := OutOfCore(g, t.TempDir(), 8, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,8 +144,32 @@ func TestOutOfCoreComparisonRuns(t *testing.T) {
 	if !sgr.RanksIdentical {
 		t.Fatalf("scatter/gather PageRank diverged from edge-centric: %+v", sgr)
 	}
+	// The update ablation's claims are categorical, the whole reason the
+	// delta layer exists: the batch must have really appended deltas and
+	// dirtied a strict subset of the store, the incremental re-run must
+	// load strictly fewer shards (and make strictly fewer shard visits)
+	// than the from-scratch re-run, and both must land on the same fixed
+	// point to within 1e-12 per rank. Wall-clock stays shape-only.
+	if ur.ApplyTime <= 0 || ur.CompactTime <= 0 || ur.FullTime <= 0 || ur.IncTime <= 0 || ur.Speedup <= 0 {
+		t.Fatalf("update ablation has non-positive timings: %+v", ur)
+	}
+	if ur.Inserted <= 0 || ur.Deleted != 0 {
+		t.Fatalf("update ablation batch miscounted: %+v", ur)
+	}
+	if ur.DirtyShards <= 0 || ur.DirtyShards >= ur.TotalShards {
+		t.Fatalf("batch dirtied %d of %d shards; the ablation needs a strict subset so locality has something to save", ur.DirtyShards, ur.TotalShards)
+	}
+	if ur.IncLoads >= ur.FullLoads {
+		t.Fatalf("incremental re-convergence loaded %d shards, full re-run %d — strictly fewer is the delta layer's whole claim", ur.IncLoads, ur.FullLoads)
+	}
+	if ur.IncVisits >= ur.FullVisits {
+		t.Fatalf("incremental re-convergence visited %d shards, full re-run %d, want strictly fewer", ur.IncVisits, ur.FullVisits)
+	}
+	if ur.MaxDiff > 1e-12 {
+		t.Fatalf("incremental and full fixed points disagree by %g, want <= 1e-12", ur.MaxDiff)
+	}
 	text := fig.Render()
-	for _, want := range []string{"GG-v2", "OOC", "cache hits", "prefetch", "cold-cache PR ablation", "domain shards", "occupancy ablation", "apply levels", "async-read ablation", "format ablation", "order ablation", "scatter/gather ablation"} {
+	for _, want := range []string{"GG-v2", "OOC", "cache hits", "prefetch", "cold-cache PR ablation", "domain shards", "occupancy ablation", "apply levels", "async-read ablation", "format ablation", "order ablation", "scatter/gather ablation", "update ablation"} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("rendered figure missing %q:\n%s", want, text)
 		}

@@ -71,7 +71,7 @@ func ReplayServe(g *graph.Graph, p, clients, rounds int) (ServeReplayResult, err
 		return ServeReplayResult{}, err
 	}
 	defer os.RemoveAll(dir)
-	if _, err := shard.Write(dir, g, p); err != nil {
+	if _, err := shard.Create(dir, g, shard.WriteOptions{Partitions: p}); err != nil {
 		return ServeReplayResult{}, err
 	}
 

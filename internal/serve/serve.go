@@ -8,6 +8,14 @@
 // on the same store. A shard resident for one in-flight query is free
 // for all others; eviction touches only shards no query is applying.
 //
+// Stores are mutable: POST /v1/stores/{name}/updates applies a batch
+// of edge insertions and deletions (shard.Store.ApplyBatch) and
+// /compact folds pending deltas. A mutation reopens the directory at
+// its new generation and swaps the hosted engine; queries already in
+// flight keep their sessions over the previous generation — the store
+// layer never deletes a superseded generation's files — and queries
+// submitted after the swap see the new content.
+//
 // Results carry an FNV-1a digest of the raw value bits, so clients —
 // and the trace replayer in internal/bench — can assert bit-identity
 // between served, co-scheduled runs and solo runs without shipping
@@ -17,11 +25,13 @@ package serve
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"math"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -29,6 +39,14 @@ import (
 	"repro/internal/api"
 	"repro/internal/graph"
 	"repro/internal/shard"
+)
+
+// Sentinel errors the HTTP layer maps to statuses; server methods wrap
+// them with context, so test with errors.Is.
+var (
+	ErrStoreNotFound = errors.New("store not open")
+	ErrStoreExists   = errors.New("store already open")
+	ErrQueryNotFound = errors.New("no such query")
 )
 
 // Config parameterizes a Server.
@@ -57,7 +75,12 @@ type Server struct {
 type hostedStore struct {
 	name string
 	dir  string
-	host *shard.Host
+	host *shard.Host // current generation's engine; swapped under Server.mu
+
+	// upd serializes mutations (updates, compaction) of this store.
+	// Queries never take it — they capture the host pointer under
+	// Server.mu and run against whatever generation they caught.
+	upd sync.Mutex
 }
 
 // query is one submitted unit of work and its lifecycle record.
@@ -87,10 +110,26 @@ func New(cfg Config) *Server {
 	}
 }
 
+// openHost opens dir at its current generation and builds a host over
+// it: topology rebuilt from the store itself (one sweep over base plus
+// deltas), so a store opens from its directory alone.
+func (s *Server) openHost(dir string) (*shard.Host, error) {
+	st, err := shard.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	edges := make([]graph.Edge, 0, st.NumEdges())
+	if err := st.Sweep(func(u, v graph.VID) {
+		edges = append(edges, graph.Edge{Src: u, Dst: v})
+	}); err != nil {
+		return nil, err
+	}
+	g := graph.FromEdges(st.NumVertices(), edges)
+	return shard.NewHost(st, g, s.cache, s.opts)
+}
+
 // OpenStore opens the sharded store in dir under the given name and
-// hosts it on the shared cache. The vertex topology is rebuilt from
-// the store itself (one sweep over the shard files), so a store opens
-// from its directory alone.
+// hosts it on the shared cache.
 func (s *Server) OpenStore(name, dir string) error {
 	if name == "" {
 		return fmt.Errorf("serve: store name must be non-empty")
@@ -98,30 +137,19 @@ func (s *Server) OpenStore(name, dir string) error {
 	s.mu.Lock()
 	if _, ok := s.stores[name]; ok {
 		s.mu.Unlock()
-		return fmt.Errorf("serve: store %q already open", name)
+		return fmt.Errorf("serve: store %q: %w", name, ErrStoreExists)
 	}
 	s.mu.Unlock()
 
-	st, err := shard.Open(dir)
+	host, err := s.openHost(dir)
 	if err != nil {
 		return fmt.Errorf("serve: open store %q: %w", name, err)
-	}
-	edges := make([]graph.Edge, 0, st.NumEdges())
-	if err := st.Sweep(func(u, v graph.VID) {
-		edges = append(edges, graph.Edge{Src: u, Dst: v})
-	}); err != nil {
-		return fmt.Errorf("serve: rebuild topology of %q: %w", name, err)
-	}
-	g := graph.FromEdges(st.NumVertices(), edges)
-	host, err := shard.NewHost(st, g, s.cache, s.opts)
-	if err != nil {
-		return fmt.Errorf("serve: host store %q: %w", name, err)
 	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.stores[name]; ok {
-		return fmt.Errorf("serve: store %q already open", name)
+		return fmt.Errorf("serve: store %q: %w", name, ErrStoreExists)
 	}
 	s.stores[name] = &hostedStore{name: name, dir: dir, host: host}
 	return nil
@@ -138,24 +166,117 @@ func (s *Server) CloseStore(name string) error {
 	}
 	s.mu.Unlock()
 	if !ok {
-		return fmt.Errorf("serve: store %q not open", name)
+		return fmt.Errorf("serve: store %q: %w", name, ErrStoreNotFound)
 	}
 	hs.host.Evict()
 	return nil
 }
 
+// lookupHost captures a store's current host under the registry lock —
+// the only safe way to read hostedStore.host, which mutations swap.
+func (s *Server) lookupHost(store string) (*shard.Host, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	hs, ok := s.stores[store]
+	if !ok {
+		return nil, fmt.Errorf("serve: store %q: %w", store, ErrStoreNotFound)
+	}
+	return hs.host, nil
+}
+
 // Session returns a fresh api.System over an open store — the
 // conformance adapter: one served session is a complete engine from
 // the API's point of view, and the differential test ladder runs
-// through exactly this.
+// through exactly this. The session is pinned to the store generation
+// current at the call; it stays valid across later mutations.
 func (s *Server) Session(store string) (api.System, error) {
+	host, err := s.lookupHost(store)
+	if err != nil {
+		return nil, err
+	}
+	return host.NewSession(), nil
+}
+
+// ApplyUpdates applies one batch of edge insertions and deletions to
+// an open store and rehosts it at the new generation. The mutation
+// runs on a fresh Store value opened from the directory, so in-flight
+// queries (pinned to the previous generation's host) race nothing;
+// once the swap completes, new sessions serve the new content.
+// Batches for the same store serialize; invalid edges come back as a
+// *shard.BatchError (HTTP 400 through the API).
+func (s *Server) ApplyUpdates(name string, ins, del []graph.Edge) (*shard.BatchResult, error) {
 	s.mu.Lock()
-	hs, ok := s.stores[store]
+	hs, ok := s.stores[name]
 	s.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("serve: store %q not open", store)
+		return nil, fmt.Errorf("serve: store %q: %w", name, ErrStoreNotFound)
 	}
-	return hs.host.NewSession(), nil
+	hs.upd.Lock()
+	defer hs.upd.Unlock()
+	st, err := shard.Open(hs.dir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: update store %q: %w", name, err)
+	}
+	res, err := st.ApplyBatch(ins, del)
+	if err != nil {
+		return nil, fmt.Errorf("serve: update store %q: %w", name, err)
+	}
+	if err := s.rehost(hs); err != nil {
+		return nil, fmt.Errorf("serve: rehost store %q after update: %w", name, err)
+	}
+	return res, nil
+}
+
+// CompactStore folds an open store's pending deltas into fresh base
+// files and rehosts it. A store with nothing pending is left exactly
+// as it is. Returns the generation the store serves afterwards.
+func (s *Server) CompactStore(name string) (int64, error) {
+	s.mu.Lock()
+	hs, ok := s.stores[name]
+	s.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("serve: store %q: %w", name, ErrStoreNotFound)
+	}
+	hs.upd.Lock()
+	defer hs.upd.Unlock()
+	st, err := shard.Open(hs.dir)
+	if err != nil {
+		return 0, fmt.Errorf("serve: compact store %q: %w", name, err)
+	}
+	before := st.Generation()
+	gen, err := st.Compact()
+	if err != nil {
+		return 0, fmt.Errorf("serve: compact store %q: %w", name, err)
+	}
+	if gen != before {
+		if err := s.rehost(hs); err != nil {
+			return 0, fmt.Errorf("serve: rehost store %q after compaction: %w", name, err)
+		}
+	}
+	return gen, nil
+}
+
+// rehost swaps hs's engine for one freshly opened at the directory's
+// current generation, then releases the old generation's unpinned
+// residents. Callers hold hs.upd; the pointer swap itself happens
+// under the registry lock, where every reader captures it.
+func (s *Server) rehost(hs *hostedStore) error {
+	host, err := s.openHost(hs.dir)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	_, stillOpen := s.stores[hs.name]
+	old := hs.host
+	hs.host = host
+	s.mu.Unlock()
+	old.Evict()
+	if !stillOpen {
+		// Lost a race with CloseStore: nothing references hs anymore,
+		// so drop the new host's residency too.
+		host.Evict()
+	}
+	return nil
 }
 
 // QuerySpec is one query submission.
@@ -181,8 +302,11 @@ func (s *Server) Submit(spec QuerySpec) (string, error) {
 	hs, ok := s.stores[spec.Store]
 	if !ok {
 		s.mu.Unlock()
-		return "", fmt.Errorf("serve: store %q not open", spec.Store)
+		return "", fmt.Errorf("serve: store %q: %w", spec.Store, ErrStoreNotFound)
 	}
+	// Capture the host while the lock protects it: a concurrent
+	// mutation may swap hs.host the moment we let go.
+	host := hs.host
 	s.seq++
 	q := &query{
 		id:       fmt.Sprintf("q%d", s.seq),
@@ -195,7 +319,7 @@ func (s *Server) Submit(spec QuerySpec) (string, error) {
 	s.queries[q.id] = q
 	s.mu.Unlock()
 
-	sess := hs.host.NewSession()
+	sess := host.NewSession()
 	go func() {
 		defer close(q.done)
 		defer func() {
@@ -228,7 +352,7 @@ func (s *Server) Wait(id string) error {
 	q, ok := s.queries[id]
 	s.mu.Unlock()
 	if !ok {
-		return fmt.Errorf("serve: no query %q", id)
+		return fmt.Errorf("serve: query %q: %w", id, ErrQueryNotFound)
 	}
 	<-q.done
 	return nil
@@ -291,11 +415,13 @@ func digestI32(xs []int32) string {
 
 // storeInfo is the wire form of one hosted store.
 type storeInfo struct {
-	Name     string `json:"name"`
-	Dir      string `json:"dir"`
-	Vertices int    `json:"vertices"`
-	Edges    int64  `json:"edges"`
-	Shards   int    `json:"shards"`
+	Name          string `json:"name"`
+	Dir           string `json:"dir"`
+	Vertices      int    `json:"vertices"`
+	Edges         int64  `json:"edges"`
+	Shards        int    `json:"shards"`
+	Generation    int64  `json:"generation"`
+	PendingDeltas int    `json:"pending_deltas"`
 }
 
 func (s *Server) storeInfoLocked(hs *hostedStore) storeInfo {
@@ -303,6 +429,7 @@ func (s *Server) storeInfoLocked(hs *hostedStore) storeInfo {
 	return storeInfo{
 		Name: hs.name, Dir: hs.dir,
 		Vertices: st.NumVertices(), Edges: st.NumEdges(), Shards: st.NumShards(),
+		Generation: st.Generation(), PendingDeltas: st.PendingDeltas(),
 	}
 }
 
@@ -355,28 +482,90 @@ func (s *Server) Stats() statsInfo {
 // replayer read its counters).
 func (s *Server) Cache() *shard.SharedCache { return s.cache }
 
-// Handler returns the HTTP/JSON API:
+// wireEdge is the JSON form of one edge in an updates request.
+type wireEdge struct {
+	Src uint32 `json:"src"`
+	Dst uint32 `json:"dst"`
+}
+
+func toEdges(ws []wireEdge) []graph.Edge {
+	if ws == nil {
+		return nil
+	}
+	out := make([]graph.Edge, len(ws))
+	for i, w := range ws {
+		out[i] = graph.Edge{Src: graph.VID(w.Src), Dst: graph.VID(w.Dst)}
+	}
+	return out
+}
+
+// errStatus maps an error to its HTTP status and machine-readable
+// code. Typed validation failures from the shard layer — bad options,
+// bad batch edges — are client errors, as are malformed requests;
+// the sentinels map to 404/409.
+func errStatus(err error) (int, string) {
+	var oe *shard.OptionsError
+	var be *shard.BatchError
+	switch {
+	case errors.Is(err, ErrStoreNotFound):
+		return http.StatusNotFound, "store_not_found"
+	case errors.Is(err, ErrQueryNotFound):
+		return http.StatusNotFound, "query_not_found"
+	case errors.Is(err, ErrStoreExists):
+		return http.StatusConflict, "store_exists"
+	case errors.As(err, &oe), errors.As(err, &be):
+		return http.StatusBadRequest, "invalid_argument"
+	default:
+		return http.StatusBadRequest, "invalid_argument"
+	}
+}
+
+// Handler returns the HTTP/JSON API. Every route lives under /v1/;
+// the unversioned spellings from the daemon's first release remain as
+// deprecated aliases that answer identically plus a Deprecation header
+// pointing at the successor.
 //
-//	POST   /v1/stores        {"name": "...", "dir": "..."}  open a store
-//	GET    /v1/stores                                       list open stores
-//	DELETE /v1/stores/{name}                                close a store
-//	POST   /v1/queries       QuerySpec                      submit; returns {"id": "..."}
-//	GET    /v1/queries/{id}[?wait=1]                        status / result
-//	GET    /v1/stats                                        cache + registry snapshot
+//	POST   /v1/stores                 {"name": "...", "dir": "..."}  open a store
+//	GET    /v1/stores                                                list open stores
+//	DELETE /v1/stores/{name}                                         close a store
+//	POST   /v1/stores/{name}/updates  {"insert": [{"src","dst"}...],
+//	                                   "delete": [...]}              apply a batch, bump the generation
+//	POST   /v1/stores/{name}/compact                                 fold pending deltas
+//	POST   /v1/queries                QuerySpec                      submit; returns {"id": "..."}
+//	GET    /v1/queries/{id}[?wait=1]                                 status / result
+//	GET    /v1/stats                                                 cache + registry snapshot
+//
+// Errors are a uniform envelope: {"error": {"code": "...", "message":
+// "..."}} with code one of store_not_found, query_not_found,
+// store_exists, invalid_argument.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 
-	mux.HandleFunc("POST /v1/stores", func(w http.ResponseWriter, r *http.Request) {
+	// handle registers the /v1/ route and its deprecated unversioned
+	// alias. The alias serves the same handler with RFC 8594-style
+	// deprecation headers, so existing clients keep working while being
+	// told where to go.
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, h)
+		method, path, _ := strings.Cut(pattern, " ")
+		mux.HandleFunc(method+" "+strings.TrimPrefix(path, "/v1"), func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Deprecation", "true")
+			w.Header().Set("Link", fmt.Sprintf("</v1%s>; rel=\"successor-version\"", r.URL.Path))
+			h(w, r)
+		})
+	}
+
+	handle("POST /v1/stores", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			Name string `json:"name"`
 			Dir  string `json:"dir"`
 		}
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			httpErr(w, http.StatusBadRequest, err)
+			httpErr(w, err)
 			return
 		}
 		if err := s.OpenStore(req.Name, req.Dir); err != nil {
-			httpErr(w, http.StatusConflict, err)
+			httpErr(w, err)
 			return
 		}
 		s.mu.Lock()
@@ -385,53 +574,84 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusCreated, info)
 	})
 
-	mux.HandleFunc("GET /v1/stores", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/stores", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats().Stores)
 	})
 
-	mux.HandleFunc("DELETE /v1/stores/{name}", func(w http.ResponseWriter, r *http.Request) {
+	handle("DELETE /v1/stores/{name}", func(w http.ResponseWriter, r *http.Request) {
 		if err := s.CloseStore(r.PathValue("name")); err != nil {
-			httpErr(w, http.StatusNotFound, err)
+			httpErr(w, err)
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
 	})
 
-	mux.HandleFunc("POST /v1/queries", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST /v1/stores/{name}/updates", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Insert []wireEdge `json:"insert"`
+			Delete []wireEdge `json:"delete"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpErr(w, err)
+			return
+		}
+		res, err := s.ApplyUpdates(r.PathValue("name"), toEdges(req.Insert), toEdges(req.Delete))
+		if err != nil {
+			httpErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"generation": res.Generation,
+			"dirty":      res.Dirty,
+			"inserted":   res.Inserted,
+			"deleted":    res.Deleted,
+		})
+	})
+
+	handle("POST /v1/stores/{name}/compact", func(w http.ResponseWriter, r *http.Request) {
+		gen, err := s.CompactStore(r.PathValue("name"))
+		if err != nil {
+			httpErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"generation": gen})
+	})
+
+	handle("POST /v1/queries", func(w http.ResponseWriter, r *http.Request) {
 		var spec QuerySpec
 		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
-			httpErr(w, http.StatusBadRequest, err)
+			httpErr(w, err)
 			return
 		}
 		id, err := s.Submit(spec)
 		if err != nil {
-			httpErr(w, http.StatusBadRequest, err)
+			httpErr(w, err)
 			return
 		}
 		writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
 	})
 
-	mux.HandleFunc("GET /v1/queries/{id}", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/queries/{id}", func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
 		s.mu.Lock()
 		q, ok := s.queries[id]
 		s.mu.Unlock()
 		if !ok {
-			httpErr(w, http.StatusNotFound, fmt.Errorf("serve: no query %q", id))
+			httpErr(w, fmt.Errorf("serve: query %q: %w", id, ErrQueryNotFound))
 			return
 		}
 		if r.URL.Query().Get("wait") != "" {
 			select {
 			case <-q.done:
 			case <-r.Context().Done():
-				httpErr(w, http.StatusRequestTimeout, r.Context().Err())
+				writeJSON(w, http.StatusRequestTimeout, errEnvelope{errBody{"timeout", r.Context().Err().Error()}})
 				return
 			}
 		}
 		writeJSON(w, http.StatusOK, q.info())
 	})
 
-	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
 
@@ -444,6 +664,17 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-func httpErr(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+// errEnvelope is the uniform error shape every route answers with.
+type errEnvelope struct {
+	Error errBody `json:"error"`
+}
+
+type errBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func httpErr(w http.ResponseWriter, err error) {
+	status, code := errStatus(err)
+	writeJSON(w, status, errEnvelope{errBody{code, err.Error()}})
 }

@@ -22,7 +22,7 @@ func writeStore(t *testing.T, p int) (string, *graph.Graph) {
 	t.Helper()
 	g := gen.TinySocial()
 	dir := t.TempDir()
-	if _, err := shard.Write(dir, g, p); err != nil {
+	if _, err := shard.Create(dir, g, shard.WriteOptions{Partitions: p}); err != nil {
 		t.Fatal(err)
 	}
 	return dir, g
@@ -144,20 +144,199 @@ func TestServeHTTPRoundTrip(t *testing.T) {
 		t.Fatalf("close store: %s", resp.Status)
 	}
 
-	// Error paths: unknown store, unknown algorithm, unknown query.
-	if resp := postJSON(t, c, ts.URL+"/v1/queries", QuerySpec{Store: "tiny", Algo: "pagerank"}, nil); resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("query on closed store: %s, want 400", resp.Status)
+	// Error paths: unknown store, unknown algorithm, unknown query —
+	// each answering with the uniform envelope and its machine code.
+	var env errEnvelope
+	if resp := postJSON(t, c, ts.URL+"/v1/queries", QuerySpec{Store: "tiny", Algo: "pagerank"}, &env); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("query on closed store: %s, want 404", resp.Status)
 	}
-	if resp := postJSON(t, c, ts.URL+"/v1/queries", QuerySpec{Store: "nope", Algo: "sssp"}, nil); resp.StatusCode != http.StatusBadRequest {
+	if env.Error.Code != "store_not_found" || env.Error.Message == "" {
+		t.Fatalf("closed-store envelope = %+v, want code store_not_found", env)
+	}
+	if resp := postJSON(t, c, ts.URL+"/v1/queries", QuerySpec{Store: "nope", Algo: "sssp"}, &env); resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("unknown algorithm: %s, want 400", resp.Status)
+	}
+	if env.Error.Code != "invalid_argument" {
+		t.Fatalf("unknown-algorithm envelope = %+v, want code invalid_argument", env)
 	}
 	r2, err := c.Get(ts.URL + "/v1/queries/q999")
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2.Body.Close()
+	defer r2.Body.Close()
 	if r2.StatusCode != http.StatusNotFound {
 		t.Fatalf("unknown query: %s, want 404", r2.Status)
+	}
+	if err := json.NewDecoder(r2.Body).Decode(&env); err != nil || env.Error.Code != "query_not_found" {
+		t.Fatalf("unknown-query envelope = %+v (%v), want code query_not_found", env, err)
+	}
+	if resp := postJSON(t, c, ts.URL+"/v1/stores", map[string]string{"name": "", "dir": dir}, &env); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty store name: %s, want 400", resp.Status)
+	}
+}
+
+// TestServeUpdatesAndCompact drives the mutation endpoints end to end:
+// a batch changes the PageRank digest (and only then), generations
+// bump through the store listing, a session pinned before the batch
+// keeps answering with the old content, a bad batch comes back 400
+// with the envelope, and compaction folds the deltas without changing
+// results.
+func TestServeUpdatesAndCompact(t *testing.T) {
+	dir, g := writeStore(t, 8)
+	s := New(Config{Options: shard.Options{Threads: 2}})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	if resp := postJSON(t, c, ts.URL+"/v1/stores", map[string]string{"name": "tiny", "dir": dir}, nil); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("open store: %s", resp.Status)
+	}
+	var env errEnvelope
+	if resp := postJSON(t, c, ts.URL+"/v1/stores", map[string]string{"name": "tiny", "dir": dir}, &env); resp.StatusCode != http.StatusConflict || env.Error.Code != "store_exists" {
+		t.Fatalf("reopen store: %s / %+v, want 409 store_exists", resp.Status, env)
+	}
+
+	runPR := func() string {
+		var sub struct {
+			ID string `json:"id"`
+		}
+		if resp := postJSON(t, c, ts.URL+"/v1/queries", QuerySpec{Store: "tiny", Algo: "pagerank"}, &sub); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit pagerank: %s", resp.Status)
+		}
+		var info queryInfo
+		getJSON(t, c, ts.URL+"/v1/queries/"+sub.ID+"?wait=1", &info)
+		if info.Status != "done" {
+			t.Fatalf("pagerank finished %q (%s)", info.Status, info.Error)
+		}
+		return info.Digest
+	}
+	before := runPR()
+
+	// A session captured now is pinned to generation 0 across the
+	// mutations below.
+	pinned, err := s.Session("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPinned := digestF64(algorithms.PR(pinned, 10).Ranks)
+	if wantPinned != before {
+		t.Fatalf("pinned session digest %s, served digest %s", wantPinned, before)
+	}
+
+	// Mutate: drop one real edge, add two new ones.
+	e0 := g.Edges()[0]
+	var upd struct {
+		Generation int64 `json:"generation"`
+		Dirty      []int `json:"dirty"`
+		Inserted   int64 `json:"inserted"`
+		Deleted    int64 `json:"deleted"`
+	}
+	body := map[string]any{
+		"insert": []map[string]uint32{{"src": 0, "dst": 9}, {"src": 9, "dst": 3}},
+		"delete": []map[string]uint32{{"src": uint32(e0.Src), "dst": uint32(e0.Dst)}},
+	}
+	if resp := postJSON(t, c, ts.URL+"/v1/stores/tiny/updates", body, &upd); resp.StatusCode != http.StatusOK {
+		t.Fatalf("apply updates: %s", resp.Status)
+	}
+	// RMAT graphs carry parallel edges and the tombstone removes every
+	// copy, so Deleted counts at least one.
+	if upd.Generation != 1 || upd.Inserted != 2 || upd.Deleted < 1 || len(upd.Dirty) == 0 {
+		t.Fatalf("update result = %+v, want generation 1, 2 inserted, >=1 deleted, non-empty dirty", upd)
+	}
+
+	after := runPR()
+	if after == before {
+		t.Fatal("PageRank digest unchanged by an edge batch")
+	}
+	var listed []storeInfo
+	getJSON(t, c, ts.URL+"/v1/stores", &listed)
+	if len(listed) != 1 || listed[0].Generation != 1 || listed[0].PendingDeltas == 0 {
+		t.Fatalf("store listing after update = %+v, want generation 1 with pending deltas", listed)
+	}
+	if got := digestF64(algorithms.PR(pinned, 10).Ranks); got != wantPinned {
+		t.Fatalf("pinned session digest changed across the mutation: %s vs %s", got, wantPinned)
+	}
+
+	// A batch naming a vertex outside the store is a 400 with the
+	// envelope, and mutates nothing.
+	bad := map[string]any{"insert": []map[string]uint32{{"src": 1 << 20, "dst": 0}}}
+	if resp := postJSON(t, c, ts.URL+"/v1/stores/tiny/updates", bad, &env); resp.StatusCode != http.StatusBadRequest || env.Error.Code != "invalid_argument" {
+		t.Fatalf("bad batch: %s / %+v, want 400 invalid_argument", resp.Status, env)
+	}
+	if got := runPR(); got != after {
+		t.Fatal("rejected batch changed query results")
+	}
+
+	// Compact folds the deltas; results and generation-after-compact
+	// stay consistent.
+	var comp struct {
+		Generation int64 `json:"generation"`
+	}
+	if resp := postJSON(t, c, ts.URL+"/v1/stores/tiny/compact", nil, &comp); resp.StatusCode != http.StatusOK {
+		t.Fatalf("compact: %s", resp.Status)
+	}
+	if comp.Generation != 2 {
+		t.Fatalf("compacted to generation %d, want 2", comp.Generation)
+	}
+	getJSON(t, c, ts.URL+"/v1/stores", &listed)
+	if listed[0].Generation != 2 || listed[0].PendingDeltas != 0 {
+		t.Fatalf("store listing after compact = %+v, want generation 2 with no pending deltas", listed)
+	}
+	if got := runPR(); got != after {
+		t.Fatal("compaction changed query results")
+	}
+	// Compacting again is a no-op: same generation.
+	if resp := postJSON(t, c, ts.URL+"/v1/stores/tiny/compact", nil, &comp); resp.StatusCode != http.StatusOK || comp.Generation != 2 {
+		t.Fatalf("idempotent compact: %s, generation %d", resp.Status, comp.Generation)
+	}
+	// Unknown store on both mutation routes: 404 with the envelope.
+	if resp := postJSON(t, c, ts.URL+"/v1/stores/nope/updates", body, &env); resp.StatusCode != http.StatusNotFound || env.Error.Code != "store_not_found" {
+		t.Fatalf("updates on unknown store: %s / %+v", resp.Status, env)
+	}
+	if resp := postJSON(t, c, ts.URL+"/v1/stores/nope/compact", nil, &env); resp.StatusCode != http.StatusNotFound || env.Error.Code != "store_not_found" {
+		t.Fatalf("compact on unknown store: %s / %+v", resp.Status, env)
+	}
+}
+
+// TestServeDeprecatedAliases pins the compatibility surface: the
+// unversioned spellings answer identically to their /v1/ successors,
+// plus RFC 8594-style deprecation headers naming the successor.
+func TestServeDeprecatedAliases(t *testing.T) {
+	dir, _ := writeStore(t, 8)
+	s := New(Config{Options: shard.Options{Threads: 2}})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := ts.Client()
+
+	if resp := postJSON(t, c, ts.URL+"/stores", map[string]string{"name": "tiny", "dir": dir}, nil); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("open store via alias: %s", resp.Status)
+	}
+	resp, err := c.Get(ts.URL + "/stores")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list via alias: %s", resp.Status)
+	}
+	if resp.Header.Get("Deprecation") != "true" {
+		t.Fatal("alias response missing the Deprecation header")
+	}
+	if link := resp.Header.Get("Link"); link != `</v1/stores>; rel="successor-version"` {
+		t.Fatalf("alias Link header = %q", link)
+	}
+	var listed []storeInfo
+	if err := json.NewDecoder(resp.Body).Decode(&listed); err != nil || len(listed) != 1 {
+		t.Fatalf("alias listing = %+v (%v)", listed, err)
+	}
+	// The versioned route answers without the deprecation headers.
+	r2, err := c.Get(ts.URL + "/v1/stores")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.Header.Get("Deprecation") != "" || r2.Header.Get("Link") != "" {
+		t.Fatal("versioned route carries deprecation headers")
 	}
 }
 

@@ -1,0 +1,519 @@
+package shard
+
+// The log-structured delta layer: a Store is no longer write-once.
+// ApplyBatch appends one v2-encoded delta shard per affected base
+// shard — (dst,src)-sorted inserts plus edge tombstones for deletes —
+// and swaps in a new manifest generation with the usual
+// temp+fsync+rename discipline, so a crash at any point leaves the
+// previous generation intact and openable. Reads merge base plus
+// deltas as linear zips of sorted streams (mergeDeltas), preserving
+// the per-destination ascending-source order every engine path
+// assumes: a mutated store is per-destination identical to a
+// from-scratch rebuild of the same edge multiset, so every sweep
+// mode, order, window depth, IODepth and co-pass path works unchanged
+// over it. Compact (compact.go) folds the deltas back into
+// generation-suffixed base files.
+//
+// Files of superseded generations are never overwritten or deleted,
+// so a Store value opened before a swap — a session pinning its
+// generation — keeps reading exactly the files its manifest names.
+// The flip side: a Store value must not serve reads concurrently with
+// ApplyBatch/Compact on the *same* value; mutators that also serve
+// (internal/serve) reopen the directory per mutation and swap hosts,
+// and Engine.EdgeMap panics on a generation mismatch rather than
+// silently mixing an old in-memory view with new on-disk content.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/aio"
+	"repro/internal/graph"
+)
+
+// deltaRef is the manifest record of one pending delta shard file.
+type deltaRef struct {
+	File string `json:"file"`
+	Gen  int64  `json:"gen"`
+	Ins  int64  `json:"ins"`
+	Del  int64  `json:"del"`
+}
+
+// deltaMagic opens every delta shard file; base files start with
+// shardMagicV2 (or a raw v1 count), so the layouts cannot be confused
+// without the mismatch surfacing structurally.
+var deltaMagic = [4]byte{'G', 'G', 'D', '2'}
+
+// maxDeltaEdges bounds a delta file's declared insert or tombstone
+// count: past it the minimum-size arithmetic in readDeltaFile could
+// overflow int64 (each edge costs at least two stream bytes).
+const maxDeltaEdges = (1<<63 - 1 - 4 - 2*binary.MaxVarintLen64) / 4
+
+// BatchError reports a batch edge referencing a vertex outside the
+// store — the typed rejection ApplyBatch returns and the serve layer
+// maps to 400. The partition geometry is fixed at Create time, so
+// growing |V| means rebuilding the store, not batching.
+type BatchError struct {
+	Op    string // "insert" or "delete"
+	Index int    // index within the offending batch slice
+	Field string // "source" or "destination"
+	VID   graph.VID
+	Hi    graph.VID // exclusive bound (the store's vertex count)
+}
+
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("shard: batch %s %d: %s %d outside [0,%d)", e.Op, e.Index, e.Field, e.VID, e.Hi)
+}
+
+// BatchResult reports one applied batch.
+type BatchResult struct {
+	// Generation is the manifest generation the batch created.
+	Generation int64
+	// Dirty lists (ascending) the shards whose sweep inputs changed:
+	// content-changed shards plus shards fed by a source whose
+	// out-degree changed, per the source-range summaries — exactly
+	// what DirtyShards(pre-batch generation) reports afterwards.
+	Dirty []int
+	// Inserted counts the batch's insert edges; Deleted counts the
+	// live copies its tombstones actually removed (an edge inserted
+	// and deleted by the same batch contributes to both).
+	Inserted, Deleted int64
+}
+
+// Generation returns the store's manifest generation — 0 for a fresh
+// or legacy store, bumped once by every ApplyBatch and Compact.
+func (s *Store) Generation() int64 { return s.m.Generation }
+
+// PendingDeltas returns the number of delta files awaiting compaction.
+func (s *Store) PendingDeltas() int {
+	n := 0
+	for _, refs := range s.m.Deltas {
+		n += len(refs)
+	}
+	return n
+}
+
+// DirtyShards returns, ascending, the shards whose sweep inputs
+// changed after generation since: their edge content, or the
+// out-degree of a source feeding them. It is the seed for incremental
+// re-convergence (Engine.IncrementalPR / IncrementalCC) — converge on
+// generation G, mutate, then re-converge seeded with DirtyShards(G).
+func (s *Store) DirtyShards(since int64) []int {
+	var out []int
+	for i, g := range s.m.DirtyGen {
+		if g > since {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ApplyBatch applies one batch of edge insertions and deletions: the
+// store's new edge multiset is (old ⊎ ins) \ del, where every delete
+// tombstone removes *all* copies of its (src,dst) pair — including
+// copies inserted by the same batch, so an insert-then-delete within
+// one batch nets to absent. Edges may reference only existing
+// vertices; violations return *BatchError. An empty batch is a no-op
+// and does not bump the generation.
+//
+// Durability: one delta file per affected shard is written first
+// (temp+fsync+rename), the manifest swap commits last — a crash at
+// any point leaves the previous generation. On return the receiver
+// serves the new generation; engines built over the store earlier
+// keep their old in-memory view and must be rebuilt (EdgeMap panics
+// on the generation mismatch). ApplyBatch must not run concurrently
+// with reads through the same Store value — reopen the directory per
+// mutation when serving (internal/serve does).
+func (s *Store) ApplyBatch(ins, del []graph.Edge) (*BatchResult, error) {
+	if len(ins) == 0 && len(del) == 0 {
+		return &BatchResult{Generation: s.m.Generation}, nil
+	}
+	n := graph.VID(s.m.Vertices)
+	if err := checkBatch("insert", ins, n); err != nil {
+		return nil, err
+	}
+	if err := checkBatch("delete", del, n); err != nil {
+		return nil, err
+	}
+	// Summaries must exist before the swap: the new manifest persists
+	// exact summaries for affected shards and inherits the rest, and
+	// the dirty propagation below intersects against them.
+	if _, err := s.SourceSummary(); err != nil {
+		return nil, err
+	}
+
+	// Group both sides by the destination's home shard, (dst,src)-
+	// sorted — the delta file order and the order the linear merge
+	// consumes. Tombstones are deduplicated: one removes all copies,
+	// so repeats are redundant (and would break the zip's invariants).
+	p := s.m.Shards
+	insBy := groupByHome(s, ins, false)
+	delBy := groupByHome(s, del, true)
+
+	gen := s.m.Generation + 1
+	newM := s.m.clone()
+	if newM.BaseEdgeCounts == nil {
+		// EdgeCounts diverges from the base files' counts from here on;
+		// materialize the file-level counts first.
+		newM.BaseEdgeCounts = append([]int64(nil), s.m.EdgeCounts...)
+	}
+	if newM.Deltas == nil {
+		newM.Deltas = make([][]deltaRef, p)
+	}
+	if newM.DirtyGen == nil {
+		newM.DirtyGen = make([]int64, p)
+	}
+
+	res := &BatchResult{Generation: gen}
+	// Home ranges of sources whose out-degree may have changed — any
+	// source named by the batch (deleting a missing edge over-marks;
+	// that is only conservative).
+	touched := make([]uint64, summaryWords(p))
+	mark := func(es []graph.Edge) {
+		for _, e := range es {
+			j := s.Home(e.Src)
+			touched[j/64] |= 1 << (j % 64)
+		}
+	}
+	mark(ins)
+	mark(del)
+
+	contentDirty := make([]bool, p)
+	for si := 0; si < p; si++ {
+		bIns, bDel := insBy[si], delBy[si]
+		if len(bIns.src) == 0 && len(bDel.src) == 0 {
+			continue
+		}
+		// Merge in memory to learn the exact new live count and source
+		// summary — the same zip loadShard will replay, so the counts
+		// written here are exactly what reads reproduce.
+		cur, _, err := s.loadShard(si)
+		if err != nil {
+			return nil, err
+		}
+		curS := append([]graph.VID(nil), cur.Src...)
+		curD := append([]graph.VID(nil), cur.Dst...)
+		sort.Sort(&dstSrcOrder{src: curS, dst: curD})
+		mS, mD := mergeSortedPairs(curS, curD, bIns.src, bIns.dst)
+		mS, mD = removeAllPairs(mS, mD, bDel.src, bDel.dst)
+
+		name := deltaFileName(si, gen)
+		if err := writeDeltaFile(filepath.Join(s.dir, name), bIns, bDel); err != nil {
+			return nil, err
+		}
+		refs := append([]deltaRef(nil), newM.Deltas[si]...)
+		newM.Deltas[si] = append(refs, deltaRef{
+			File: name, Gen: gen, Ins: int64(len(bIns.src)), Del: int64(len(bDel.src)),
+		})
+		res.Inserted += int64(len(bIns.src))
+		res.Deleted += int64(len(cur.Src)) + int64(len(bIns.src)) - int64(len(mS))
+		newM.Edges += int64(len(mS)) - newM.EdgeCounts[si]
+		newM.EdgeCounts[si] = int64(len(mS))
+		sum := make([]uint64, summaryWords(p))
+		for _, u := range mS {
+			j := s.Home(u)
+			sum[j/64] |= 1 << (j % 64)
+		}
+		newM.SrcSummary[si] = sum
+		contentDirty[si] = true
+	}
+
+	// A shard is dirty if its content changed, or if it holds any edge
+	// from a touched source range — the out-degree of such a source
+	// changes the weight of every edge it feeds anywhere. The pre-batch
+	// summaries are the right side to intersect: untouched shards'
+	// summaries did not change, and content-changed shards are dirty
+	// regardless.
+	for j := 0; j < p; j++ {
+		dirty := contentDirty[j]
+		for w := 0; !dirty && w < len(touched); w++ {
+			dirty = s.m.SrcSummary[j][w]&touched[w] != 0
+		}
+		if dirty {
+			newM.DirtyGen[j] = gen
+			res.Dirty = append(res.Dirty, j)
+		}
+	}
+
+	newM.Generation = gen
+	if err := writeManifest(s.dir, newM); err != nil {
+		return nil, err
+	}
+	s.m = newM
+	return res, nil
+}
+
+// checkBatch validates one side of a batch against the vertex count.
+func checkBatch(op string, es []graph.Edge, n graph.VID) error {
+	for i, e := range es {
+		if e.Src >= n {
+			return &BatchError{Op: op, Index: i, Field: "source", VID: e.Src, Hi: n}
+		}
+		if e.Dst >= n {
+			return &BatchError{Op: op, Index: i, Field: "destination", VID: e.Dst, Hi: n}
+		}
+	}
+	return nil
+}
+
+// pairList is one shard's half of a batch as parallel (dst,src)-sorted
+// arrays — the shape the encoder and the linear merges consume.
+type pairList struct {
+	src, dst []graph.VID
+}
+
+// groupByHome splits a validated batch by the destination's home
+// shard, sorting each group by (dst,src); dedup additionally collapses
+// equal pairs (tombstones).
+func groupByHome(s *Store, es []graph.Edge, dedup bool) map[int]pairList {
+	out := make(map[int]pairList)
+	for _, e := range es {
+		si := s.Home(e.Dst)
+		pl := out[si]
+		pl.src = append(pl.src, e.Src)
+		pl.dst = append(pl.dst, e.Dst)
+		out[si] = pl
+	}
+	for si, pl := range out {
+		sort.Sort(&dstSrcOrder{src: pl.src, dst: pl.dst})
+		if dedup {
+			k := 0
+			for i := range pl.src {
+				if i > 0 && pl.src[i] == pl.src[i-1] && pl.dst[i] == pl.dst[i-1] {
+					continue
+				}
+				pl.src[k], pl.dst[k] = pl.src[i], pl.dst[i]
+				k++
+			}
+			pl.src, pl.dst = pl.src[:k], pl.dst[:k]
+		}
+		out[si] = pl
+	}
+	return out
+}
+
+// clone deep-copies the manifest far enough that the per-shard rows
+// ApplyBatch/Compact replace never alias the old generation's view
+// (row slices are replaced wholesale, so copying the spines suffices).
+func (m manifest) clone() manifest {
+	m.Bounds = append([]graph.VID(nil), m.Bounds...)
+	m.EdgeCounts = append([]int64(nil), m.EdgeCounts...)
+	if m.SrcSummary != nil {
+		m.SrcSummary = append([][]uint64(nil), m.SrcSummary...)
+	}
+	if m.BaseFiles != nil {
+		m.BaseFiles = append([]string(nil), m.BaseFiles...)
+	}
+	if m.BaseEdgeCounts != nil {
+		m.BaseEdgeCounts = append([]int64(nil), m.BaseEdgeCounts...)
+	}
+	if m.Deltas != nil {
+		m.Deltas = append([][]deltaRef(nil), m.Deltas...)
+	}
+	if m.DirtyGen != nil {
+		m.DirtyGen = append([]int64(nil), m.DirtyGen...)
+	}
+	return m
+}
+
+func deltaFileName(si int, gen int64) string {
+	return fmt.Sprintf("delta-%04d-g%06d.bin", si, gen)
+}
+
+// writeDeltaFile encodes one delta shard — magic, uvarint insert and
+// tombstone counts, then the two v2-encoded streams — under the same
+// temp+fsync+rename discipline as base shard files.
+func writeDeltaFile(path string, ins, del pairList) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	err = func() error {
+		w := bufio.NewWriter(f)
+		if _, err := w.Write(deltaMagic[:]); err != nil {
+			return err
+		}
+		if err := putUvarint(w, uint64(len(ins.src))); err != nil {
+			return err
+		}
+		if err := putUvarint(w, uint64(len(del.src))); err != nil {
+			return err
+		}
+		if err := encodeV2Stream(w, ins.src, ins.dst); err != nil {
+			return err
+		}
+		if err := encodeV2Stream(w, del.src, del.dst); err != nil {
+			return err
+		}
+		return w.Flush()
+	}()
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// readDeltaFile decodes one delta shard file with the base decoders'
+// defensive posture: magic, declared counts against the manifest's
+// ref, a minimum-size bound before any allocation, every ID validated
+// in range, and no trailing bytes. Close errors fail the decode.
+func readDeltaFile(path string, n int, lo, hi graph.VID, ref deltaRef) (ins, del pairList, size int64, err error) {
+	f, err := aio.Open(path)
+	if err != nil {
+		return pairList{}, pairList{}, 0, err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			ins, del, size, err = pairList{}, pairList{}, 0, fmt.Errorf("shard: %s: close: %v", path, cerr)
+		}
+	}()
+	fi, err := f.Stat()
+	if err != nil {
+		return pairList{}, pairList{}, 0, fmt.Errorf("shard: %s: %v", path, err)
+	}
+	br := bufio.NewReader(f)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return pairList{}, pairList{}, 0, fmt.Errorf("shard: %s: delta magic: %v", path, err)
+	}
+	if magic != deltaMagic {
+		return pairList{}, pairList{}, 0, fmt.Errorf("shard: %s: not a delta shard file (magic %q)", path, magic[:])
+	}
+	insCount, err := binary.ReadUvarint(br)
+	if err != nil {
+		return pairList{}, pairList{}, 0, fmt.Errorf("shard: %s: insert count varint: %v", path, err)
+	}
+	delCount, err := binary.ReadUvarint(br)
+	if err != nil {
+		return pairList{}, pairList{}, 0, fmt.Errorf("shard: %s: tombstone count varint: %v", path, err)
+	}
+	// Bound both counts before any arithmetic or allocation sized by
+	// them (the v2 decoder's maxCount guard, doubled for two streams),
+	// then hold them to the manifest's declaration.
+	if insCount > maxDeltaEdges || delCount > maxDeltaEdges ||
+		int64(insCount) != ref.Ins || int64(delCount) != ref.Del {
+		return pairList{}, pairList{}, 0, fmt.Errorf("shard: %s: declares %d inserts / %d tombstones, manifest says %d / %d",
+			path, insCount, delCount, ref.Ins, ref.Del)
+	}
+	// Every edge costs at least two stream bytes; the trailing-bytes
+	// check below makes the size agreement exact.
+	minSize := 4 + uvarintLen(insCount) + uvarintLen(delCount) + 2*int64(insCount) + 2*int64(delCount)
+	if fi.Size() < minSize {
+		return pairList{}, pairList{}, 0, fmt.Errorf("shard: %s: file is %d bytes, need at least %d for %d+%d edges",
+			path, fi.Size(), minSize, insCount, delCount)
+	}
+	ins.src, ins.dst, err = decodeV2Stream(br, path, n, lo, hi, int64(insCount))
+	if err != nil {
+		return pairList{}, pairList{}, 0, err
+	}
+	del.src, del.dst, err = decodeV2Stream(br, path, n, lo, hi, int64(delCount))
+	if err != nil {
+		return pairList{}, pairList{}, 0, err
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		if err != nil {
+			return pairList{}, pairList{}, 0, fmt.Errorf("shard: %s: after %d edges: %v", path, insCount+delCount, err)
+		}
+		return pairList{}, pairList{}, 0, fmt.Errorf("shard: %s: trailing bytes after %d edges", path, insCount+delCount)
+	}
+	return ins, del, fi.Size(), nil
+}
+
+// mergeDeltas folds shard i's pending delta files into its decoded
+// base COO. The base is (dst,src)-sorted once (v2 bases already are,
+// making the sort a near-no-op; v1 bases arrive in CSR order), then
+// each generation's inserts are zipped in and its tombstones filtered
+// out — all linear passes over sorted streams. The result's
+// per-destination source order is ascending, exactly what a
+// from-scratch rebuild of the merged multiset decodes to, which is
+// why every engine path is bit-identical over a mutated store.
+func (s *Store) mergeDeltas(i int, base *graph.COO, size int64) (*graph.COO, int64, error) {
+	src := append([]graph.VID(nil), base.Src...)
+	dst := append([]graph.VID(nil), base.Dst...)
+	sort.Sort(&dstSrcOrder{src: src, dst: dst})
+	lo, hi := s.m.Bounds[i], s.m.Bounds[i+1]
+	for _, ref := range s.m.Deltas[i] {
+		ins, del, n, err := readDeltaFile(filepath.Join(s.dir, ref.File), s.m.Vertices, lo, hi, ref)
+		if err != nil {
+			return nil, 0, err
+		}
+		size += n
+		src, dst = mergeSortedPairs(src, dst, ins.src, ins.dst)
+		src, dst = removeAllPairs(src, dst, del.src, del.dst)
+	}
+	if int64(len(src)) != s.m.EdgeCounts[i] {
+		return nil, 0, fmt.Errorf("shard: %s: %d edges after merging %d deltas, manifest says %d",
+			s.basePath(i), len(src), len(s.m.Deltas[i]), s.m.EdgeCounts[i])
+	}
+	return &graph.COO{N: base.N, Src: src, Dst: dst}, size, nil
+}
+
+// pairLess orders (dst,src) pairs — the v2 on-disk order.
+func pairLess(d1, s1, d2, s2 graph.VID) bool {
+	if d1 != d2 {
+		return d1 < d2
+	}
+	return s1 < s2
+}
+
+// mergeSortedPairs zips two (dst,src)-sorted edge lists into one,
+// preserving duplicates from both sides (parallel edges are legal).
+func mergeSortedPairs(aS, aD, bS, bD []graph.VID) ([]graph.VID, []graph.VID) {
+	if len(bS) == 0 {
+		return aS, aD
+	}
+	outS := make([]graph.VID, 0, len(aS)+len(bS))
+	outD := make([]graph.VID, 0, len(aS)+len(bS))
+	i, j := 0, 0
+	for i < len(aS) && j < len(bS) {
+		if !pairLess(bD[j], bS[j], aD[i], aS[i]) {
+			outS, outD = append(outS, aS[i]), append(outD, aD[i])
+			i++
+		} else {
+			outS, outD = append(outS, bS[j]), append(outD, bD[j])
+			j++
+		}
+	}
+	outS = append(append(outS, aS[i:]...), bS[j:]...)
+	outD = append(append(outD, aD[i:]...), bD[j:]...)
+	return outS, outD
+}
+
+// removeAllPairs filters, in place, every copy of every (dst,src)
+// pair named in the sorted tombstone list out of the sorted edge
+// list. A tombstone matching nothing is a no-op (deleting a missing
+// edge is legal); the cursor does not advance on a match, so runs of
+// parallel copies all fall to one tombstone.
+func removeAllPairs(aS, aD, tS, tD []graph.VID) ([]graph.VID, []graph.VID) {
+	if len(tS) == 0 {
+		return aS, aD
+	}
+	k, j := 0, 0
+	for i := 0; i < len(aS); i++ {
+		for j < len(tS) && pairLess(tD[j], tS[j], aD[i], aS[i]) {
+			j++
+		}
+		if j < len(tS) && tD[j] == aD[i] && tS[j] == aS[i] {
+			continue
+		}
+		aS[k], aD[k] = aS[i], aD[i]
+		k++
+	}
+	return aS[:k], aD[:k]
+}

@@ -1,9 +1,29 @@
 package shard
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 )
+
+// writeManifest marshals m and swaps it in as dir's manifest.json —
+// atomic temp+fsync+rename, then a directory sync so the swap itself
+// is durable. Every manifest swap in a store's life goes through here:
+// creation, each ApplyBatch generation bump, each Compact fold. The
+// manifest is always written after the files it names are durable and
+// never names a file an older manifest needs under a changed meaning,
+// so a crash before, during or after the swap leaves the directory
+// opening as exactly one complete generation.
+func writeManifest(dir string, m manifest) error {
+	data, err := json.MarshalIndent(m, "", " ")
+	if err != nil {
+		return err
+	}
+	if err := writeFileAtomic(filepath.Join(dir, "manifest.json"), data, 0o644); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
 
 // writeFileAtomic writes data to path via a fsync'd temporary file and
 // an atomic rename — the manifest's durability discipline. A reader

@@ -339,6 +339,12 @@ type Engine struct {
 	g    *graph.Graph
 	pool *sched.Pool
 	opts Options
+	// gen is the store generation the engine was built over. The
+	// engine's graph metadata, feeds and planner state all describe
+	// that generation; after an ApplyBatch or Compact on the store the
+	// engine is stale, and every sweep entry point checks the pin
+	// rather than silently mixing views (see checkGen).
+	gen int64
 
 	home  []int32    // vertex -> shard whose destination range holds it
 	feeds [][]uint64 // per-shard source-range summary (Store.SourceSummary)
@@ -431,6 +437,7 @@ type hostCore struct {
 	domainOf   []int32
 	domains    []*sched.DomainView
 	hilbertKey []uint64
+	gen        int64
 }
 
 // newHostCore validates (st, g, opts) and builds the shared substrate —
@@ -477,6 +484,7 @@ func newHostCore(st *Store, g *graph.Graph, opts Options) (*hostCore, error) {
 		domainOf:   domainOf,
 		domains:    opts.Topology.Split(pool),
 		hilbertKey: hilbertKeys(feeds, st.NumShards()),
+		gen:        st.Generation(),
 	}, nil
 }
 
@@ -493,6 +501,7 @@ func (c *hostCore) newEngine(cache engineCache) *Engine {
 		home:       c.home,
 		feeds:      c.feeds,
 		cache:      cache,
+		gen:        c.gen,
 		domainOf:   c.domainOf,
 		domains:    c.domains,
 		hilbertKey: c.hilbertKey,
@@ -525,11 +534,7 @@ func NewEngine(st *Store, g *graph.Graph, opts Options) (*Engine, error) {
 // Build shards g into dir with p partitions and returns an engine over
 // the new store — the one-call construction examples and tests use.
 func Build(dir string, g *graph.Graph, p int, opts Options) (*Engine, error) {
-	format := opts.Format
-	if format == 0 {
-		format = DefaultFormat
-	}
-	st, err := WriteFormat(dir, g, p, format)
+	st, err := Create(dir, g, WriteOptions{Partitions: p, Format: opts.Format})
 	if err != nil {
 		return nil, err
 	}
@@ -639,7 +644,20 @@ func (e *Engine) VertexFilter(f *frontier.Frontier, pred func(graph.VID) bool) *
 // direction hint is ignored: every traversal is a destination-grouped
 // sweep, which is the only order an out-of-core layout supports
 // without a second edge copy on disk.
+// checkGen panics if the store moved past the generation this engine
+// was built over. An ApplyBatch or Compact changes on-disk content the
+// engine's cached residents, graph metadata and planner state do not
+// reflect; sweeping anyway would silently mix the two views. Mutators
+// that also serve queries reopen the store and rebuild hosts instead
+// (internal/serve does), so a trip here is always a caller bug.
+func (e *Engine) checkGen() {
+	if g := e.st.Generation(); g != e.gen {
+		panic(fmt.Sprintf("shard: engine built over store generation %d, store is now at %d; rebuild the engine after ApplyBatch/Compact", e.gen, g))
+	}
+}
+
 func (e *Engine) EdgeMap(f *frontier.Frontier, op api.EdgeOp, _ api.Direction) *frontier.Frontier {
+	e.checkGen()
 	n := e.g.NumVertices()
 	if f.Count() == 0 {
 		return frontier.New(n)

@@ -163,38 +163,49 @@ func writeShardV2(f *os.File, c *graph.COO) error {
 	if _, err := w.Write(shardMagicV2[:]); err != nil {
 		return err
 	}
+	if err := putUvarint(w, uint64(len(src))); err != nil {
+		return err
+	}
+	if err := encodeV2Stream(w, src, dst); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// putUvarint writes one uvarint to w.
+func putUvarint(w *bufio.Writer, x uint64) error {
 	var tmp [binary.MaxVarintLen64]byte
-	put := func(x uint64) error {
-		k := binary.PutUvarint(tmp[:], x)
-		_, err := w.Write(tmp[:k])
-		return err
-	}
-	if err := put(uint64(len(src))); err != nil {
-		return err
-	}
+	k := binary.PutUvarint(tmp[:], x)
+	_, err := w.Write(tmp[:k])
+	return err
+}
+
+// encodeV2Stream writes an already (dst,src)-sorted edge list as the
+// v2 delta+uvarint stream pair: destination deltas against the
+// previous destination (the first edge's is absolute — the implicit
+// previous destination is 0), sources absolute at the start of each
+// destination run and delta-encoded within a run (non-negative by the
+// sort). Base shard files carry one such stream; delta shard files
+// carry two (inserts, then tombstones), each with its own delta state.
+func encodeV2Stream(w *bufio.Writer, src, dst []graph.VID) error {
 	var prevDst, prevSrc graph.VID
 	for i := range src {
 		d, s := dst[i], src[i]
-		// Destination stream: delta against the previous destination
-		// (the first edge's is absolute — prevDst starts at 0).
-		if err := put(uint64(d - prevDst)); err != nil {
+		if err := putUvarint(w, uint64(d-prevDst)); err != nil {
 			return err
 		}
-		// Source stream: absolute at the start of each destination run,
-		// delta against the previous source inside a run (non-negative
-		// by the sort).
 		if i == 0 || d != prevDst {
-			if err := put(uint64(s)); err != nil {
+			if err := putUvarint(w, uint64(s)); err != nil {
 				return err
 			}
 		} else {
-			if err := put(uint64(s - prevSrc)); err != nil {
+			if err := putUvarint(w, uint64(s-prevSrc)); err != nil {
 				return err
 			}
 		}
 		prevDst, prevSrc = d, s
 	}
-	return w.Flush()
+	return nil
 }
 
 // dstSrcOrder sorts parallel src/dst slices by (dst, src) — the v2
@@ -392,31 +403,11 @@ func readShardV2(path string, n int, lo, hi graph.VID, wantEdges int64) (c *grap
 		return nil, 0, fmt.Errorf("shard: %s: file is %d bytes, need at least %d for %d edges",
 			path, fi.Size(), minSize, count)
 	}
-	c = &graph.COO{N: n, Src: make([]graph.VID, count), Dst: make([]graph.VID, count)}
-	var prevDst, prevSrc uint64
-	for i := int64(0); i < count; i++ {
-		dDelta, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, 0, fmt.Errorf("shard: %s: destination delta at edge %d: %v", path, i, err)
-		}
-		d := prevDst + dDelta
-		if d < prevDst || d < uint64(lo) || d >= uint64(hi) {
-			return nil, 0, &VIDRangeError{Path: path, Edge: i, Field: "destination", VID: d, Lo: lo, Hi: hi}
-		}
-		sv, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, 0, fmt.Errorf("shard: %s: source varint at edge %d: %v", path, i, err)
-		}
-		s := sv
-		if i > 0 && d == prevDst {
-			s = prevSrc + sv
-		}
-		if s < sv || s >= uint64(n) {
-			return nil, 0, &VIDRangeError{Path: path, Edge: i, Field: "source", VID: s, Lo: 0, Hi: graph.VID(n)}
-		}
-		c.Dst[i], c.Src[i] = graph.VID(d), graph.VID(s)
-		prevDst, prevSrc = d, s
+	srcArr, dstArr, err := decodeV2Stream(br, path, n, lo, hi, count)
+	if err != nil {
+		return nil, 0, err
 	}
+	c = &graph.COO{N: n, Src: srcArr, Dst: dstArr}
 	if _, err := br.ReadByte(); err != io.EOF {
 		if err != nil {
 			return nil, 0, fmt.Errorf("shard: %s: after %d edges: %v", path, count, err)
@@ -424,4 +415,40 @@ func readShardV2(path string, n int, lo, hi graph.VID, wantEdges int64) (c *grap
 		return nil, 0, fmt.Errorf("shard: %s: trailing bytes after %d edges", path, count)
 	}
 	return c, fi.Size(), nil
+}
+
+// decodeV2Stream reads count edges in the v2 delta+uvarint layout from
+// br (encodeV2Stream's inverse), validating every decoded source
+// against [0,n) and every destination against [lo,hi) — violations
+// surface as *VIDRangeError — and rejecting any delta that would wrap.
+// The delta state starts fresh per stream, so a delta shard file's two
+// streams decode independently with the same routine.
+func decodeV2Stream(br *bufio.Reader, path string, n int, lo, hi graph.VID, count int64) ([]graph.VID, []graph.VID, error) {
+	src := make([]graph.VID, count)
+	dst := make([]graph.VID, count)
+	var prevDst, prevSrc uint64
+	for i := int64(0); i < count; i++ {
+		dDelta, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, nil, fmt.Errorf("shard: %s: destination delta at edge %d: %v", path, i, err)
+		}
+		d := prevDst + dDelta
+		if d < prevDst || d < uint64(lo) || d >= uint64(hi) {
+			return nil, nil, &VIDRangeError{Path: path, Edge: i, Field: "destination", VID: d, Lo: lo, Hi: hi}
+		}
+		sv, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, nil, fmt.Errorf("shard: %s: source varint at edge %d: %v", path, i, err)
+		}
+		s := sv
+		if i > 0 && d == prevDst {
+			s = prevSrc + sv
+		}
+		if s < sv || s >= uint64(n) {
+			return nil, nil, &VIDRangeError{Path: path, Edge: i, Field: "source", VID: s, Lo: 0, Hi: graph.VID(n)}
+		}
+		dst[i], src[i] = graph.VID(d), graph.VID(s)
+		prevDst, prevSrc = d, s
+	}
+	return src, dst, nil
 }

@@ -121,6 +121,58 @@ func FuzzShardFileV2(f *testing.F) {
 	})
 }
 
+// FuzzDeltaShard feeds arbitrary bytes to the delta shard-file decoder.
+// As in the base-format targets, the manifest's expectation (the
+// deltaRef) is parsed from the fuzzed header when it parses, so the
+// decoder runs on inputs whose header and manifest agree — its
+// defences are the size bound, the per-ID range checks on both
+// streams, and the trailing-byte check. Accepted inputs must decode to
+// in-range, (dst,src)-sorted insert and tombstone streams.
+func FuzzDeltaShard(f *testing.F) {
+	for _, seed := range deltaShardSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "delta-0000-g000001.bin")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		ref := deltaRef{Gen: 1, Ins: -1, Del: -1} // mismatches unless the header declares counts
+		if len(data) > 4 && bytes.Equal(data[:4], deltaMagic[:]) {
+			if ic, k := binary.Uvarint(data[4:]); k > 0 && ic <= math.MaxInt64 {
+				if dc, k2 := binary.Uvarint(data[4+k:]); k2 > 0 && dc <= math.MaxInt64 {
+					ref.Ins, ref.Del = int64(ic), int64(dc)
+				}
+			}
+		}
+		const n, lo, hi = 256, 64, 128
+		ins, del, _, err := readDeltaFile(path, n, lo, hi, ref)
+		if err != nil {
+			return
+		}
+		for _, pl := range []struct {
+			name string
+			want int64
+			pairList
+		}{{"insert", ref.Ins, ins}, {"tombstone", ref.Del, del}} {
+			if int64(len(pl.src)) != pl.want || int64(len(pl.dst)) != pl.want {
+				t.Fatalf("decoded %d/%d %s edges, header says %d", len(pl.src), len(pl.dst), pl.name, pl.want)
+			}
+			for i := range pl.src {
+				if int(pl.src[i]) >= n {
+					t.Fatalf("accepted %s source %d >= %d vertices", pl.name, pl.src[i], n)
+				}
+				if pl.dst[i] < lo || pl.dst[i] >= hi {
+					t.Fatalf("accepted %s destination %d outside [%d,%d)", pl.name, pl.dst[i], lo, hi)
+				}
+				if i > 0 && pairLess(pl.dst[i], pl.src[i], pl.dst[i-1], pl.src[i-1]) {
+					t.Fatalf("accepted %s stream not sorted by (dst,src) at edge %d", pl.name, i)
+				}
+			}
+		}
+	})
+}
+
 // checkDecodedInvariants asserts what acceptance by either decoder
 // means: the declared edge count was honoured and every edge satisfies
 // the invariants the engine's partition-exclusive apply assumes.
@@ -271,6 +323,70 @@ func shardFileV2Seeds() [][]byte {
 	}
 }
 
+// deltaShardSeeds returns the delta corpus: a real delta file written
+// by ApplyBatch, plus hand-built corruptions over the fuzz target's
+// fixed geometry (n=256, destinations [64,128)).
+func deltaShardSeeds() [][]byte {
+	valid := func() []byte {
+		dir, err := os.MkdirTemp("", "shard-fuzz-seed-*")
+		if err != nil {
+			panic(err)
+		}
+		defer os.RemoveAll(dir)
+		st, err := Create(dir, gen.Chain(256), WriteOptions{Partitions: 4})
+		if err != nil {
+			panic(err)
+		}
+		// Destinations in [64,128) → shard 1 gets the delta file.
+		res, err := st.ApplyBatch(
+			[]graph.Edge{{Src: 3, Dst: 64}, {Src: 5, Dst: 64}, {Src: 0, Dst: 100}},
+			[]graph.Edge{{Src: 69, Dst: 70}},
+		)
+		if err != nil {
+			panic(err)
+		}
+		if len(res.Dirty) == 0 {
+			panic("seed batch dirtied nothing")
+		}
+		data, err := os.ReadFile(filepath.Join(dir, deltaFileName(1, 1)))
+		if err != nil {
+			panic(err)
+		}
+		return data
+	}()
+	build := func(ins, del uint64, vals ...uint64) []byte {
+		var buf bytes.Buffer
+		buf.Write(deltaMagic[:])
+		var tmp [binary.MaxVarintLen64]byte
+		buf.Write(tmp[:binary.PutUvarint(tmp[:], ins)])
+		buf.Write(tmp[:binary.PutUvarint(tmp[:], del)])
+		for _, v := range vals {
+			buf.Write(tmp[:binary.PutUvarint(tmp[:], v)])
+		}
+		return buf.Bytes()
+	}
+	return [][]byte{
+		valid,
+		valid[:len(valid)-1],                     // truncated mid-varint
+		append(append([]byte(nil), valid...), 0), // trailing byte
+		deltaMagic[:],                            // counts truncated
+		shardMagicV2[:],                          // a base v2 file fed to the delta decoder
+		build(0, 0),                              // empty delta, exact size
+		build(1, 0, 64, 3),                       // one in-range insert
+		build(0, 1, 64, 3),                       // one in-range tombstone
+		build(1, 1, 64, 3, 64, 3),                // both streams, fresh delta state each
+		build(1, 0, 63, 3),                       // insert destination below the range
+		build(0, 1, 128, 3),                      // tombstone destination at the range's end
+		build(2, 0, 64, 3, 1<<40, 0),             // destination delta overflows the range
+		build(1, 0, 64, 300),                     // source beyond the vertex count
+		build(2, 0, 64, 3, 0, math.MaxUint64),    // source delta wraps uint64
+		build(1<<40, 0, 64, 3),                   // declared count outruns the file
+		build(1<<63-1, 1<<63-1),                  // counts so large the size bound would overflow
+		build(1, 0, 64),                          // insert source varint missing
+		build(1, 1, 64, 3),                       // tombstone stream missing entirely
+	}
+}
+
 // TestRegenFuzzCorpus rewrites the committed seed corpora under
 // testdata/fuzz from the seed generators above. It is a no-op unless
 // REGEN_FUZZ_CORPUS=1, so the corpora stay deterministic artefacts of
@@ -298,4 +414,5 @@ func TestRegenFuzzCorpus(t *testing.T) {
 	write("FuzzManifest", manifestSeeds())
 	write("FuzzShardFile", shardFileSeeds())
 	write("FuzzShardFileV2", shardFileV2Seeds())
+	write("FuzzDeltaShard", deltaShardSeeds())
 }

@@ -58,11 +58,7 @@ func NewHost(st *Store, g *graph.Graph, cache *SharedCache, opts Options) (*Host
 // BuildHost shards g into dir and returns a host over the new store —
 // the one-call counterpart of Build for multi-tenant use.
 func BuildHost(dir string, g *graph.Graph, p int, cache *SharedCache, opts Options) (*Host, error) {
-	format := opts.Format
-	if format == 0 {
-		format = DefaultFormat
-	}
-	st, err := WriteFormat(dir, g, p, format)
+	st, err := Create(dir, g, WriteOptions{Partitions: p, Format: opts.Format})
 	if err != nil {
 		return nil, err
 	}

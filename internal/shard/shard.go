@@ -60,18 +60,44 @@ import (
 
 // manifest is the on-disk index of a sharded graph.
 type manifest struct {
-	Magic      string      `json:"magic"`
-	Vertices   int         `json:"vertices"`
-	Edges      int64       `json:"edges"`
-	Shards     int         `json:"shards"`
-	Bounds     []graph.VID `json:"bounds"`
-	EdgeCounts []int64     `json:"edge_counts"`
+	Magic    string      `json:"magic"`
+	Vertices int         `json:"vertices"`
+	Edges    int64       `json:"edges"`
+	Shards   int         `json:"shards"`
+	Bounds   []graph.VID `json:"bounds"`
+	// EdgeCounts is the *live* per-shard edge count — base file plus
+	// pending deltas merged — and always sums to Edges. For a store
+	// with no deltas it equals the base files' counts.
+	EdgeCounts []int64 `json:"edge_counts"`
 	// SrcSummary[i] is a bitset over the P destination ranges: bit j is
 	// set iff shard i contains an edge whose source lies in range j. The
 	// engine's frontier-aware sweep intersects it with the frontier's
 	// active ranges to skip shards. Optional: stores written before the
-	// field existed compute it lazily with one streaming pass.
+	// field existed compute it lazily with one streaming pass. For
+	// mutated stores it describes the live (merged) content exactly —
+	// ApplyBatch recomputes and persists it per affected shard.
 	SrcSummary [][]uint64 `json:"src_summary,omitempty"`
+
+	// The log-structured delta layer (delta.go, compact.go). All five
+	// fields are optional: stores written before the layer existed
+	// carry none of them and read as generation 0 with no deltas.
+	//
+	// Generation counts manifest swaps — ApplyBatch and Compact each
+	// bump it once. BaseFiles names each shard's base file (nil → the
+	// legacy shard-%04d.bin names; compaction re-points entries at
+	// generation-suffixed files and never overwrites a live one).
+	// BaseEdgeCounts is the edge count stored in each base *file*
+	// (nil → EdgeCounts: no deltas were ever applied, so file and live
+	// counts agree). Deltas lists each shard's pending delta files
+	// oldest-first. DirtyGen records the generation at which a shard's
+	// sweep inputs last changed — its edge content, or the out-degree
+	// of a source feeding it — the seed incremental re-convergence
+	// starts from (Store.DirtyShards).
+	Generation     int64        `json:"generation,omitempty"`
+	BaseFiles      []string     `json:"base_files,omitempty"`
+	BaseEdgeCounts []int64      `json:"base_edge_counts,omitempty"`
+	Deltas         [][]deltaRef `json:"deltas,omitempty"`
+	DirtyGen       []int64      `json:"dirty_gen,omitempty"`
 }
 
 // The manifest magic doubles as the store's format declaration: v1
@@ -89,29 +115,54 @@ type Store struct {
 	m      manifest
 }
 
-// Write shards g into dir (created if needed) with p partitions by
-// destination and returns the opened store, in the default (v2,
-// compressed) shard format. WriteFormat selects the format explicitly.
-func Write(dir string, g *graph.Graph, p int) (*Store, error) {
-	return WriteFormat(dir, g, p, DefaultFormat)
+// DefaultPartitions is the shard count Create selects when
+// WriteOptions.Partitions is zero.
+const DefaultPartitions = 16
+
+// WriteOptions parameterizes Create, validating like engine Options
+// do: nonsense values are rejected with a typed *OptionsError at
+// construction time, zero values select documented defaults.
+type WriteOptions struct {
+	// Partitions is the destination-range shard count; 0 selects
+	// DefaultPartitions.
+	Partitions int
+	// Format is the shard-file encoding; 0 selects DefaultFormat.
+	Format Format
 }
 
-// WriteFormat is Write with an explicit shard-file format: FormatV1
-// writes the legacy raw layout (what pre-v2 readers expect), FormatV2
-// the delta+uvarint compressed one. Both encode the same edge multiset
-// and decode to per-destination-identical COOs, so engines over either
-// store produce bit-identical results.
-func WriteFormat(dir string, g *graph.Graph, p int, format Format) (*Store, error) {
-	if !format.valid() {
-		return nil, fmt.Errorf("shard: cannot write format %v", format)
+// normalize validates wo and resolves its defaults.
+func (wo WriteOptions) normalize() (WriteOptions, error) {
+	if wo.Partitions < 0 {
+		return wo, &OptionsError{"Partitions", int64(wo.Partitions), "must be >= 0 (0 selects DefaultPartitions)"}
+	}
+	if wo.Partitions == 0 {
+		wo.Partitions = DefaultPartitions
+	}
+	if wo.Format == 0 {
+		wo.Format = DefaultFormat
+	}
+	if !wo.Format.valid() {
+		return wo, &OptionsError{"Format", int64(wo.Format), "unknown shard-file format (have v1, v2)"}
+	}
+	return wo, nil
+}
+
+// Create shards g into dir (created if needed), partitioned by
+// destination, and returns the opened store at generation 0. It is
+// the one writer entry point: the batch-mutation (ApplyBatch) and
+// compaction (Compact) surfaces hang off the Store it returns.
+func Create(dir string, g *graph.Graph, wo WriteOptions) (*Store, error) {
+	wo, err := wo.normalize()
+	if err != nil {
+		return nil, err
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	pt := partition.ByDestination(g, p, partition.BalanceEdges)
+	pt := partition.ByDestination(g, wo.Partitions, partition.BalanceEdges)
 	pcoo := partition.NewPCOO(g, pt)
 	m := manifest{
-		Magic:    format.manifestMagic(),
+		Magic:    wo.Format.manifestMagic(),
 		Vertices: g.NumVertices(),
 		Edges:    g.NumEdges(),
 		Shards:   pt.P,
@@ -125,27 +176,34 @@ func WriteFormat(dir string, g *graph.Graph, p int, format Format) (*Store, erro
 			summary[j/64] |= 1 << (j % 64)
 		}
 		m.SrcSummary = append(m.SrcSummary, summary)
-		if err := writeShardFile(shardPath(dir, i), part, format); err != nil {
+		if err := writeShardFile(shardPath(dir, i), part, wo.Format); err != nil {
 			return nil, err
 		}
 	}
-	data, err := json.MarshalIndent(m, "", " ")
-	if err != nil {
-		return nil, err
-	}
 	// The manifest is written last, atomically, and the directory is
-	// synced after it: the manifest names only shard files that are
-	// already durable, so a crash anywhere in the conversion leaves a
-	// directory that opens as the previous complete store (or fails
-	// Open's validation with a typed error), never one that silently
-	// decodes torn data.
-	if err := writeFileAtomic(filepath.Join(dir, "manifest.json"), data, 0o644); err != nil {
+	// synced after it (writeManifest): the manifest names only shard
+	// files that are already durable, so a crash anywhere in the
+	// conversion leaves a directory that opens as the previous complete
+	// store (or fails Open's validation with a typed error), never one
+	// that silently decodes torn data.
+	if err := writeManifest(dir, m); err != nil {
 		return nil, err
 	}
-	if err := syncDir(dir); err != nil {
-		return nil, err
-	}
-	return &Store{dir: dir, format: format, m: m}, nil
+	return &Store{dir: dir, format: wo.Format, m: m}, nil
+}
+
+// Write shards g into dir with p partitions in the default format.
+//
+// Deprecated: use Create(dir, g, WriteOptions{Partitions: p}).
+func Write(dir string, g *graph.Graph, p int) (*Store, error) {
+	return Create(dir, g, WriteOptions{Partitions: p})
+}
+
+// WriteFormat is Write with an explicit shard-file format.
+//
+// Deprecated: use Create(dir, g, WriteOptions{Partitions: p, Format: format}).
+func WriteFormat(dir string, g *graph.Graph, p int, format Format) (*Store, error) {
+	return Create(dir, g, WriteOptions{Partitions: p, Format: format})
 }
 
 // Open loads an existing sharded graph directory.
@@ -206,24 +264,97 @@ func Open(dir string) (*Store, error) {
 			}
 		}
 	}
+	if err := validateDeltaLayer(&m); err != nil {
+		return nil, err
+	}
 	return &Store{dir: dir, format: format, m: m}, nil
+}
+
+// validateDeltaLayer structurally checks the optional log-structured
+// fields before anything is read through them: lengths must match the
+// shard count, file names must be plain names inside the store
+// directory (a hostile manifest must not reach outside it), counts and
+// generations must be in range. Byte-level agreement — delta counts vs
+// file contents, merged counts vs EdgeCounts — is enforced again at
+// read time per file.
+func validateDeltaLayer(m *manifest) error {
+	if m.Generation < 0 {
+		return fmt.Errorf("shard: negative generation %d", m.Generation)
+	}
+	if m.BaseFiles != nil && len(m.BaseFiles) != m.Shards {
+		return fmt.Errorf("shard: base files cover %d shards, want %d", len(m.BaseFiles), m.Shards)
+	}
+	for i, name := range m.BaseFiles {
+		if !validStoreFileName(name) {
+			return fmt.Errorf("shard: bad base file name %q for shard %d", name, i)
+		}
+	}
+	if m.BaseEdgeCounts != nil && len(m.BaseEdgeCounts) != m.Shards {
+		return fmt.Errorf("shard: base edge counts cover %d shards, want %d", len(m.BaseEdgeCounts), m.Shards)
+	}
+	for i, c := range m.BaseEdgeCounts {
+		if c < 0 {
+			return fmt.Errorf("shard: negative base edge count for shard %d", i)
+		}
+	}
+	if m.Deltas != nil && len(m.Deltas) != m.Shards {
+		return fmt.Errorf("shard: delta lists cover %d shards, want %d", len(m.Deltas), m.Shards)
+	}
+	for i, refs := range m.Deltas {
+		prevGen := int64(0)
+		for _, ref := range refs {
+			if !validStoreFileName(ref.File) {
+				return fmt.Errorf("shard: bad delta file name %q for shard %d", ref.File, i)
+			}
+			if ref.Gen <= prevGen || ref.Gen > m.Generation {
+				return fmt.Errorf("shard: delta generation %d for shard %d outside (%d,%d]", ref.Gen, i, prevGen, m.Generation)
+			}
+			if ref.Ins < 0 || ref.Del < 0 || ref.Ins > maxDeltaEdges || ref.Del > maxDeltaEdges {
+				return fmt.Errorf("shard: delta %s declares %d inserts / %d tombstones", ref.File, ref.Ins, ref.Del)
+			}
+			prevGen = ref.Gen
+		}
+	}
+	if m.DirtyGen != nil && len(m.DirtyGen) != m.Shards {
+		return fmt.Errorf("shard: dirty generations cover %d shards, want %d", len(m.DirtyGen), m.Shards)
+	}
+	for i, g := range m.DirtyGen {
+		if g < 0 || g > m.Generation {
+			return fmt.Errorf("shard: dirty generation %d for shard %d outside [0,%d]", g, i, m.Generation)
+		}
+	}
+	return nil
+}
+
+// validStoreFileName accepts only plain file names — no separators, no
+// dot-dot, nothing that could step outside the store directory.
+func validStoreFileName(name string) bool {
+	return name != "" && name != "." && name != ".." && name == filepath.Base(name)
 }
 
 // Format returns the store's shard-file encoding (declared by the
 // manifest magic).
 func (s *Store) Format() Format { return s.format }
 
-// DiskBytes returns the total on-disk size of the store's shard files
-// (the manifest excluded, so the figure divides by |E| into a clean
-// bytes-per-edge).
+// DiskBytes returns the total on-disk size of the store's live shard
+// files — base files plus pending deltas; the manifest and files
+// orphaned by compaction excluded, so the figure divides by |E| into a
+// clean bytes-per-edge.
 func (s *Store) DiskBytes() (int64, error) {
 	var total int64
 	for i := 0; i < s.m.Shards; i++ {
-		fi, err := os.Stat(shardPath(s.dir, i))
+		fi, err := os.Stat(s.basePath(i))
 		if err != nil {
 			return 0, err
 		}
 		total += fi.Size()
+		for _, ref := range s.deltas(i) {
+			fi, err := os.Stat(filepath.Join(s.dir, ref.File))
+			if err != nil {
+				return 0, err
+			}
+			total += fi.Size()
+		}
 	}
 	return total, nil
 }
@@ -282,12 +413,46 @@ func (s *Store) LoadShard(i int) (*graph.COO, error) {
 }
 
 // loadShard is LoadShard plus the on-disk byte count of the decoded
-// file — the engine's BytesRead accounting.
+// file(s) — the engine's BytesRead accounting. A shard with pending
+// deltas decodes its base file and merges the delta files in
+// (mergeDeltas); a shard without any returns the base COO untouched,
+// preserving the legacy file order (v1 stores stream in CSR order).
 func (s *Store) loadShard(i int) (*graph.COO, int64, error) {
 	if i < 0 || i >= s.m.Shards {
 		return nil, 0, fmt.Errorf("shard: index %d out of range", i)
 	}
-	return readShardFile(shardPath(s.dir, i), s.format, s.m.Vertices, s.m.Bounds[i], s.m.Bounds[i+1], s.m.EdgeCounts[i])
+	c, size, err := readShardFile(s.basePath(i), s.format, s.m.Vertices, s.m.Bounds[i], s.m.Bounds[i+1], s.baseEdgeCount(i))
+	if err != nil || len(s.deltas(i)) == 0 {
+		return c, size, err
+	}
+	return s.mergeDeltas(i, c, size)
+}
+
+// basePath returns shard i's base file path — the legacy fixed name
+// unless compaction re-pointed the manifest at a generation-suffixed
+// file.
+func (s *Store) basePath(i int) string {
+	if s.m.BaseFiles != nil {
+		return filepath.Join(s.dir, s.m.BaseFiles[i])
+	}
+	return shardPath(s.dir, i)
+}
+
+// baseEdgeCount returns the edge count stored in shard i's base file
+// (EdgeCounts holds the live merged count once deltas exist).
+func (s *Store) baseEdgeCount(i int) int64 {
+	if s.m.BaseEdgeCounts != nil {
+		return s.m.BaseEdgeCounts[i]
+	}
+	return s.m.EdgeCounts[i]
+}
+
+// deltas returns shard i's pending delta refs, oldest first.
+func (s *Store) deltas(i int) []deltaRef {
+	if s.m.Deltas == nil {
+		return nil
+	}
+	return s.m.Deltas[i]
 }
 
 // Sweep streams every shard once, in order, calling fn for each edge.

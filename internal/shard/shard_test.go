@@ -430,10 +430,10 @@ func rewriteManifest(t *testing.T, dir string, edit func(*manifest)) {
 	}
 	m := st.m
 	edit(&m)
-	writeManifest(t, dir, m)
+	writeTestManifest(t, dir, m)
 }
 
-func writeManifest(t *testing.T, dir string, m manifest) {
+func writeTestManifest(t *testing.T, dir string, m manifest) {
 	t.Helper()
 	data, err := json.Marshal(m)
 	if err != nil {
