@@ -64,6 +64,7 @@ func run() int {
 		shardFmt   = flag.String("shardformat", shard.DefaultFormat.String(), "OOC shard-file encoding: v1 (raw uint32 pairs) or v2 (delta+uvarint compressed)")
 		orderName  = flag.String("order", shard.OrderAscending.String(), "OOC sweep-order policy: ascending, zigzag (boustrophedon across sweeps) or residency-first (cached shards first, then Hilbert order)")
 		sweepName  = flag.String("sweepmode", shard.SweepEdgeCentric.String(), "OOC dense-sweep mode: edge-centric (apply each staged shard directly) or scatter-gather (scatter shards into per-partition update bins, retained across sweeps, then gather per domain)")
+		binBudget  = flag.Int64("binbudget", 0, "OOC scatter/gather bin budget in bytes: cold bins past it spill to disk and replay sequentially (0 = retain every bin; needs -sweepmode scatter-gather)")
 		updates    = flag.String("updates", "", `OOC: apply a JSON edge batch {"insert":[{"src":0,"dst":1},...],"delete":[...]} to the store before running, then rebuild the engine at the new generation`)
 		compactSt  = flag.Bool("compactstore", false, "OOC: compact delta shards into a new base generation before running (after -updates, if both are given)")
 	)
@@ -86,6 +87,10 @@ func run() int {
 	}
 	if *reps < 1 {
 		fmt.Fprintf(os.Stderr, "ggrind: -reps must be >= 1, got %d\n", *reps)
+		return 2
+	}
+	if *binBudget < 0 {
+		fmt.Fprintf(os.Stderr, "ggrind: -binbudget must be >= 0 (0 retains every bin), got %d\n", *binBudget)
 		return 2
 	}
 	sweepMode, err := shard.ParseSweepMode(*sweepName)
@@ -174,15 +179,16 @@ func run() int {
 			return 2
 		}
 		oopts := shard.Options{
-			Threads:     *threads,
-			CacheShards: *cacheSh,
-			NoPrefetch:  *noPrefetch,
-			Window:      *window,
-			IODepth:     *ioDepth,
-			Topology:    sched.Topology{Domains: *domains},
-			Format:      format,
-			Order:       order,
-			SweepMode:   sweepMode,
+			Threads:        *threads,
+			CacheShards:    *cacheSh,
+			NoPrefetch:     *noPrefetch,
+			Window:         *window,
+			IODepth:        *ioDepth,
+			Topology:       sched.Topology{Domains: *domains},
+			Format:         format,
+			Order:          order,
+			SweepMode:      sweepMode,
+			BinBudgetBytes: *binBudget,
 		}
 		fmt.Printf("sharding to %s (%d partitions, %v files)...\n", dir, p, format)
 		eng, err := shard.Build(filepath.Join(dir, "fwd"), g, p, oopts)
@@ -307,6 +313,12 @@ func run() int {
 			fmt.Printf("ooc scatter/gather: %d two-phase sweeps, %d bin reuses, %.1f KiB bins written, %.1f KiB replayed\n",
 				st.ScatterGatherSweeps, st.BinShardsReused,
 				float64(st.BinBytesWritten)/1024, float64(st.BinBytesRead)/1024)
+			if eng.Options().BinBudgetBytes > 0 {
+				fmt.Printf("ooc bin budget: %d bytes, %d bins evicted, %.1f KiB spilled to disk, %d spill replays (%.1f KiB sequential reads)\n",
+					eng.Options().BinBudgetBytes, st.BinShardsEvicted,
+					float64(st.BinBytesSpilled)/1024, st.BinSpillReplays,
+					float64(st.BinSpillBytesRead)/1024)
+			}
 		}
 		fmt.Printf("ooc pipeline: %d prefetch loads (%d overlapped an apply), %d prefetch cache promotions\n",
 			st.PrefetchLoads, st.OverlappedLoads, st.PrefetchHits)

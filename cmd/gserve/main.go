@@ -60,12 +60,27 @@ func run() error {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
 	cacheBytes := flag.Int64("cache-bytes", shard.DefaultCacheBytes, "shared shard-cache budget in bytes, across all stores")
 	threads := flag.Int("threads", 0, "worker threads per query session (0 = engine default)")
+	sweepmode := flag.String("sweepmode", shard.SweepEdgeCentric.String(), "dense-sweep strategy for every session: edge-centric or scatter-gather")
+	binBudget := flag.Int64("bin-budget", 0, "scatter/gather bin budget in bytes, shared across each store's sessions (0 = unbounded; needs -sweepmode scatter-gather)")
 	flag.Var(&stores, "store", "preload a store as name=dir (repeatable)")
 	flag.Parse()
 
+	mode, err := shard.ParseSweepMode(*sweepmode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gserve:", err)
+		os.Exit(2)
+	}
+	opts := shard.Options{Threads: *threads, SweepMode: mode, BinBudgetBytes: *binBudget}
+	// Reject a nonsensical option set at flag-parse time — usage error,
+	// exit 2 — rather than failing every store open later.
+	if err := opts.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "gserve:", err)
+		os.Exit(2)
+	}
+
 	s := serve.New(serve.Config{
 		CacheBytes: *cacheBytes,
-		Options:    shard.Options{Threads: *threads},
+		Options:    opts,
 	})
 	for _, mount := range stores {
 		name, dir, _ := strings.Cut(mount, "=")

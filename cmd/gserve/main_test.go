@@ -106,3 +106,39 @@ func TestGserveSmoke(t *testing.T) {
 		t.Fatal("daemon ignored SIGTERM")
 	}
 }
+
+// TestGserveBadBinFlagsExitTwo pins the CLI contract for the bin-budget
+// knobs: malformed or inconsistent values must be rejected at parse
+// time with exit status 2 (flag-error convention), never survive into
+// a booted daemon.
+func TestGserveBadBinFlagsExitTwo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the daemon binary")
+	}
+	bin := filepath.Join(t.TempDir(), "gserve")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building gserve: %v\n%s", err, out)
+	}
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"negative budget", []string{"-bin-budget", "-1"}},
+		{"budget below one bin", []string{"-sweepmode", "scatter-gather", "-bin-budget", "100"}},
+		{"budget without scatter-gather", []string{"-bin-budget", "8192"}},
+		{"bogus sweep mode", []string{"-sweepmode", "bogus"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			args := append([]string{"-addr", "127.0.0.1:0"}, tc.args...)
+			out, err := exec.Command(bin, args...).CombinedOutput()
+			if err == nil {
+				t.Fatalf("daemon accepted %v:\n%s", tc.args, out)
+			}
+			ee, ok := err.(*exec.ExitError)
+			if !ok || ee.ExitCode() != 2 {
+				t.Fatalf("want exit status 2 for %v, got %v\n%s", tc.args, err, out)
+			}
+		})
+	}
+}

@@ -144,6 +144,25 @@ func oocScatterGatherEngine(t *testing.T, g *graph.Graph, window, depth int) *sh
 	return e
 }
 
+// oocBinBudgetEngine is the eviction-pressure rung: the scatter/gather
+// sweep runs under the smallest legal bin budget, so every bin that
+// can't pin into 4 KiB spills to disk and gathers replay (or silently
+// re-scatter) instead of hitting resident bins. Budget pressure must
+// change bytes moved, never a single result bit.
+func oocBinBudgetEngine(t *testing.T, g *graph.Graph) *shard.Engine {
+	t.Helper()
+	e, err := shard.Build(t.TempDir(), g, 8, shard.Options{
+		Threads: 4, CacheShards: 4, Window: 4,
+		SweepMode:      shard.SweepScatterGather,
+		BinBudgetBytes: shard.MinBinBudgetBytes,
+		Topology:       sched.Topology{Domains: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
 // oocSharedSessionEngine is the multi-tenant differential variant: a
 // session of a shard.Host, fetching through the daemon's refcounted
 // byte-budgeted SharedCache instead of a private LRU. The deliberately
@@ -232,6 +251,7 @@ func enginesFor(t *testing.T, g *graph.Graph) []api.System {
 		oocOrderEngine(t, g, shard.OrderResidencyFirst),
 		oocScatterGatherEngine(t, g, 1, 1),
 		oocScatterGatherEngine(t, g, 4, 4),
+		oocBinBudgetEngine(t, g),
 		oocSharedSessionEngine(t, g),
 		oocMutatedStoreEngine(t, g, false),
 		oocMutatedStoreEngine(t, g, true),

@@ -80,6 +80,11 @@ func TestOOCPipelineBitIdenticalAcrossAllAlgorithms(t *testing.T) {
 		{"scatter-gather", func(t *testing.T, g *graph.Graph) api.System { return oocScatterGatherEngine(t, g, 1, 1) }},
 		{"scatter-gather-window-D", func(t *testing.T, g *graph.Graph) api.System { return oocScatterGatherEngine(t, g, 4, 1) }},
 		{"scatter-gather-iodepth-D", func(t *testing.T, g *graph.Graph) api.System { return oocScatterGatherEngine(t, g, 4, 4) }},
+		// Eviction-pressure rung: the minimum legal bin budget forces
+		// every oversized bin through the spill/replay (or re-scatter)
+		// path, so gather correctness under constant eviction and spill
+		// round-trips is differentially pinned for all 14 algorithms.
+		{"scatter-gather-bin-budget", func(t *testing.T, g *graph.Graph) api.System { return oocBinBudgetEngine(t, g) }},
 		{"shared-session", func(t *testing.T, g *graph.Graph) api.System { return oocSharedSessionEngine(t, g) }},
 		// Log-structured rungs: the same content reached by mutation —
 		// edges held back and re-applied as a batch with foreign edges

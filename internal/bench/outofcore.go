@@ -140,6 +140,51 @@ type ScatterGatherResult struct {
 	RanksIdentical bool // float64-bit-exact PageRank agreement across modes
 }
 
+// BinBudgetColumn is one budget setting's column in the bin-budget
+// ablation: the same cold-cache 10-iteration dense PageRank over an
+// identical raw store in scatter/gather mode, differing only in
+// Options.BinBudgetBytes. MovedBytes is the column's total traffic —
+// shard bytes decoded for scatter passes, bin bytes appended at
+// scatter, bin bytes gathered, bin bytes spilled to disk and spill
+// bytes replayed back — the figure the budget is supposed to trade
+// against memory footprint.
+type BinBudgetColumn struct {
+	Budget     int64   // Options.BinBudgetBytes (0 = unbounded)
+	Time       float64 // seconds
+	Loads      int64   // Stats.ShardLoads across the measured runs
+	DiskBytes  int64   // Stats.BytesRead: shard bytes decoded for scatter passes
+	BinWrites  int64   // Stats.BinBytesWritten: bytes appended to bins at scatter
+	BinReads   int64   // Stats.BinBytesRead: resident bin bytes gathered
+	Spilled    int64   // Stats.BinBytesSpilled: bin bytes written to spill files
+	SpillReads int64   // Stats.BinSpillBytesRead: spill-file bytes replayed
+	Evictions  int64   // Stats.BinShardsEvicted
+	Replays    int64   // Stats.BinSpillReplays
+	MovedBytes int64   // DiskBytes + BinWrites + BinReads + Spilled + SpillReads
+}
+
+// BinBudgetResult is the bin-budget ablation: the scatter/gather sweep
+// with the bin store unbounded (the legacy retain-everything footprint),
+// budgeted at half the measured footprint, and budgeted at
+// MinBinBudgetBytes — too small to hold even one of this store's bins,
+// so every gather replays from spill files. The claims under test are
+// categorical: the budget must only change where bin bytes live, never
+// what is computed (ranks bit-identical across all three columns and
+// the edge-centric reference), the half column must move strictly fewer
+// bytes than the everything-spills column, and even the worst case —
+// every bin replayed from disk every sweep — must pull strictly fewer
+// disk bytes than the edge-centric mode's re-reads over the same store.
+type BinBudgetResult struct {
+	Footprint   int64 // unbounded column's total bin bytes: the budget baseline
+	CacheShards int   // the tight LRU budget every column ran with
+
+	Full BinBudgetColumn // BinBudgetBytes = 0, nothing spills
+	Half BinBudgetColumn // BinBudgetBytes = Footprint/2, cold tail spills
+	Zero BinBudgetColumn // BinBudgetBytes = MinBinBudgetBytes, everything spills
+
+	ECDiskBytes    int64 // edge-centric Stats.BytesRead over the same store
+	RanksIdentical bool  // float64-bit-exact PageRank agreement across all columns
+}
+
 // UpdateResult is the log-structured-update ablation: the store holds
 // two disjoint copies of the graph, an edge batch confined to the
 // second copy arrives through ApplyBatch (a delta append, not a
@@ -184,18 +229,20 @@ const IncTolerance = 1e-15
 // zigzag vs residency-first over a half-store LRU, loads and bytes per
 // policy, and the sweep-mode ablation: edge-centric vs partition-centric
 // scatter/gather over a raw store, total bytes moved per mode and
-// bit-exact rank agreement, and the log-structured-update ablation:
+// bit-exact rank agreement, the bin-budget ablation: the scatter/gather
+// bin store unbounded vs half-footprint vs minimum budget, spill
+// traffic per column and bit-exact rank agreement, and the log-structured-update ablation:
 // an edge batch applied as delta shards, then incremental vs
 // from-scratch re-convergence over the mutated store. dir receives the
 // shard files; shards and threads 0 select defaults. The returned
 // figure has one X index per algorithm (the note lines give the
 // mapping) and one series per engine.
-func OutOfCore(g *graph.Graph, dir string, shards, threads, reps int) (*Figure, []OutOfCoreResult, PrefetchResult, WindowResult, IODepthResult, FormatResult, OrderResult, ScatterGatherResult, UpdateResult, error) {
+func OutOfCore(g *graph.Graph, dir string, shards, threads, reps int) (*Figure, []OutOfCoreResult, PrefetchResult, WindowResult, IODepthResult, FormatResult, OrderResult, ScatterGatherResult, BinBudgetResult, UpdateResult, error) {
 	if shards <= 0 {
 		shards = 16
 	}
-	fail := func(err error) (*Figure, []OutOfCoreResult, PrefetchResult, WindowResult, IODepthResult, FormatResult, OrderResult, ScatterGatherResult, UpdateResult, error) {
-		return nil, nil, PrefetchResult{}, WindowResult{}, IODepthResult{}, FormatResult{}, OrderResult{}, ScatterGatherResult{}, UpdateResult{}, err
+	fail := func(err error) (*Figure, []OutOfCoreResult, PrefetchResult, WindowResult, IODepthResult, FormatResult, OrderResult, ScatterGatherResult, BinBudgetResult, UpdateResult, error) {
+		return nil, nil, PrefetchResult{}, WindowResult{}, IODepthResult{}, FormatResult{}, OrderResult{}, ScatterGatherResult{}, BinBudgetResult{}, UpdateResult{}, err
 	}
 	inMem := core.NewEngine(g, core.Options{Threads: threads})
 	// Domains: 1 keeps the headline Slowdown column measuring streaming
@@ -368,6 +415,22 @@ func OutOfCore(g *graph.Graph, dir string, shards, threads, reps int) (*Figure, 
 		float64(sgr.SGDiskBytes)/1024, float64(sgr.BinBytesWritten)/1024, float64(sgr.BinBytesRead)/1024,
 		sgr.BinShardsReused, sgr.RanksIdentical))
 
+	// Bin-budget ablation: the scatter/gather sweep with the bin store
+	// unbounded, halved and starved. Budget placement only moves bytes
+	// between memory and spill files — ranks must stay bit-identical —
+	// and even the everything-spills column's disk traffic must come in
+	// under the edge-centric re-reads over the same store.
+	bbr, err := binBudgetAblation(g, dir, shards, threads, reps)
+	if err != nil {
+		return fail(err)
+	}
+	fig.Notes = append(fig.Notes, fmt.Sprintf(
+		"bin-budget ablation (v1 store, %d-shard LRU, footprint %.1f KiB): unbounded moved %.1f KiB; half budget moved %.1f KiB (%.1f KiB spilled, %d replays); min budget moved %.1f KiB (%.1f KiB spilled, %d replays); edge-centric re-read %.1f KiB; ranks bit-identical=%v",
+		bbr.CacheShards, float64(bbr.Footprint)/1024, float64(bbr.Full.MovedBytes)/1024,
+		float64(bbr.Half.MovedBytes)/1024, float64(bbr.Half.Spilled)/1024, bbr.Half.Replays,
+		float64(bbr.Zero.MovedBytes)/1024, float64(bbr.Zero.Spilled)/1024, bbr.Zero.Replays,
+		float64(bbr.ECDiskBytes)/1024, bbr.RanksIdentical))
+
 	// Update ablation: a batch lands as delta shards on one half of a
 	// two-copy store; incremental re-convergence sweeps only the dirty
 	// half while the from-scratch re-run walks everything. Loads are
@@ -381,7 +444,7 @@ func OutOfCore(g *graph.Graph, dir string, shards, threads, reps int) (*Figure, 
 		ur.Inserted, ur.Deleted, ur.DirtyShards, ur.TotalShards, ur.ApplyTime,
 		ur.IncTime, ur.IncLoads, ur.IncVisits, ur.FullTime, ur.FullLoads, ur.FullVisits,
 		ur.Speedup, ur.MaxDiff, ur.CompactTime))
-	return fig, results, pf, win, iod, fr, or, sgr, ur, nil
+	return fig, results, pf, win, iod, fr, or, sgr, bbr, ur, nil
 }
 
 // updateAblation builds a store holding two vertex-disjoint copies of
@@ -527,6 +590,90 @@ func scatterGatherAblation(g *graph.Graph, dir string, shards, threads, reps int
 		}
 	}
 	return sgr, nil
+}
+
+// binBudgetAblation runs the budget columns, each over its own freshly
+// written raw store so one column's spill files can never satisfy
+// another column's replays (spill names are generation-suffixed and the
+// stores share a generation counter start). The unbounded column runs
+// first and its BinWrites — every bin scattered exactly once, retained
+// for the engine's lifetime — is the measured footprint the half budget
+// derives from. The edge-centric reference runs over the unbounded
+// column's store with the same LRU, pricing what the sweeps would have
+// re-read with no bins at all.
+func binBudgetAblation(g *graph.Graph, dir string, shards, threads, reps int) (BinBudgetResult, error) {
+	var br BinBudgetResult
+	run := func(sub string, budget int64) (BinBudgetColumn, []float64, *shard.Store, error) {
+		st, err := shard.Create(filepath.Join(dir, sub), g, shard.WriteOptions{Partitions: shards, Format: shard.FormatV1})
+		if err != nil {
+			return BinBudgetColumn{}, nil, nil, err
+		}
+		cache := st.NumShards() / 4
+		if cache < 1 {
+			cache = 1
+		}
+		br.CacheShards = cache
+		eng, err := shard.NewEngine(st, g, shard.Options{
+			Threads: threads, CacheShards: cache,
+			SweepMode: shard.SweepScatterGather, BinBudgetBytes: budget,
+		})
+		if err != nil {
+			return BinBudgetColumn{}, nil, nil, err
+		}
+		var ranks []float64
+		t := MedianTime(reps, func() { ranks = algorithms.PR(eng, 10).Ranks })
+		s := eng.Stats()
+		col := BinBudgetColumn{
+			Budget: budget, Time: Seconds(t), Loads: s.ShardLoads,
+			DiskBytes: s.BytesRead, BinWrites: s.BinBytesWritten, BinReads: s.BinBytesRead,
+			Spilled: s.BinBytesSpilled, SpillReads: s.BinSpillBytesRead,
+			Evictions: s.BinShardsEvicted, Replays: s.BinSpillReplays,
+		}
+		col.MovedBytes = col.DiskBytes + col.BinWrites + col.BinReads + col.Spilled + col.SpillReads
+		return col, ranks, st, nil
+	}
+	full, fullRanks, fullStore, err := run("bb-full", 0)
+	if err != nil {
+		return BinBudgetResult{}, err
+	}
+	br.Full, br.Footprint = full, full.BinWrites
+	halfBudget := br.Footprint / 2
+	if halfBudget < shard.MinBinBudgetBytes {
+		halfBudget = shard.MinBinBudgetBytes
+	}
+	half, halfRanks, _, err := run("bb-half", halfBudget)
+	if err != nil {
+		return BinBudgetResult{}, err
+	}
+	br.Half = half
+	zero, zeroRanks, _, err := run("bb-zero", shard.MinBinBudgetBytes)
+	if err != nil {
+		return BinBudgetResult{}, err
+	}
+	br.Zero = zero
+
+	ec, err := shard.NewEngine(fullStore, g, shard.Options{Threads: threads, CacheShards: br.CacheShards})
+	if err != nil {
+		return BinBudgetResult{}, err
+	}
+	var ecRanks []float64
+	MedianTime(reps, func() { ecRanks = algorithms.PR(ec, 10).Ranks })
+	br.ECDiskBytes = ec.Stats().BytesRead
+
+	br.RanksIdentical = true
+	for _, other := range [][]float64{halfRanks, zeroRanks, ecRanks} {
+		if len(other) != len(fullRanks) {
+			br.RanksIdentical = false
+			break
+		}
+		for i := range fullRanks {
+			if math.Float64bits(other[i]) != math.Float64bits(fullRanks[i]) {
+				br.RanksIdentical = false
+				break
+			}
+		}
+	}
+	return br, nil
 }
 
 // orderAblation runs the cold-start order columns over an

@@ -11,7 +11,7 @@ import (
 
 func TestOutOfCoreComparisonRuns(t *testing.T) {
 	g := gen.TinySocial()
-	fig, results, pf, win, iod, fr, or, sgr, ur, err := OutOfCore(g, t.TempDir(), 8, 0, 1)
+	fig, results, pf, win, iod, fr, or, sgr, bbr, ur, err := OutOfCore(g, t.TempDir(), 8, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,6 +144,40 @@ func TestOutOfCoreComparisonRuns(t *testing.T) {
 	if !sgr.RanksIdentical {
 		t.Fatalf("scatter/gather PageRank diverged from edge-centric: %+v", sgr)
 	}
+	// The bin-budget ablation's claims are categorical, the whole reason
+	// the budget exists: the budget may only move bin bytes between
+	// memory and spill files, never change what is computed (ranks
+	// bit-identical across every column and the edge-centric reference);
+	// the unbounded column must never spill; the half column must move
+	// strictly fewer bytes than the everything-spills column; and even
+	// the worst case — every bin replayed from disk every sweep — must
+	// pull strictly fewer disk bytes than edge-centric re-reads.
+	if bbr.Footprint <= 0 || bbr.Footprint != bbr.Full.BinWrites {
+		t.Fatalf("bin-budget ablation footprint does not match the unbounded column's bin writes: %+v", bbr)
+	}
+	if bbr.Half.Budget <= shard.MinBinBudgetBytes || bbr.Half.Budget >= bbr.Footprint {
+		t.Fatalf("half budget %d not strictly between MinBinBudgetBytes and the footprint %d — the columns would not separate", bbr.Half.Budget, bbr.Footprint)
+	}
+	for _, col := range []BinBudgetColumn{bbr.Full, bbr.Half, bbr.Zero} {
+		if col.Time <= 0 || col.Loads <= 0 || col.DiskBytes <= 0 || col.BinWrites <= 0 || col.BinReads <= 0 {
+			t.Fatalf("bin-budget column (budget %d) has idle counters: %+v", col.Budget, col)
+		}
+	}
+	if bbr.Full.Spilled != 0 || bbr.Full.SpillReads != 0 || bbr.Full.Evictions != 0 || bbr.Full.Replays != 0 {
+		t.Fatalf("unbounded column spilled or evicted bins: %+v", bbr.Full)
+	}
+	if bbr.Zero.Spilled <= 0 || bbr.Zero.Replays <= 0 {
+		t.Fatalf("minimum-budget column never spilled or replayed — the starved rung exercised nothing: %+v", bbr.Zero)
+	}
+	if bbr.Half.MovedBytes >= bbr.Zero.MovedBytes {
+		t.Fatalf("half budget moved %d bytes, minimum budget %d — residency under the larger budget must save traffic", bbr.Half.MovedBytes, bbr.Zero.MovedBytes)
+	}
+	if zeroDisk := bbr.Zero.DiskBytes + bbr.Zero.SpillReads; zeroDisk >= bbr.ECDiskBytes {
+		t.Fatalf("everything-spills column pulled %d bytes from disk, edge-centric re-read %d — compressed replays beating raw re-reads is the spill path's whole claim", zeroDisk, bbr.ECDiskBytes)
+	}
+	if !bbr.RanksIdentical {
+		t.Fatalf("bin budget changed PageRank bits: %+v", bbr)
+	}
 	// The update ablation's claims are categorical, the whole reason the
 	// delta layer exists: the batch must have really appended deltas and
 	// dirtied a strict subset of the store, the incremental re-run must
@@ -169,7 +203,7 @@ func TestOutOfCoreComparisonRuns(t *testing.T) {
 		t.Fatalf("incremental and full fixed points disagree by %g, want <= 1e-12", ur.MaxDiff)
 	}
 	text := fig.Render()
-	for _, want := range []string{"GG-v2", "OOC", "cache hits", "prefetch", "cold-cache PR ablation", "domain shards", "occupancy ablation", "apply levels", "async-read ablation", "format ablation", "order ablation", "scatter/gather ablation", "update ablation"} {
+	for _, want := range []string{"GG-v2", "OOC", "cache hits", "prefetch", "cold-cache PR ablation", "domain shards", "occupancy ablation", "apply levels", "async-read ablation", "format ablation", "order ablation", "scatter/gather ablation", "bin-budget ablation", "update ablation"} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("rendered figure missing %q:\n%s", want, text)
 		}

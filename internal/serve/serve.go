@@ -413,24 +413,33 @@ func digestI32(xs []int32) string {
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
-// storeInfo is the wire form of one hosted store.
+// storeInfo is the wire form of one hosted store. Bins is the store's
+// scatter/gather bin-cache snapshot — the host-wide budget every
+// session shares — present only when the daemon serves in
+// scatter/gather mode.
 type storeInfo struct {
-	Name          string `json:"name"`
-	Dir           string `json:"dir"`
-	Vertices      int    `json:"vertices"`
-	Edges         int64  `json:"edges"`
-	Shards        int    `json:"shards"`
-	Generation    int64  `json:"generation"`
-	PendingDeltas int    `json:"pending_deltas"`
+	Name          string               `json:"name"`
+	Dir           string               `json:"dir"`
+	Vertices      int                  `json:"vertices"`
+	Edges         int64                `json:"edges"`
+	Shards        int                  `json:"shards"`
+	Generation    int64                `json:"generation"`
+	PendingDeltas int                  `json:"pending_deltas"`
+	Bins          *shard.BinCacheStats `json:"bins,omitempty"`
 }
 
 func (s *Server) storeInfoLocked(hs *hostedStore) storeInfo {
 	st := hs.host.Store()
-	return storeInfo{
+	info := storeInfo{
 		Name: hs.name, Dir: hs.dir,
 		Vertices: st.NumVertices(), Edges: st.NumEdges(), Shards: st.NumShards(),
 		Generation: st.Generation(), PendingDeltas: st.PendingDeltas(),
 	}
+	if s.opts.SweepMode == shard.SweepScatterGather {
+		bins := hs.host.BinStats()
+		info.Bins = &bins
+	}
+	return info
 }
 
 // queryInfo is the wire form of one query's status.

@@ -105,6 +105,22 @@ type Options struct {
 	// Order; rejected with NoPrefetch, which disables the staging
 	// pipeline the scatter phase runs on. See scattergather.go.
 	SweepMode SweepMode
+	// BinBudgetBytes bounds the in-memory footprint of the
+	// scatter/gather mode's retained update bins. 0 — the default —
+	// retains every bin for the store's lifetime (footprint roughly the
+	// v2-compressed store size). A positive budget turns the bin store
+	// into a byte-budgeted refcounted LRU shared by every session of a
+	// Host: resident bin bytes never exceed the budget at any
+	// observation point, a bin pinned by an in-flight gather is never
+	// evicted, and an insert that cannot fit is refused (used once,
+	// uncached) rather than blocked on. Bins leaving memory spill to
+	// generation-suffixed files next to the store and replay with one
+	// sequential read on the next dense sweep; a missing or corrupt
+	// spill file silently re-scatters the shard. Values below
+	// MinBinBudgetBytes (except 0) and combinations with
+	// SweepEdgeCentric — which keeps no bins to budget — are rejected
+	// with *OptionsError. See bincache.go.
+	BinBudgetBytes int64
 }
 
 // DefaultCacheShards is the default LRU budget. It is deliberately small
@@ -158,6 +174,17 @@ func (o Options) normalize() (Options, error) {
 		return o, &OptionsError{"SweepMode", int64(o.SweepMode),
 			"contradicts NoPrefetch: the scatter phase runs on the staging pipeline NoPrefetch disables"}
 	}
+	if o.BinBudgetBytes < 0 {
+		return o, &OptionsError{"BinBudgetBytes", o.BinBudgetBytes, "must be >= 0 (0 retains every bin unbounded)"}
+	}
+	if o.BinBudgetBytes > 0 && o.BinBudgetBytes < MinBinBudgetBytes {
+		return o, &OptionsError{"BinBudgetBytes", o.BinBudgetBytes,
+			fmt.Sprintf("below MinBinBudgetBytes = %d; a budget that cannot hold even one bin's segments refuses every insert", MinBinBudgetBytes)}
+	}
+	if o.BinBudgetBytes > 0 && o.SweepMode != SweepScatterGather {
+		return o, &OptionsError{"BinBudgetBytes", o.BinBudgetBytes,
+			"only meaningful with SweepMode = SweepScatterGather; the edge-centric sweep keeps no bins to budget"}
+	}
 	if o.CacheShards == 0 {
 		o.CacheShards = DefaultCacheShards
 	}
@@ -191,6 +218,16 @@ func (o Options) normalize() (Options, error) {
 		o.Window = o.CacheShards
 	}
 	return o, nil
+}
+
+// Validate reports whether o would be accepted by engine construction,
+// without building anything — the flag-parse-time check the CLIs use to
+// reject a nonsensical combination with a usage error (exit 2) instead
+// of a construction failure later. The returned error is the same typed
+// *OptionsError NewEngine/NewHost would produce.
+func (o Options) Validate() error {
+	_, err := o.normalize()
+	return err
 }
 
 // Stats counts the engine's sweep, pipeline and I/O activity.
@@ -239,10 +276,24 @@ type Stats struct {
 	// shard fetch at all. In this mode DomainShards/DomainEdges count
 	// gathered bins and their entries — the phase that applies edge work
 	// to a domain's destination ranges.
+	//
+	// The bin-budget counters (zero with BinBudgetBytes = 0) charge the
+	// session whose operation triggered them, not the session that
+	// scattered the bin: BinShardsEvicted counts cold bins this
+	// session's inserts pushed out of the budget, BinBytesSpilled the
+	// spill-file bytes those evictions (and refused inserts) wrote, and
+	// BinSpillReplays / BinSpillBytesRead the bins — and sequential disk
+	// bytes — this session's dense sweeps restored from spill files
+	// instead of re-scattering. Host-wide aggregates (residency, peak,
+	// hit/eviction totals across sessions) live in Host.BinStats.
 	ScatterGatherSweeps int64
 	BinShardsReused     int64
 	BinBytesWritten     int64
 	BinBytesRead        int64
+	BinShardsEvicted    int64
+	BinBytesSpilled     int64
+	BinSpillReplays     int64
+	BinSpillBytesRead   int64
 
 	// Multi-tenant counters (zero on private engines; see host.go).
 	// SharedReads counts uncached reads this session resolved without
@@ -379,17 +430,17 @@ type Engine struct {
 	shadow     *shadowLRU
 	pending    *plannedStats
 
-	// Scatter/gather bin store (SweepScatterGather engines only; stays
-	// all-nil otherwise): bins[si] is shard si's retained scatter bin —
-	// the whole shard re-encoded as (dstOffset, src) zigzag-delta
-	// varint segments — built by the first dense sweep that visits the
-	// shard and replayed by every later one. The store is write-once,
-	// so bins never go stale; their in-memory footprint is roughly the
-	// v2-compressed store size (a bounded bin budget with disk spill is
-	// a named ROADMAP follow-up). Entries are written by the scatter
-	// apply goroutines and read after the window barrier, so every read
-	// is ordered after its write. See scattergather.go.
-	bins []*binShard
+	// Scatter/gather bin store (SweepScatterGather engines only; nil
+	// otherwise): each shard's retained scatter bin — the whole shard
+	// re-encoded as (dstOffset, src) zigzag-delta varint segments — is
+	// built by the first dense sweep that visits the shard and replayed
+	// by every later one. Bins never go stale within a generation, and
+	// the cache is owned by the hostCore, so every session of a Host
+	// shares one copy (and, with Options.BinBudgetBytes set, one byte
+	// budget with LRU eviction and disk spill — see bincache.go)
+	// instead of duplicating the footprint per query. Unbounded, the
+	// footprint is roughly the v2-compressed store size.
+	bins *binCache
 
 	// applying counts shards currently mid-apply (up to one per domain
 	// on the pipelined path); the read path samples it to count loads
@@ -438,6 +489,7 @@ type hostCore struct {
 	domains    []*sched.DomainView
 	hilbertKey []uint64
 	gen        int64
+	bins       *binCache // scatter/gather bin store; nil when edge-centric
 }
 
 // newHostCore validates (st, g, opts) and builds the shared substrate —
@@ -474,6 +526,10 @@ func newHostCore(st *Store, g *graph.Graph, opts Options) (*hostCore, error) {
 	for i := range domainOf {
 		domainOf[i] = int32(opts.Topology.DomainOf(i))
 	}
+	var bins *binCache
+	if opts.SweepMode == SweepScatterGather {
+		bins = newBinCache(opts.BinBudgetBytes, st.dir, st.Generation())
+	}
 	return &hostCore{
 		st:         st,
 		g:          g,
@@ -485,6 +541,7 @@ func newHostCore(st *Store, g *graph.Graph, opts Options) (*hostCore, error) {
 		domains:    opts.Topology.Split(pool),
 		hilbertKey: hilbertKeys(feeds, st.NumShards()),
 		gen:        st.Generation(),
+		bins:       bins,
 	}, nil
 }
 
@@ -506,7 +563,7 @@ func (c *hostCore) newEngine(cache engineCache) *Engine {
 		domains:    c.domains,
 		hilbertKey: c.hilbertKey,
 		shadow:     newShadowLRU(c.opts.CacheShards),
-		bins:       make([]*binShard, c.st.NumShards()),
+		bins:       c.bins,
 		stats: Stats{
 			DomainShards: make([]int64, c.opts.Topology.Domains),
 			DomainEdges:  make([]int64, c.opts.Topology.Domains),
@@ -580,6 +637,10 @@ func (e *Engine) Stats() Stats {
 		BinShardsReused:     atomic.LoadInt64(&e.stats.BinShardsReused),
 		BinBytesWritten:     atomic.LoadInt64(&e.stats.BinBytesWritten),
 		BinBytesRead:        atomic.LoadInt64(&e.stats.BinBytesRead),
+		BinShardsEvicted:    atomic.LoadInt64(&e.stats.BinShardsEvicted),
+		BinBytesSpilled:     atomic.LoadInt64(&e.stats.BinBytesSpilled),
+		BinSpillReplays:     atomic.LoadInt64(&e.stats.BinSpillReplays),
+		BinSpillBytesRead:   atomic.LoadInt64(&e.stats.BinSpillBytesRead),
 		PrefetchHits:        atomic.LoadInt64(&e.stats.PrefetchHits),
 		PrefetchLoads:       atomic.LoadInt64(&e.stats.PrefetchLoads),
 		OverlappedLoads:     atomic.LoadInt64(&e.stats.OverlappedLoads),

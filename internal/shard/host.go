@@ -15,8 +15,11 @@ package shard
 // EdgeMap/VertexMap calls on *one* session are serial, like any other
 // engine — while distinct sessions run concurrently: everything they
 // share is either immutable (the core), internally synchronized (the
-// cache, the board, the budget, the stateless sched.Pool), or owned
-// per-session (frontiers, accumulators, stats, bins).
+// cache, the board, the budget, the stateless sched.Pool, the
+// scatter/gather bin cache), or owned per-session (frontiers,
+// accumulators, stats). Update bins in particular are host-shared —
+// one byte budget and one copy per store, however many sessions sweep
+// it — see bincache.go.
 
 import (
 	"repro/internal/aio"
@@ -91,10 +94,30 @@ func (h *Host) Options() Options { return h.core.opts }
 // Cache returns the shared cache the host's sessions fetch through.
 func (h *Host) Cache() *SharedCache { return h.cache }
 
+// BinStats returns a snapshot of the host's scatter/gather bin cache —
+// the one store-wide bin budget every session shares. Edge-centric
+// hosts (no bin store) report the zero value.
+func (h *Host) BinStats() BinCacheStats {
+	if h.core.bins == nil {
+		return BinCacheStats{}
+	}
+	return h.core.bins.Stats()
+}
+
 // Topology returns the modelled NUMA topology sessions place shards on.
 func (h *Host) Topology() sched.Topology { return h.core.opts.Topology }
 
 // Evict drops the host's unpinned resident shards from the shared
-// cache — the close-store path. Shards pinned by in-flight queries
-// stay until released, then age out by LRU.
-func (h *Host) Evict() { h.cache.dropStore(h.core.st) }
+// cache and releases its scatter/gather bin store (unpinned bins leave
+// memory immediately, every spill file is deleted) — the close-store
+// path, which internal/serve takes when an update or compaction
+// rehosts the store at a new generation. Shards and bins pinned by
+// in-flight queries stay until released — then shards age out by LRU
+// and bins retire outright, so a drained old host holds zero bin
+// bytes.
+func (h *Host) Evict() {
+	h.cache.dropStore(h.core.st)
+	if h.core.bins != nil {
+		h.core.bins.drop()
+	}
+}

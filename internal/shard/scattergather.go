@@ -22,13 +22,17 @@ package shard
 //
 // Bins encode the full shard (the frontier filter moves to gather, and
 // the operator's Cond/Update run only there, where destination state
-// mutates), which makes them operator- and frontier-independent: the
-// engine retains every bin, and later dense sweeps replay it without
-// touching the plan, the LRU, or the disk. That retention is the mode's
-// win condition — on an iterative dense algorithm the edges are read
-// from disk once and every further iteration moves only ~3 bin bytes
-// per edge from memory, versus the edge-centric path re-reading (or
-// re-decoding from the LRU) the shards each sweep.
+// mutates), which makes them operator- and frontier-independent: bins
+// are retained in the host-shared bin cache, and later dense sweeps
+// replay them without touching the plan, the LRU, or the disk. That
+// retention is the mode's win condition — on an iterative dense
+// algorithm the edges are read from disk once and every further
+// iteration moves only ~3 bin bytes per edge from memory, versus the
+// edge-centric path re-reading (or re-decoding from the LRU) the
+// shards each sweep. With Options.BinBudgetBytes set the cache bounds
+// that footprint: cold bins spill to files next to the store and
+// replay with one sequential read; a fully evicted or corrupt spilled
+// bin just re-scatters (see bincache.go).
 
 import (
 	"encoding/binary"
@@ -102,37 +106,70 @@ func zigzag(x int64) uint64   { return uint64(x<<1) ^ uint64(x>>63) }
 func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
 
 // sweepScatterGather runs one dense EdgeMap as scatter then gather.
-// Shards whose bin is already resident skip the fetch entirely; the
-// rest flow, order-planned, through the same staging window as an
-// edge-centric sweep, with scatterShard standing in for the apply. The
-// gather barrier then replays every planned bin, one goroutine per
-// domain. Panics (operator, load failure) propagate exactly like the
-// edge-centric path: scatter runs no operator code, so its only
-// failures are load errors re-raised by wait; gather failures are
-// re-raised verbatim after all gather goroutines join.
+// Every plan entry resolves its bin through the host-shared bin cache,
+// pinned for the sweep's duration (a pinned bin is never evicted, so
+// gather replays exactly what was resolved): a memory hit skips the
+// fetch entirely, a spilled bin replays from its file with one
+// sequential read, and the rest flow, order-planned, through the same
+// staging window as an edge-centric sweep, with scatterShard standing
+// in for the apply. The gather barrier then replays every planned bin,
+// one goroutine per domain. Panics (operator, load failure) propagate
+// exactly like the edge-centric path: scatter runs no operator code,
+// so its only failures are load errors re-raised by wait; gather
+// failures are re-raised verbatim after all gather goroutines join —
+// and the deferred release below drops every pin either way, so an
+// aborted sweep leaves no bin unevictable.
 func (e *Engine) sweepScatterGather(f *frontier.Frontier, plan []int, cur *frontier.Bitmap, cond func(graph.VID) bool, op api.EdgeOp, next *frontier.Bitmap, accs []sweepAccum) {
 	atomic.AddInt64(&e.stats.ScatterGatherSweeps, 1)
+	// held[si] is plan entry si's pinned bin for this sweep. Slots are
+	// written by the resolve loop below (sweep goroutine) or by the
+	// concurrent scatter applies (distinct slots, one plan entry per
+	// shard) and read only after wait's barrier — the same write-once
+	// discipline the per-engine bin slices used.
+	held := make([]*binShard, e.st.NumShards())
+	releases := make([]func(), e.st.NumShards())
+	defer func() {
+		for _, rel := range releases {
+			if rel != nil {
+				rel()
+			}
+		}
+	}()
 	scatterPlan := make([]int, 0, len(plan))
 	for _, si := range plan {
-		if e.bins[si] == nil {
-			scatterPlan = append(scatterPlan, si)
-		} else {
+		if b, rel, ok := e.bins.acquire(si); ok {
+			held[si], releases[si] = b, rel
 			atomic.AddInt64(&e.stats.BinShardsReused, 1)
+			continue
 		}
+		if e.bins.hasSpill(si) {
+			lo, _ := e.st.Range(si)
+			b, diskBytes, err := e.bins.loadSpill(si, lo)
+			if err == nil {
+				atomic.AddInt64(&e.stats.BinSpillReplays, 1)
+				atomic.AddInt64(&e.stats.BinSpillBytesRead, diskBytes)
+				e.admitBin(held, releases, b)
+				continue
+			}
+			// A missing, truncated or corrupt spill file is never an
+			// error and never a wrong result: drop it and re-scatter the
+			// shard — the same recovery a fully evicted bin takes.
+			e.bins.dropSpill(si)
+		}
+		scatterPlan = append(scatterPlan, si)
 	}
 	// Order-plan only the shards actually fetched: the planner's LRU
 	// simulation stays exact (PlannedCacheHits still equals the
-	// CacheHits the scatter then collects) because reused bins never
-	// touch the cache.
+	// CacheHits the scatter then collects) because reused and replayed
+	// bins never touch the cache.
 	scatterPlan = e.orderPlan(scatterPlan)
 	if len(scatterPlan) > 0 {
 		w := e.startSweep(scatterPlan, func(sh *resident) {
-			// Concurrent scatters write distinct bins slots (one plan
-			// entry per shard), read only after wait's barrier. A bin is
-			// valid the moment it is written — it is just the shard
-			// re-encoded — so bins scattered before an aborted sweep's
-			// failure point are kept; the failed shard's slot stays nil.
-			e.bins[sh.idx] = e.scatterShard(sh)
+			// A bin is valid the moment it is scattered — it is just the
+			// shard re-encoded — so bins admitted before an aborted
+			// sweep's failure point stay cached (pins dropped by the
+			// deferred release); the failed shard's slot stays nil.
+			e.admitBin(held, releases, e.scatterShard(sh))
 		})
 		defer w.stop()
 		w.wait()
@@ -142,7 +179,25 @@ func (e *Engine) sweepScatterGather(f *frontier.Frontier, plan []int, cur *front
 	// frontiers filter at replay time — the same test, the same edge
 	// order, just deferred from the edge-centric apply loop.
 	needCur := f.Count() != int64(e.g.NumVertices())
-	e.gatherPlan(plan, needCur, cur, cond, op, next, accs)
+	e.gatherPlan(plan, held, needCur, cur, cond, op, next, accs)
+}
+
+// admitBin offers a freshly scattered or spill-replayed bin to the bin
+// cache, pinned, and records the canonical bin (another session may
+// have raced the insert with an identical one) plus its release in
+// this sweep's slots. A refused insert — the budget could not cover
+// the bytes even after evicting every cold unpinned bin — still
+// gathers: the bin is used transient and was spilled by the cache, so
+// the next sweep replays it from disk instead of re-scattering.
+func (e *Engine) admitBin(held []*binShard, releases []func(), b *binShard) {
+	bin, rel, evicted, spilledBytes := e.bins.put(b)
+	held[b.idx], releases[b.idx] = bin, rel
+	if evicted > 0 {
+		atomic.AddInt64(&e.stats.BinShardsEvicted, evicted)
+	}
+	if spilledBytes > 0 {
+		atomic.AddInt64(&e.stats.BinBytesSpilled, spilledBytes)
+	}
 }
 
 // scatterShard encodes one resident shard into its bin on the shard's
@@ -207,10 +262,10 @@ func (e *Engine) scatterShard(sh *resident) *binShard {
 // next bin boundary, every goroutine joins before the panic is
 // re-raised verbatim on the sweep goroutine, so no gather goroutine
 // outlives its EdgeMap and a panicking operator tears down cleanly.
-func (e *Engine) gatherPlan(plan []int, needCur bool, cur *frontier.Bitmap, cond func(graph.VID) bool, op api.EdgeOp, next *frontier.Bitmap, accs []sweepAccum) {
+func (e *Engine) gatherPlan(plan []int, held []*binShard, needCur bool, cur *frontier.Bitmap, cond func(graph.VID) bool, op api.EdgeOp, next *frontier.Bitmap, accs []sweepAccum) {
 	perDomain := make([][]*binShard, len(e.domains))
 	for _, si := range plan {
-		b := e.bins[si]
+		b := held[si]
 		if b == nil {
 			// Unreachable: every plan entry was either reused or just
 			// scattered (an aborted scatter panics before gather runs).

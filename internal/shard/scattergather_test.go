@@ -120,7 +120,8 @@ func TestScatterGatherBinsPartitionShards(t *testing.T) {
 	}
 	got := make(map[[2]graph.VID]int)
 	binsPerDomain := make([]int64, e.opts.Topology.Domains)
-	for si, b := range e.bins {
+	for si := 0; si < e.st.NumShards(); si++ {
+		b := e.bins.peekBin(si)
 		if b == nil {
 			continue
 		}
@@ -348,7 +349,7 @@ func TestScatterGatherTeardownOnLoadError(t *testing.T) {
 		}
 	}
 	mu.Unlock()
-	if e.bins[5] != nil {
+	if e.bins.peekBin(5) != nil {
 		t.Error("the unreadable shard acquired a bin")
 	}
 	if n := e.cache.len(); n > budget {

@@ -159,6 +159,11 @@ func Create(dir string, g *graph.Graph, wo WriteOptions) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
+	// A rebuild restarts at generation 0 with new content: leftover bin
+	// spill files from an earlier store in this directory would carry
+	// the same generation suffix and must never replay against the new
+	// shards.
+	removeStaleSpills(dir)
 	pt := partition.ByDestination(g, wo.Partitions, partition.BalanceEdges)
 	pcoo := partition.NewPCOO(g, pt)
 	m := manifest{
